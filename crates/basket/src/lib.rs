@@ -1,0 +1,32 @@
+//! # datacell-basket
+//!
+//! The stream edges of the DataCell architecture (paper Fig. 1):
+//!
+//! * [`Basket`] — the "lightweight table" into which receptors drop arriving
+//!   stream tuples and out of which factories read windows. Baskets tag every
+//!   tuple with an arrival timestamp and a global, monotonically increasing
+//!   oid (its position in the stream since the beginning of time), and they
+//!   support the paper's primitive operations: `append`, `getLatest`
+//!   (here: [`Basket::read_range`]), `delete` of expired prefixes
+//!   ([`Basket::expire_upto`]) and `split` into basic windows
+//!   ([`BasicWindow::split`]).
+//! * [`SharedBasket`] — a basket behind a `parking_lot` mutex, the
+//!   `basket.lock()` / `basket.unlock()` pairs of the paper's Algorithms 1–2.
+//! * [`receptor`] — CSV and synthetic-generator receptors, including the
+//!   full parse-and-load path measured by the paper's loading-cost breakdown.
+//! * [`emitter`] — the client-facing side: drain output baskets into rows.
+
+pub mod basket;
+pub mod emitter;
+pub mod receptor;
+pub mod threaded;
+pub mod window;
+
+pub use basket::{Basket, BasketError, SharedBasket, Timestamp};
+pub use emitter::{CollectEmitter, Emitter, Row};
+pub use receptor::{CsvError, CsvReceptor, GeneratorReceptor, MalformedPolicy};
+pub use threaded::ReceptorHandle;
+pub use window::BasicWindow;
+
+/// Result alias for basket operations.
+pub type Result<T> = std::result::Result<T, BasketError>;

@@ -1,0 +1,231 @@
+//! Basic windows: the unit of incremental processing.
+//!
+//! "DataCell achieves incremental processing by partitioning a window into n
+//! smaller parts, called basic windows. Each basic window is of equal size
+//! to the sliding step of the window and is processed separately."
+//! (paper §3, *Splitting Streams*)
+
+use crate::basket::{BasketError, Timestamp};
+use datacell_kernel::{Bat, Column, Oid};
+
+/// An owned batch of stream tuples: the contents of one basic window (or of
+/// a whole initial window before splitting).
+///
+/// Columns are aligned; `base_oid` is the global stream position of row 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicWindow {
+    base_oid: Oid,
+    cols: Vec<Column>,
+    ts: Vec<Timestamp>,
+    names: Vec<String>,
+}
+
+impl BasicWindow {
+    /// Assemble a basic window. Invariants (aligned lengths) are the
+    /// caller's responsibility; [`crate::Basket::read_range`] guarantees them.
+    pub fn new(base_oid: Oid, cols: Vec<Column>, ts: Vec<Timestamp>, names: Vec<String>) -> BasicWindow {
+        debug_assert!(cols.iter().all(|c| c.len() == ts.len()));
+        BasicWindow { base_oid, cols, ts, names }
+    }
+
+    /// Global oid of the first tuple.
+    pub fn base_oid(&self) -> Oid {
+        self.base_oid
+    }
+
+    /// One past the global oid of the last tuple.
+    pub fn end_oid(&self) -> Oid {
+        self.base_oid + self.len() as u64
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when the window holds no tuples (time-based windows may be
+    /// empty; "Empty basic windows are recognized and simply skipped").
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Arrival timestamps.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// Borrow column `i`.
+    pub fn col(&self, i: usize) -> crate::Result<&Column> {
+        self.cols.get(i).ok_or_else(|| BasketError::UnknownColumn(format!("#{i}")))
+    }
+
+    /// Borrow a column by attribute name.
+    pub fn col_by_name(&self, name: &str) -> crate::Result<&Column> {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| BasketError::UnknownColumn(name.to_owned()))?;
+        self.col(i)
+    }
+
+    /// The attribute `i` as a BAT whose head starts at this window's global
+    /// position — so selections on basic windows yield *global* candidate
+    /// oids, exactly what lets intermediates from different basic windows
+    /// combine safely.
+    pub fn bat(&self, i: usize) -> crate::Result<Bat> {
+        Ok(Bat::new(self.base_oid, self.col(i)?.clone()))
+    }
+
+    /// Like [`BasicWindow::bat`] by attribute name.
+    pub fn bat_by_name(&self, name: &str) -> crate::Result<Bat> {
+        Ok(Bat::new(self.base_oid, self.col_by_name(name)?.clone()))
+    }
+
+    /// Split into `n` equally sized basic windows (requires `len % n == 0`;
+    /// the engine arranges `len == n * step`). This is the paper's
+    /// `basket.split(input, n)` — line 7 of Algorithm 2.
+    pub fn split(&self, n: usize) -> crate::Result<Vec<BasicWindow>> {
+        if n == 0 || !self.len().is_multiple_of(n) {
+            return Err(BasketError::Malformed(format!(
+                "cannot split {} tuples into {} equal basic windows",
+                self.len(),
+                n
+            )));
+        }
+        let step = self.len() / n;
+        Ok((0..n).map(|i| self.slice(i * step, step)).collect())
+    }
+
+    /// Carve out rows `[offset, offset+len)` as a new window.
+    pub fn slice(&self, offset: usize, len: usize) -> BasicWindow {
+        BasicWindow {
+            base_oid: self.base_oid + offset as u64,
+            cols: self.cols.iter().map(|c| c.slice_owned(offset, len)).collect(),
+            ts: self.ts[offset..offset + len].to_vec(),
+            names: self.names.clone(),
+        }
+    }
+
+    /// Concatenate consecutive windows (used to coalesce chunks back into a
+    /// basic window in the m-chunk optimization). Windows must be contiguous
+    /// in oid space.
+    pub fn concat(parts: &[&BasicWindow]) -> crate::Result<BasicWindow> {
+        let first = parts
+            .first()
+            .ok_or_else(|| BasketError::Malformed("concat of zero windows".into()))?;
+        let mut out = (*first).clone();
+        for w in &parts[1..] {
+            if w.base_oid != out.end_oid() {
+                return Err(BasketError::Malformed(format!(
+                    "windows not contiguous: {} then {}",
+                    out.end_oid(),
+                    w.base_oid
+                )));
+            }
+            for (dst, src) in out.cols.iter_mut().zip(&w.cols) {
+                dst.append(src)?;
+            }
+            out.ts.extend_from_slice(&w.ts);
+        }
+        Ok(out)
+    }
+
+    /// All columns (aligned).
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_kernel::DataType;
+
+    fn window() -> BasicWindow {
+        BasicWindow::new(
+            100,
+            vec![Column::Int(vec![1, 2, 3, 4]), Column::Float(vec![0.1, 0.2, 0.3, 0.4])],
+            vec![10, 11, 12, 13],
+            vec!["x".into(), "y".into()],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let w = window();
+        assert_eq!(w.base_oid(), 100);
+        assert_eq!(w.end_oid(), 104);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.names(), &["x".to_owned(), "y".to_owned()]);
+        assert_eq!(w.col_by_name("y").unwrap(), &Column::Float(vec![0.1, 0.2, 0.3, 0.4]));
+        assert!(w.col_by_name("z").is_err());
+        assert!(w.col(7).is_err());
+    }
+
+    #[test]
+    fn bat_preserves_global_position() {
+        let w = window();
+        let b = w.bat_by_name("x").unwrap();
+        assert_eq!(b.hseq, 100);
+        assert_eq!(b.oid_at(3), 103);
+    }
+
+    #[test]
+    fn split_into_basic_windows() {
+        let w = window();
+        let parts = w.split(2).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].base_oid(), 100);
+        assert_eq!(parts[1].base_oid(), 102);
+        assert_eq!(parts[1].col(0).unwrap(), &Column::Int(vec![3, 4]));
+        assert_eq!(parts[1].timestamps(), &[12, 13]);
+    }
+
+    #[test]
+    fn split_requires_divisibility() {
+        let w = window();
+        assert!(w.split(3).is_err());
+        assert!(w.split(0).is_err());
+        assert!(w.split(4).is_ok());
+    }
+
+    #[test]
+    fn slice_arbitrary_range() {
+        let w = window();
+        let s = w.slice(1, 2);
+        assert_eq!(s.base_oid(), 101);
+        assert_eq!(s.col(0).unwrap(), &Column::Int(vec![2, 3]));
+    }
+
+    #[test]
+    fn concat_contiguous() {
+        let w = window();
+        let parts = w.split(4).unwrap();
+        let refs: Vec<&BasicWindow> = parts.iter().collect();
+        let back = BasicWindow::concat(&refs).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn concat_rejects_gaps() {
+        let w = window();
+        let a = w.slice(0, 1);
+        let c = w.slice(2, 1);
+        assert!(BasicWindow::concat(&[&a, &c]).is_err());
+        assert!(BasicWindow::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_window_is_recognized() {
+        let w = BasicWindow::new(5, vec![Column::empty(DataType::Int)], vec![], vec!["x".into()]);
+        assert!(w.is_empty());
+        assert_eq!(w.end_oid(), 5);
+    }
+}

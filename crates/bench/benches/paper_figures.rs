@@ -1,0 +1,156 @@
+//! Criterion benches, one group per paper figure (reduced sizes for
+//! regression tracking; the `fig*` binaries produce the full series).
+//!
+//! Run with `cargo bench -p datacell-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacell_bench::{
+    run_q1, run_q2, run_q3_landmark, run_sysx_q2, Mode, Q1Config, Q2Config, Q3Config,
+};
+
+/// Fig 4(a): Q1 full run, incremental vs re-evaluation.
+fn bench_fig4_q1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a_q1");
+    g.sample_size(10);
+    let cfg = Q1Config { window: 65_536, step: 128, selectivity: 0.2, windows: 5, seed: 42 };
+    for mode in [Mode::DataCell, Mode::DataCellR] {
+        g.bench_with_input(BenchmarkId::new(mode.label(), "W=65536,n=512"), &cfg, |b, cfg| {
+            b.iter(|| run_q1(&mode, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 4(b): Q2 full run.
+fn bench_fig4_q2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b_q2");
+    g.sample_size(10);
+    let cfg = Q2Config { window: 8_192, step: 128, key_domain: 10_000, windows: 5, seed: 42 };
+    for mode in [Mode::DataCell, Mode::DataCellR] {
+        g.bench_with_input(BenchmarkId::new(mode.label(), "W=8192,n=64"), &cfg, |b, cfg| {
+            b.iter(|| run_q2(&mode, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 5(a): Q1 selectivity sweep endpoints.
+fn bench_fig5_selectivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_selectivity");
+    g.sample_size(10);
+    for sel in [0.1, 0.5, 0.9] {
+        let cfg = Q1Config { window: 65_536, step: 128, selectivity: sel, windows: 3, seed: 42 };
+        for mode in [Mode::DataCell, Mode::DataCellR] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), format!("sel={sel}")),
+                &cfg,
+                |b, cfg| b.iter(|| run_q1(&mode, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Fig 5(b): Q2 join-selectivity endpoints.
+fn bench_fig5_join_selectivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_join_selectivity");
+    g.sample_size(10);
+    for domain in [1_000_000i64, 10_000] {
+        let cfg = Q2Config { window: 8_192, step: 128, key_domain: domain, windows: 3, seed: 42 };
+        for mode in [Mode::DataCell, Mode::DataCellR] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), format!("sel=1/{domain}")),
+                &cfg,
+                |b, cfg| b.iter(|| run_q2(&mode, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Fig 6(a): window-size endpoints at n = 512.
+fn bench_fig6_window_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_window_size");
+    g.sample_size(10);
+    for w in [32_768usize, 131_072] {
+        let cfg = Q1Config { window: w, step: w / 512, selectivity: 0.2, windows: 3, seed: 42 };
+        for mode in [Mode::DataCell, Mode::DataCellR] {
+            g.bench_with_input(BenchmarkId::new(mode.label(), format!("W={w}")), &cfg, |b, cfg| {
+                b.iter(|| run_q1(&mode, cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Fig 6(b): landmark windows.
+fn bench_fig6_landmark(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_landmark");
+    g.sample_size(10);
+    let cfg = Q3Config { step: 8_192, selectivity: 0.2, windows: 8, seed: 42 };
+    for mode in [Mode::DataCell, Mode::DataCellR] {
+        g.bench_with_input(BenchmarkId::new(mode.label(), "w=8192x8"), &cfg, |b, cfg| {
+            b.iter(|| run_q3_landmark(&mode, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 7(a): number-of-basic-windows endpoints (merge-cost ablation).
+fn bench_fig7_basic_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_basic_windows");
+    g.sample_size(10);
+    for n in [4usize, 64, 1024] {
+        let cfg =
+            Q1Config { window: 65_536, step: 65_536 / n, selectivity: 0.2, windows: 3, seed: 42 };
+        g.bench_with_input(BenchmarkId::new("DataCell", format!("n={n}")), &cfg, |b, cfg| {
+            b.iter(|| run_q1(&Mode::DataCell, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 8: chunking ablation — m = 1 vs fixed m vs adaptive.
+fn bench_fig8_chunking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_chunking");
+    g.sample_size(10);
+    let cfg = Q1Config { window: 65_536, step: 1_024, selectivity: 0.2, windows: 5, seed: 42 };
+    for mode in [Mode::DataCell, Mode::Chunked(16), Mode::Adaptive { max_m: 64, probe_every: 2 }] {
+        g.bench_with_input(BenchmarkId::new(mode.label(), "W=65536"), &cfg, |b, cfg| {
+            b.iter(|| run_q1(&mode, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Fig 9: the three systems on the same Q2 workload (small and large).
+fn bench_fig9_systems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_vs_systemx");
+    g.sample_size(10);
+    for w in [1_024usize, 16_384] {
+        let cfg = Q2Config { window: w, step: w / 64, key_domain: 10_000, windows: 10, seed: 42 };
+        g.bench_with_input(BenchmarkId::new("SystemX", format!("W={w}")), &cfg, |b, cfg| {
+            b.iter(|| run_sysx_q2(cfg))
+        });
+        for mode in [Mode::DataCell, Mode::DataCellR] {
+            g.bench_with_input(BenchmarkId::new(mode.label(), format!("W={w}")), &cfg, |b, cfg| {
+                b.iter(|| run_q2(&mode, cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig4_q1,
+    bench_fig4_q2,
+    bench_fig5_selectivity,
+    bench_fig5_join_selectivity,
+    bench_fig6_window_size,
+    bench_fig6_landmark,
+    bench_fig7_basic_windows,
+    bench_fig8_chunking,
+    bench_fig9_systems,
+);
+criterion_main!(figures);

@@ -1,0 +1,67 @@
+//! Figure 4 — Basic Performance: per-window response time, DataCell vs
+//! DataCellR, for (a) single-stream Q1 and (b) multi-stream Q2.
+//!
+//! Paper parameters: Q1 |W| = 1.024e7, |w| = 2e4 (512 basic windows), 20%
+//! selectivity; Q2 |W| = 1.024e5, |w| = 1600 (64 basic windows); 20
+//! windows. Defaults here are 10× smaller for Q1 (pass `--paper` for full
+//! size); ratios (n, selectivity) are preserved.
+
+use datacell_bench::{fmt_duration, print_table, run_q1, run_q2, Args, Mode, Q1Config, Q2Config};
+
+fn main() {
+    let args = Args::parse();
+    let windows = args.windows.unwrap_or(20);
+
+    // -- (a) single-stream Q1 -------------------------------------------
+    let (w1, s1) = if args.paper {
+        (10_240_000, 20_000)
+    } else {
+        (args.sized(1_024_000, 5_120), args.sized(2_000, 10))
+    };
+    let q1 = Q1Config { window: w1, step: s1, selectivity: 0.2, windows, seed: args.seed };
+    println!(
+        "Figure 4(a): Q1 response time per window  (|W|={w1}, |w|={s1}, n={}, sel=20%)",
+        w1 / s1
+    );
+    let inc = run_q1(&Mode::DataCell, &q1);
+    let re = run_q1(&Mode::DataCellR, &q1);
+    let rows: Vec<Vec<String>> = (0..windows)
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                fmt_duration(re.per_window[i].total),
+                fmt_duration(inc.per_window[i].total),
+            ]
+        })
+        .collect();
+    print_table(&["window", "DataCellR", "DataCell"], &rows);
+
+    // -- (b) multi-stream Q2 ---------------------------------------------
+    let (w2, s2) = if args.paper {
+        (102_400, 1_600)
+    } else {
+        (args.sized(51_200, 640), args.sized(800, 10))
+    };
+    let q2 = Q2Config { window: w2, step: s2, key_domain: 10_000, windows, seed: args.seed };
+    println!(
+        "\nFigure 4(b): Q2 response time per window  (|W|={w2}, |w|={s2}, n={})",
+        w2 / s2
+    );
+    let inc = run_q2(&Mode::DataCell, &q2);
+    let re = run_q2(&Mode::DataCellR, &q2);
+    let rows: Vec<Vec<String>> = (0..windows)
+        .map(|i| {
+            vec![
+                (i + 1).to_string(),
+                fmt_duration(re.per_window[i].total),
+                fmt_duration(inc.per_window[i].total),
+            ]
+        })
+        .collect();
+    print_table(&["window", "DataCellR", "DataCell"], &rows);
+
+    println!(
+        "\nshape check: after the first window, DataCell should be far below \
+         DataCellR\n(first window: both must process the full |W|)."
+    );
+}

@@ -1,0 +1,85 @@
+//! Figure 7 — Decreasing step size (increasing number of basic windows),
+//! with the DataCell cost broken into *main plan* vs *merge* components.
+//!
+//! Paper: (a) Q1, |W| = 1.024e7, sel 20%, n ∈ {2..2048};
+//!        (b) Q2, |W| = 1.024e5, n ∈ {2..64}.
+
+use datacell_bench::{fmt_duration, print_table, run_q1, run_q2, Args, Mode, Q1Config, Q2Config};
+use std::time::Duration;
+
+fn steady(per_window: &[datacell_core::SlideMetrics]) -> (Duration, Duration, Duration) {
+    let s = &per_window[1.min(per_window.len().saturating_sub(1))..];
+    if s.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    }
+    let n = s.len() as u32;
+    (
+        s.iter().map(|m| m.total).sum::<Duration>() / n,
+        s.iter().map(|m| m.main_plan).sum::<Duration>() / n,
+        s.iter().map(|m| m.merge).sum::<Duration>() / n,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let windows = args.windows.unwrap_or(5);
+
+    // -- (a) Q1 ------------------------------------------------------------
+    let w1 = if args.paper { 10_240_000 } else { args.sized(1_024_000, 8_192) };
+    println!("Figure 7(a): Q1, vary #basic windows, |W| = {w1}, sel = 20%");
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048] {
+        if w1 % n != 0 {
+            continue;
+        }
+        let cfg = Q1Config { window: w1, step: w1 / n, selectivity: 0.2, windows, seed: args.seed };
+        let re = run_q1(&Mode::DataCellR, &cfg);
+        let inc = run_q1(&Mode::DataCell, &cfg);
+        let (total, main, merge) = steady(&inc.per_window);
+        let (rt, _, _) = steady(&re.per_window);
+        rows.push(vec![
+            n.to_string(),
+            fmt_duration(rt),
+            fmt_duration(total),
+            fmt_duration(main),
+            fmt_duration(merge),
+        ]);
+    }
+    print_table(
+        &["n", "DataCellR(total)", "DataCell(total)", "DataCell(main plan)", "DataCell(merge)"],
+        &rows,
+    );
+
+    // -- (b) Q2 ------------------------------------------------------------
+    let w2 = if args.paper { 102_400 } else { args.sized(51_200, 4_096) };
+    println!("\nFigure 7(b): Q2, vary #basic windows, |W| = {w2}");
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        if w2 % n != 0 {
+            continue;
+        }
+        let cfg =
+            Q2Config { window: w2, step: w2 / n, key_domain: 10_000, windows, seed: args.seed };
+        let re = run_q2(&Mode::DataCellR, &cfg);
+        let inc = run_q2(&Mode::DataCell, &cfg);
+        let (total, main, merge) = steady(&inc.per_window);
+        let (rt, _, _) = steady(&re.per_window);
+        rows.push(vec![
+            n.to_string(),
+            fmt_duration(rt),
+            fmt_duration(total),
+            fmt_duration(main),
+            fmt_duration(merge),
+        ]);
+    }
+    print_table(
+        &["n", "DataCellR(total)", "DataCell(total)", "DataCell(main plan)", "DataCell(merge)"],
+        &rows,
+    );
+
+    println!(
+        "\nshape check: (a) total drops as n grows, then flattens; merge stays \
+         negligible,\nwith a small rise at very large n (operator-call overhead). \
+         (b) merge dominates\nonce the per-step join work becomes small."
+    );
+}

@@ -1,0 +1,60 @@
+//! Plain-text table rendering for the figure harnesses.
+
+use std::time::Duration;
+
+/// Format a duration in adaptive units (µs/ms/s) with 3 significant-ish
+/// digits, the way the harness tables print timings.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+/// Print an aligned table: header row + data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0us");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(3200)), "3.200s");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "beta"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Self-adapting chunk-count controller (the paper's *Optimized
+//! Incremental Plans*, §3 and Fig. 8).
+//!
+//! Instead of waiting for a full basic window of `|w|` tuples, the factory
+//! can process the accumulating basic window in `m` chunks of `|v| = |w|/m`
+//! tuples, so that when the last tuple arrives only one chunk of work
+//! remains. Larger `m` shrinks the post-arrival processing but grows the
+//! chunk-merging overhead, and "analytical models with reasonable accuracy
+//! \[are\] hardly feasible" — so the controller probes: start at `m = 1`,
+//! double `m` every few slides while the measured response time improves,
+//! and when it degrades, settle on the best `m` seen.
+
+use std::time::Duration;
+
+/// Probing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Still increasing `m`.
+    Probing,
+    /// Settled on the best `m`.
+    Settled,
+}
+
+/// The adaptive `m` controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChunker {
+    m: usize,
+    max_m: usize,
+    probe_every: usize,
+    samples: Vec<Duration>,
+    /// Best (m, mean response) observed so far.
+    best: Option<(usize, Duration)>,
+    phase: Phase,
+    history: Vec<(usize, Duration)>,
+}
+
+impl AdaptiveChunker {
+    /// A controller probing `m = 1, 2, 4, ...` up to `max_m`, re-deciding
+    /// every `probe_every` observed slides (the paper uses 5).
+    pub fn new(max_m: usize, probe_every: usize) -> AdaptiveChunker {
+        AdaptiveChunker {
+            m: 1,
+            max_m: max_m.max(1),
+            probe_every: probe_every.max(1),
+            samples: Vec::new(),
+            best: None,
+            phase: Phase::Probing,
+            history: Vec::new(),
+        }
+    }
+
+    /// Fix `m` permanently (no adaptation) — used by harnesses that sweep
+    /// `m` explicitly.
+    pub fn fixed(m: usize) -> AdaptiveChunker {
+        AdaptiveChunker {
+            m: m.max(1),
+            max_m: m.max(1),
+            probe_every: usize::MAX,
+            samples: Vec::new(),
+            best: None,
+            phase: Phase::Settled,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current chunk count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Has the controller stopped probing?
+    pub fn settled(&self) -> bool {
+        self.phase == Phase::Settled
+    }
+
+    /// The `(m, mean response time)` trail of completed probe phases.
+    pub fn history(&self) -> &[(usize, Duration)] {
+        &self.history
+    }
+
+    /// Record the response time of one completed slide. Returns the `m` to
+    /// use for the *next* basic window (possibly unchanged).
+    pub fn observe(&mut self, response: Duration) -> usize {
+        if self.phase == Phase::Settled {
+            return self.m;
+        }
+        self.samples.push(response);
+        if self.samples.len() < self.probe_every {
+            return self.m;
+        }
+        // Probe phase for this m complete: decide.
+        let mean = mean(&self.samples);
+        self.history.push((self.m, mean));
+        self.samples.clear();
+        match self.best {
+            None => {
+                self.best = Some((self.m, mean));
+                self.advance();
+            }
+            Some((_, best_mean)) if mean < best_mean => {
+                self.best = Some((self.m, mean));
+                self.advance();
+            }
+            Some((best_m, _)) => {
+                // Response time degraded: revert to the best m and settle
+                // (paper: "we stop increasing m and reset it to the value
+                // that resulted in the minimal response time").
+                self.m = best_m;
+                self.phase = Phase::Settled;
+            }
+        }
+        self.m
+    }
+
+    fn advance(&mut self) {
+        if self.m >= self.max_m {
+            // Reached the ceiling without degradation: stay at best.
+            self.phase = Phase::Settled;
+        } else {
+            self.m *= 2;
+        }
+    }
+}
+
+fn mean(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.iter().sum::<Duration>() / samples.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn doubles_while_improving_then_reverts() {
+        let mut c = AdaptiveChunker::new(1024, 2);
+        // m=1: 100ms -> advance to 2
+        assert_eq!(c.observe(ms(100)), 1);
+        assert_eq!(c.observe(ms(100)), 2);
+        // m=2: 60ms -> 4
+        c.observe(ms(60));
+        assert_eq!(c.observe(ms(60)), 4);
+        // m=4: 40ms -> 8
+        c.observe(ms(40));
+        assert_eq!(c.observe(ms(40)), 8);
+        // m=8: 70ms (worse) -> revert to 4, settle
+        c.observe(ms(70));
+        assert_eq!(c.observe(ms(70)), 4);
+        assert!(c.settled());
+        // Further observations are ignored.
+        assert_eq!(c.observe(ms(1)), 4);
+        // History recorded each probe phase.
+        let ms_hist: Vec<usize> = c.history().iter().map(|(m, _)| *m).collect();
+        assert_eq!(ms_hist, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stops_at_max_m() {
+        let mut c = AdaptiveChunker::new(4, 1);
+        assert_eq!(c.observe(ms(100)), 2); // 1 -> 2
+        assert_eq!(c.observe(ms(90)), 4); // 2 -> 4
+        assert_eq!(c.observe(ms(80)), 4); // at ceiling: settle
+        assert!(c.settled());
+        assert_eq!(c.m(), 4);
+    }
+
+    #[test]
+    fn fixed_never_adapts() {
+        let mut c = AdaptiveChunker::fixed(16);
+        assert_eq!(c.m(), 16);
+        assert!(c.settled());
+        assert_eq!(c.observe(ms(1)), 16);
+        assert_eq!(c.observe(ms(1000)), 16);
+    }
+
+    #[test]
+    fn equal_means_settle() {
+        let mut c = AdaptiveChunker::new(1024, 1);
+        assert_eq!(c.observe(ms(50)), 2);
+        // Equal (not better) -> revert to 1 and settle.
+        assert_eq!(c.observe(ms(50)), 1);
+        assert!(c.settled());
+    }
+
+    #[test]
+    fn probe_every_window() {
+        let mut c = AdaptiveChunker::new(8, 3);
+        assert_eq!(c.observe(ms(10)), 1);
+        assert_eq!(c.observe(ms(10)), 1);
+        assert_eq!(c.observe(ms(10)), 2); // third sample completes the phase
+    }
+}

@@ -1,0 +1,533 @@
+//! The DataCell engine facade.
+//!
+//! Ties the whole architecture of Fig. 1 together: streams enter baskets
+//! via [`Engine::append`] (or receptors feeding the shared baskets
+//! directly), continuous queries register as factories with the Petri-net
+//! scheduler, the scheduler fires them as windows fill, and window results
+//! accumulate per query until drained (the emitter side).
+
+use crate::error::DataCellError;
+use crate::factory::incremental::IncrementalFactory;
+use crate::factory::reeval::ReevalFactory;
+use crate::factory::StreamInput;
+use crate::metrics::SlideMetrics;
+use crate::rewrite::{rewrite, IncrementalPlan};
+use crate::scheduler::Scheduler;
+use crate::adaptive::AdaptiveChunker;
+use datacell_basket::{Basket, SharedBasket, Timestamp};
+use datacell_kernel::{Catalog, Column, DataType, Table};
+use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
+use std::collections::HashMap;
+
+/// Identifier of a registered continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub usize);
+
+/// Which execution strategy a continuous query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Incremental plan rewriting (DataCell proper).
+    Incremental,
+    /// Full re-evaluation per slide (the DataCellR baseline).
+    Reevaluation,
+}
+
+/// Options for query registration.
+#[derive(Debug, Clone)]
+pub struct RegisterOptions {
+    /// Execution strategy.
+    pub mode: ExecMode,
+    /// Enable the m-chunk optimization with this controller
+    /// (incremental single-stream count-sliding queries only).
+    pub chunker: Option<AdaptiveChunker>,
+}
+
+impl Default for RegisterOptions {
+    fn default() -> Self {
+        RegisterOptions { mode: ExecMode::Incremental, chunker: None }
+    }
+}
+
+/// The engine: baskets + catalog + scheduler + per-query outputs.
+#[derive(Default)]
+pub struct Engine {
+    baskets: HashMap<String, SharedBasket>,
+    catalog: Catalog,
+    scheduler: Scheduler,
+    outputs: HashMap<usize, Vec<ResultSet>>,
+    clock: Timestamp,
+}
+
+impl Engine {
+    /// A fresh engine.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    // -- streams and tables ------------------------------------------------
+
+    /// Register an input stream with its schema.
+    pub fn create_stream(
+        &mut self,
+        name: &str,
+        schema: &[(&str, DataType)],
+    ) -> Result<(), DataCellError> {
+        if self.baskets.contains_key(name) {
+            return Err(DataCellError::AlreadyExists(name.to_owned()));
+        }
+        self.baskets
+            .insert(name.to_owned(), SharedBasket::new(Basket::new(name, schema)));
+        Ok(())
+    }
+
+    /// Register a persistent table.
+    pub fn create_table(&mut self, table: Table) -> Result<(), DataCellError> {
+        self.catalog.create_table(table)?;
+        Ok(())
+    }
+
+    /// The persistent catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (loading data into tables).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The shared basket of a stream (receptors feed through this handle).
+    pub fn basket(&self, stream: &str) -> Result<SharedBasket, DataCellError> {
+        self.baskets
+            .get(stream)
+            .cloned()
+            .ok_or_else(|| DataCellError::UnknownStream(stream.to_owned()))
+    }
+
+    /// Append a batch of columns to a stream, stamped with the current
+    /// engine clock.
+    pub fn append(&mut self, stream: &str, batch: &[Column]) -> Result<(), DataCellError> {
+        let b = self.basket(stream)?;
+        b.append(batch, self.clock)?;
+        Ok(())
+    }
+
+    /// Append with an explicit arrival timestamp (also advances the clock).
+    pub fn append_at(
+        &mut self,
+        stream: &str,
+        batch: &[Column],
+        at: Timestamp,
+    ) -> Result<(), DataCellError> {
+        let b = self.basket(stream)?;
+        b.append(batch, at)?;
+        if at > self.clock {
+            self.clock = at;
+        }
+        Ok(())
+    }
+
+    /// The engine clock (logical milliseconds).
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// Advance the engine clock (drives time-based windows).
+    pub fn advance_clock(&mut self, to: Timestamp) {
+        if to > self.clock {
+            self.clock = to;
+        }
+    }
+
+    // -- query registration --------------------------------------------------
+
+    /// Register a continuous query from SQL text (window clause required).
+    pub fn register_sql(&mut self, sql: &str) -> Result<QueryId, DataCellError> {
+        self.register_sql_with(sql, RegisterOptions::default())
+    }
+
+    /// Register a continuous query from SQL with explicit options.
+    pub fn register_sql_with(
+        &mut self,
+        sql: &str,
+        opts: RegisterOptions,
+    ) -> Result<QueryId, DataCellError> {
+        let q = datacell_sql::parse(sql)?;
+        let window = q.window.ok_or_else(|| {
+            DataCellError::Unsupported(
+                "continuous queries need a WINDOW clause (e.g. WINDOW SIZE 100 SLIDE 10)".into(),
+            )
+        })?;
+        self.register_cq(q.plan, window, opts)
+    }
+
+    /// Register a continuous query from a logical plan.
+    pub fn register_cq(
+        &mut self,
+        plan: LogicalPlan,
+        window: WindowSpec,
+        opts: RegisterOptions,
+    ) -> Result<QueryId, DataCellError> {
+        // The SQL front-end is schema-unaware: FROM sources arrive as
+        // stream scans. Rewrite scans of catalog tables into table scans.
+        let plan = self.resolve_sources(plan);
+        let plan = optimize(plan);
+        let mal = compile(&plan)?;
+        // Validate stream references and build inputs in plan order.
+        let mut inputs = Vec::new();
+        for s in &mal.streams {
+            let basket = self
+                .baskets
+                .get(s)
+                .cloned()
+                .ok_or_else(|| DataCellError::UnknownStream(s.clone()))?;
+            inputs.push(StreamInput::new(s.clone(), basket));
+        }
+        if inputs.is_empty() {
+            return Err(DataCellError::Unsupported(
+                "continuous queries must read at least one stream".into(),
+            ));
+        }
+        let tables = self.table_snapshot(&mal)?;
+        let label = format!("q{}", self.outputs.len());
+        let id = match opts.mode {
+            ExecMode::Incremental => {
+                let inc: IncrementalPlan = rewrite(&mal)?;
+                let f = IncrementalFactory::new(label, inc, window, inputs, tables, opts.chunker)?;
+                self.scheduler.register(Box::new(f))
+            }
+            ExecMode::Reevaluation => {
+                let f = ReevalFactory::new(label, mal, window, inputs, tables)?;
+                self.scheduler.register(Box::new(f))
+            }
+        };
+        self.outputs.insert(id, Vec::new());
+        Ok(QueryId(id))
+    }
+
+    /// Rewrite `ScanStream` nodes naming catalog tables into `ScanTable`
+    /// nodes. Registered streams shadow tables of the same name.
+    fn resolve_sources(&self, plan: LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::ScanStream { stream }
+                if !self.baskets.contains_key(&stream)
+                    && self.catalog.table(&stream).is_ok() =>
+            {
+                LogicalPlan::ScanTable { table: stream }
+            }
+            LogicalPlan::Filter { input, column, pred } => LogicalPlan::Filter {
+                input: Box::new(self.resolve_sources(*input)),
+                column,
+                pred,
+            },
+            LogicalPlan::Join { left, right, left_on, right_on } => LogicalPlan::Join {
+                left: Box::new(self.resolve_sources(*left)),
+                right: Box::new(self.resolve_sources(*right)),
+                left_on,
+                right_on,
+            },
+            LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+                input: Box::new(self.resolve_sources(*input)),
+                group_by,
+                aggs,
+            },
+            LogicalPlan::Project { input, columns } => {
+                LogicalPlan::Project { input: Box::new(self.resolve_sources(*input)), columns }
+            }
+            LogicalPlan::Distinct { input } => {
+                LogicalPlan::Distinct { input: Box::new(self.resolve_sources(*input)) }
+            }
+            LogicalPlan::OrderBy { input, column, desc } => LogicalPlan::OrderBy {
+                input: Box::new(self.resolve_sources(*input)),
+                column,
+                desc,
+            },
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(self.resolve_sources(*input)), n }
+            }
+            leaf => leaf,
+        }
+    }
+
+    /// Snapshot the persistent tables a plan binds (table contents are
+    /// frozen at registration; re-register after bulk reloads).
+    fn table_snapshot(&self, mal: &MalPlan) -> Result<HashMap<String, Table>, DataCellError> {
+        let mut tables = HashMap::new();
+        for ins in &mal.instrs {
+            if let MalOp::BindTable { table, .. } = &ins.op {
+                if !tables.contains_key(table) {
+                    tables.insert(table.clone(), self.catalog.table(table)?.clone());
+                }
+            }
+        }
+        Ok(tables)
+    }
+
+    /// Drop a continuous query.
+    pub fn deregister(&mut self, q: QueryId) -> Result<(), DataCellError> {
+        self.scheduler.deregister(q.0)?;
+        self.outputs.remove(&q.0);
+        Ok(())
+    }
+
+    // -- execution ---------------------------------------------------------
+
+    /// Run the scheduler until no factory is enabled; results accumulate
+    /// per query. Expired basket prefixes are garbage collected.
+    pub fn run_until_idle(&mut self) -> Result<(), DataCellError> {
+        let emissions = self.scheduler.run_until_idle(self.clock)?;
+        for e in emissions {
+            self.outputs.entry(e.factory).or_default().push(e.result);
+        }
+        self.gc();
+        Ok(())
+    }
+
+    /// Expire basket prefixes every factory has consumed.
+    fn gc(&mut self) {
+        for (name, basket) in &self.baskets {
+            if let Some(upto) = self.scheduler.min_consumed(name) {
+                basket.with(|b| b.expire_upto(upto));
+            }
+        }
+    }
+
+    /// Take all window results produced by a query since the last drain.
+    pub fn drain_results(&mut self, q: QueryId) -> Result<Vec<ResultSet>, DataCellError> {
+        self.outputs
+            .get_mut(&q.0)
+            .map(std::mem::take)
+            .ok_or(DataCellError::UnknownQuery(q.0))
+    }
+
+    /// Per-slide metrics of a query.
+    pub fn metrics(&self, q: QueryId) -> Result<&[SlideMetrics], DataCellError> {
+        Ok(self.scheduler.factory(q.0)?.metrics())
+    }
+
+    /// Resident tuple count of a stream's basket (tests/monitoring).
+    pub fn basket_len(&self, stream: &str) -> Result<usize, DataCellError> {
+        Ok(self.basket(stream)?.len())
+    }
+
+    /// The adaptive chunker's probe trail of a query, when it runs chunked.
+    pub fn chunker_history(
+        &self,
+        q: QueryId,
+    ) -> Result<Option<Vec<(usize, std::time::Duration)>>, DataCellError> {
+        Ok(self.scheduler.factory(q.0)?.chunker_history())
+    }
+
+    /// EXPLAIN: show all three plan levels for a continuous query — the
+    /// optimized logical plan, the normal MAL program the one-shot executor
+    /// would run (DataCellR), and the incremental classification the
+    /// rewriter produces (DataCell). Does not register anything.
+    pub fn explain_sql(&self, sql: &str) -> Result<String, DataCellError> {
+        let q = datacell_sql::parse(sql)?;
+        let plan = optimize(self.resolve_sources(q.plan));
+        let mal = compile(&plan)?;
+        let mut out = String::new();
+        out.push_str("== logical plan ==\n");
+        out.push_str(&plan.explain());
+        out.push_str("\n== normal (re-evaluation) MAL plan ==\n");
+        out.push_str(&mal.explain());
+        out.push_str("\n== incremental plan ==\n");
+        match rewrite(&mal) {
+            Ok(inc) => out.push_str(&inc.explain()),
+            Err(e) => out.push_str(&format!("(not incrementally executable: {e})\n")),
+        }
+        if let Some(w) = q.window {
+            out.push_str(&format!("\nwindow: {w:?}\n"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_kernel::Value;
+
+    fn engine_with_stream() -> Engine {
+        let mut e = Engine::new();
+        e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+        e
+    }
+
+    #[test]
+    fn end_to_end_sql_incremental() {
+        let mut e = engine_with_stream();
+        let q = e
+            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 2")
+            .unwrap();
+        e.append("s", &[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])])
+            .unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(5)]]);
+        assert_eq!(out[1].rows(), vec![vec![Value::Int(8)]]);
+        // Drained: second drain is empty.
+        assert!(e.drain_results(q).unwrap().is_empty());
+        // Metrics recorded.
+        assert_eq!(e.metrics(q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn incremental_and_reeval_agree() {
+        let mut e = engine_with_stream();
+        let qi = e
+            .register_sql("SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 6 SLIDE 2")
+            .unwrap();
+        let qr = e
+            .register_sql_with(
+                "SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 6 SLIDE 2",
+                RegisterOptions { mode: ExecMode::Reevaluation, chunker: None },
+            )
+            .unwrap();
+        let xs: Vec<i64> = (0..20).map(|i| i % 5).collect();
+        let ys: Vec<i64> = (0..20).collect();
+        e.append("s", &[Column::Int(xs), Column::Int(ys)]).unwrap();
+        e.run_until_idle().unwrap();
+        let ri = e.drain_results(qi).unwrap();
+        let rr = e.drain_results(qr).unwrap();
+        assert_eq!(ri.len(), rr.len());
+        assert!(!ri.is_empty());
+        for (a, b) in ri.iter().zip(&rr) {
+            assert_eq!(a.sorted_rows(), b.sorted_rows());
+        }
+    }
+
+    #[test]
+    fn multiple_queries_share_basket_gc_respects_slowest() {
+        let mut e = engine_with_stream();
+        let _q1 = e
+            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2")
+            .unwrap();
+        let _q2 = e
+            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 8 SLIDE 4")
+            .unwrap();
+        e.append("s", &[Column::Int(vec![1; 6]), Column::Int(vec![1; 6])]).unwrap();
+        e.run_until_idle().unwrap();
+        // q1 consumed 6 (3 windows of 2); q2 consumed 4 (one step of 4,
+        // waiting for more). GC must keep the 2 tuples q2 hasn't seen.
+        assert_eq!(e.basket_len("s").unwrap(), 2);
+    }
+
+    #[test]
+    fn deregistered_query_frees_gc() {
+        let mut e = engine_with_stream();
+        let q1 = e
+            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 100 SLIDE 100")
+            .unwrap();
+        e.append("s", &[Column::Int(vec![1; 5]), Column::Int(vec![1; 5])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.basket_len("s").unwrap(), 5); // q1 waits for 100
+        e.deregister(q1).unwrap();
+        e.run_until_idle().unwrap();
+        // No factory reads s anymore; GC has no bound -> basket retained.
+        // (Streams without readers keep data until a reader registers.)
+        assert_eq!(e.basket_len("s").unwrap(), 5);
+        assert!(e.drain_results(q1).is_err());
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut e = Engine::new();
+        let err = e.register_sql("SELECT sum(x) FROM ghost WINDOW SIZE 2 SLIDE 1");
+        assert!(matches!(err, Err(DataCellError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn missing_window_clause_rejected() {
+        let mut e = engine_with_stream();
+        let err = e.register_sql("SELECT sum(x2) FROM s");
+        assert!(matches!(err, Err(DataCellError::Unsupported(_))));
+    }
+
+    #[test]
+    fn duplicate_stream_rejected() {
+        let mut e = engine_with_stream();
+        assert!(matches!(
+            e.create_stream("s", &[("x", DataType::Int)]),
+            Err(DataCellError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn stream_table_join_query() {
+        let mut e = engine_with_stream();
+        let mut dim = Table::new("dim", &[("k", DataType::Int), ("w", DataType::Int)]);
+        dim.append(&[Column::Int(vec![1, 2]), Column::Int(vec![100, 200])]).unwrap();
+        e.create_table(dim).unwrap();
+        let q = e
+            .register_sql(
+                "SELECT sum(dim.w) FROM s, dim WHERE s.x1 = dim.k WINDOW SIZE 2 SLIDE 2",
+            )
+            .unwrap();
+        e.append("s", &[Column::Int(vec![1, 3, 2, 2]), Column::Int(vec![0; 4])]).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(100)]]); // k=1 matched
+        assert_eq!(out[1].rows(), vec![vec![Value::Int(400)]]); // k=2 twice
+    }
+
+    #[test]
+    fn time_based_query_driven_by_clock() {
+        let mut e = engine_with_stream();
+        let q = e
+            .register_sql("SELECT count(x1) FROM s WINDOW RANGE 20 MS SLIDE 10 MS")
+            .unwrap();
+        e.append_at("s", &[Column::Int(vec![1, 2]), Column::Int(vec![0, 0])], 5).unwrap();
+        e.append_at("s", &[Column::Int(vec![3]), Column::Int(vec![0])], 15).unwrap();
+        e.run_until_idle().unwrap();
+        assert!(e.drain_results(q).unwrap().is_empty()); // clock at 15 < 20
+        e.advance_clock(20);
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn explain_sql_shows_all_levels() {
+        let e = engine_with_stream();
+        let text = e
+            .explain_sql("SELECT x1, sum(x2) FROM s WHERE x1 > 10 GROUP BY x1 WINDOW SIZE 100 SLIDE 10")
+            .unwrap();
+        assert!(text.contains("== logical plan =="));
+        assert!(text.contains("basket.bind(s, x1)"));
+        assert!(text.contains("== incremental plan =="));
+        assert!(text.contains("per-bw[0]"));
+        assert!(text.contains("CountSliding"));
+        // Unregisterable-but-parsable queries still explain the failure.
+        let mut e2 = Engine::new();
+        for s in ["a", "b"] {
+            e2.create_stream(s, &[("k", DataType::Int)]).unwrap();
+        }
+        let t2 = e2
+            .explain_sql("SELECT count(a.k) FROM a, b WHERE a.k = b.k WINDOW SIZE 4 SLIDE 2")
+            .unwrap();
+        assert!(t2.contains("per-cell"));
+    }
+
+    #[test]
+    fn chunked_registration_via_options() {
+        let mut e = engine_with_stream();
+        let q = e
+            .register_sql_with(
+                "SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 8 SLIDE 4",
+                RegisterOptions {
+                    mode: ExecMode::Incremental,
+                    chunker: Some(AdaptiveChunker::fixed(2)),
+                },
+            )
+            .unwrap();
+        e.append("s", &[Column::Int(vec![1; 16]), Column::Int(vec![2; 16])]).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 3); // windows ending at 8, 12, 16
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(16)]]);
+    }
+}

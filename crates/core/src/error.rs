@@ -1,0 +1,87 @@
+//! Engine-level errors.
+
+use datacell_basket::BasketError;
+use datacell_kernel::KernelError;
+use datacell_plan::PlanError;
+use datacell_sql::SqlError;
+use std::fmt;
+
+/// Errors raised by the DataCell engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataCellError {
+    /// A stream used by a query is not registered.
+    UnknownStream(String),
+    /// A stream/table with this name already exists.
+    AlreadyExists(String),
+    /// The query shape cannot be processed incrementally (and the caller
+    /// asked for incremental mode).
+    Unsupported(String),
+    /// A query id that does not exist (or was deregistered).
+    UnknownQuery(usize),
+    /// Error from the plan layer.
+    Plan(PlanError),
+    /// Error from the basket layer.
+    Basket(BasketError),
+    /// Error from the kernel.
+    Kernel(KernelError),
+    /// Error from the SQL front-end.
+    Sql(String),
+}
+
+impl fmt::Display for DataCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataCellError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            DataCellError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            DataCellError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DataCellError::UnknownQuery(q) => write!(f, "unknown query id: {q}"),
+            DataCellError::Plan(e) => write!(f, "plan: {e}"),
+            DataCellError::Basket(e) => write!(f, "basket: {e}"),
+            DataCellError::Kernel(e) => write!(f, "kernel: {e}"),
+            DataCellError::Sql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataCellError {}
+
+impl From<PlanError> for DataCellError {
+    fn from(e: PlanError) -> Self {
+        DataCellError::Plan(e)
+    }
+}
+
+impl From<BasketError> for DataCellError {
+    fn from(e: BasketError) -> Self {
+        DataCellError::Basket(e)
+    }
+}
+
+impl From<KernelError> for DataCellError {
+    fn from(e: KernelError) -> Self {
+        DataCellError::Kernel(e)
+    }
+}
+
+impl From<SqlError> for DataCellError {
+    fn from(e: SqlError) -> Self {
+        DataCellError::Sql(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(DataCellError::UnknownStream("s".into()).to_string(), "unknown stream: s");
+        assert_eq!(DataCellError::UnknownQuery(3).to_string(), "unknown query id: 3");
+        let e: DataCellError = PlanError::UnknownColumn("x".into()).into();
+        assert!(matches!(e, DataCellError::Plan(_)));
+        let e: DataCellError = BasketError::UnknownColumn("x".into()).into();
+        assert!(matches!(e, DataCellError::Basket(_)));
+        let e: DataCellError = KernelError::NotFound("x".into()).into();
+        assert!(matches!(e, DataCellError::Kernel(_)));
+    }
+}

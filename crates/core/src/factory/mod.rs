@@ -1,0 +1,199 @@
+//! Factories: continuous query plans as resumable state machines.
+//!
+//! "Continuous query plans are represented by factories, i.e., a kind of
+//! co-routine [...] Each factory encloses a (partial) query plan and
+//! produces a partial result at each call. [...] The factory remains active
+//! as long as the continuous query remains in the system." (paper §2)
+//!
+//! Rust has no native co-routines; a factory is a state machine whose
+//! `fire` method is one resumption: it consumes the next batch of input
+//! from its baskets, advances its internal state (rings of intermediates
+//! for the incremental factory, buffered windows for re-evaluation), and
+//! possibly emits a window result.
+
+pub mod incremental;
+pub mod reeval;
+
+use crate::error::DataCellError;
+use crate::metrics::SlideMetrics;
+use datacell_basket::{BasicWindow, SharedBasket, Timestamp};
+use datacell_kernel::{Oid, Table};
+use datacell_plan::exec::ExecCtx;
+use datacell_plan::ResultSet;
+use std::collections::HashMap;
+
+/// What one `fire` call produced.
+#[derive(Debug)]
+pub enum FireOutcome {
+    /// A complete window result.
+    Produced {
+        /// The window's rows.
+        result: ResultSet,
+        /// Timings for this slide.
+        metrics: SlideMetrics,
+    },
+    /// Input was consumed (preface basic window or chunk) but the window
+    /// is not complete yet.
+    Progressed,
+    /// The firing condition does not hold (insufficient input).
+    NotReady,
+}
+
+/// A standing continuous query plan.
+pub trait Factory: Send {
+    /// Human-readable name (for scheduler introspection).
+    fn label(&self) -> &str;
+    /// Petri-net firing condition: is there enough input (or has enough
+    /// time passed) for one more step?
+    fn ready(&self, clock: Timestamp) -> bool;
+    /// Execute one step.
+    fn fire(&mut self, clock: Timestamp) -> Result<FireOutcome, DataCellError>;
+    /// How far this factory has consumed a stream (for basket expiry).
+    /// `None` when the stream is not an input of this factory.
+    fn consumed_upto(&self, stream: &str) -> Option<Oid>;
+    /// The input streams.
+    fn input_streams(&self) -> Vec<String>;
+    /// Per-slide metrics recorded so far.
+    fn metrics(&self) -> &[SlideMetrics];
+    /// The adaptive chunker's `(m, mean response)` probe trail, when the
+    /// factory runs with chunked processing (None otherwise).
+    fn chunker_history(&self) -> Option<Vec<(usize, std::time::Duration)>> {
+        None
+    }
+}
+
+/// One input stream endpoint: the shared basket plus the factory's private
+/// consumption cursor. Several factories can read the same basket at
+/// different positions; the engine expires tuples below the minimum cursor.
+#[derive(Debug, Clone)]
+pub struct StreamInput {
+    /// Stream name.
+    pub name: String,
+    /// The shared basket.
+    pub basket: SharedBasket,
+    /// Next unconsumed oid.
+    pub consumed: Oid,
+}
+
+impl StreamInput {
+    /// Wrap a basket starting at its current end (factories registered
+    /// mid-stream only see future tuples) or at 0 for fresh baskets.
+    pub fn new(name: impl Into<String>, basket: SharedBasket) -> StreamInput {
+        let consumed = basket.with(|b| b.base_oid());
+        StreamInput { name: name.into(), basket, consumed }
+    }
+
+    /// Tuples available beyond the cursor.
+    pub fn available(&self) -> usize {
+        self.basket.with(|b| b.available_from(self.consumed))
+    }
+
+    /// Read and consume exactly `count` tuples.
+    pub fn take(&mut self, count: usize) -> Result<BasicWindow, DataCellError> {
+        let w = self.basket.with(|b| b.read_range(self.consumed, count))?;
+        self.consumed += count as u64;
+        Ok(w)
+    }
+
+    /// Read and consume every tuple with arrival timestamp `< until`.
+    pub fn take_until_ts(&mut self, until: Timestamp) -> Result<BasicWindow, DataCellError> {
+        let w = self.basket.with(|b| b.read_until_ts(self.consumed, until))?;
+        self.consumed = w.end_oid();
+        Ok(w)
+    }
+}
+
+/// Execution context exposing owned windows and a table snapshot — used by
+/// the re-evaluation factory (whole windows) and the incremental factory
+/// (one basic window at a time, plus statics at registration).
+#[derive(Debug, Default)]
+pub struct SnapshotCtx {
+    windows: HashMap<String, BasicWindow>,
+    tables: HashMap<String, Table>,
+}
+
+impl SnapshotCtx {
+    /// Empty context.
+    pub fn new() -> SnapshotCtx {
+        SnapshotCtx::default()
+    }
+
+    /// Insert a stream window.
+    pub fn set_window(&mut self, stream: impl Into<String>, w: BasicWindow) {
+        self.windows.insert(stream.into(), w);
+    }
+
+    /// Insert a table snapshot.
+    pub fn set_table(&mut self, t: Table) {
+        self.tables.insert(t.name().to_owned(), t);
+    }
+}
+
+impl ExecCtx for SnapshotCtx {
+    fn stream_window(&self, stream: &str) -> Option<&BasicWindow> {
+        self.windows.get(stream)
+    }
+
+    fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_basket::Basket;
+    use datacell_kernel::{Column, DataType};
+
+    fn shared() -> SharedBasket {
+        SharedBasket::new(Basket::new("s", &[("x", DataType::Int)]))
+    }
+
+    #[test]
+    fn stream_input_take_advances_cursor() {
+        let b = shared();
+        b.append(&[Column::Int(vec![1, 2, 3])], 0).unwrap();
+        let mut si = StreamInput::new("s", b.clone());
+        assert_eq!(si.available(), 3);
+        let w = si.take(2).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(si.available(), 1);
+        assert_eq!(si.consumed, 2);
+        assert!(si.take(2).is_err()); // only 1 left
+    }
+
+    #[test]
+    fn stream_input_take_until_ts() {
+        let b = shared();
+        b.append(&[Column::Int(vec![1])], 10).unwrap();
+        b.append(&[Column::Int(vec![2])], 20).unwrap();
+        let mut si = StreamInput::new("s", b);
+        let w = si.take_until_ts(15).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(si.consumed, 1);
+        let w = si.take_until_ts(15).unwrap(); // nothing new before 15
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stream_input_starts_at_base_oid() {
+        let b = shared();
+        b.append(&[Column::Int(vec![1, 2])], 0).unwrap();
+        b.with(|bk| bk.expire_upto(1));
+        let si = StreamInput::new("s", b);
+        assert_eq!(si.consumed, 1);
+    }
+
+    #[test]
+    fn snapshot_ctx_lookup() {
+        let mut ctx = SnapshotCtx::new();
+        let w = BasicWindow::new(0, vec![Column::Int(vec![1])], vec![0], vec!["x".into()]);
+        ctx.set_window("s", w);
+        let t = Table::new("dim", &[("k", DataType::Int)]);
+        ctx.set_table(t);
+        assert!(ctx.stream_window("s").is_some());
+        assert!(ctx.stream_window("zz").is_none());
+        assert!(ctx.table("dim").is_some());
+        assert!(ctx.table("zz").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! # datacell-core
+//!
+//! The DataCell engine — the primary contribution of *"Enhanced Stream
+//! Processing in a DBMS Kernel"* (EDBT 2013): incremental sliding-window
+//! processing obtained by **query plan rewriting** on top of an unmodified
+//! column-store kernel.
+//!
+//! Components (paper section in parentheses):
+//!
+//! * [`rewrite`](mod@rewrite) — the incremental plan rewriter (§3): splits the window
+//!   into basic windows, replicates plan fragments, inserts `concat` +
+//!   compensating actions, classifies join flows into n×n matrices;
+//! * [`merge`] — the compensation machinery shared by window merges, chunk
+//!   folds and landmark folds;
+//! * [`factory`] — continuous query plans as resumable state machines
+//!   (§2): [`factory::incremental::IncrementalFactory`] (Algorithm 2) and
+//!   [`factory::reeval::ReevalFactory`] (Algorithm 1, the DataCellR
+//!   baseline);
+//! * [`adaptive`] — the self-adapting m-chunk controller (§3, Fig. 8);
+//! * [`scheduler`] — the Petri-net scheduler (§2);
+//! * [`engine`] — the facade tying baskets, catalog, factories, scheduler
+//!   and result delivery together (Fig. 1).
+
+pub mod adaptive;
+pub mod engine;
+pub mod error;
+pub mod factory;
+pub mod merge;
+pub mod metrics;
+pub mod rewrite;
+pub mod scheduler;
+
+pub use adaptive::AdaptiveChunker;
+pub use engine::{Engine, ExecMode, QueryId, RegisterOptions};
+pub use error::DataCellError;
+pub use factory::incremental::IncrementalFactory;
+pub use factory::reeval::ReevalFactory;
+pub use factory::{Factory, FireOutcome, StreamInput};
+pub use metrics::{summarize, MetricsSummary, SlideMetrics};
+pub use rewrite::{rewrite, Cluster, IncrementalPlan, Stage, VarKind};
+pub use scheduler::{Emission, FactoryId, Scheduler};
+
+// Re-export the window spec from the plan layer so users have one import.
+pub use datacell_plan::WindowSpec;

@@ -1,0 +1,702 @@
+//! The DataCell incremental plan rewriter.
+//!
+//! This module implements the paper's §3: take the *normal* MAL plan the
+//! SQL compiler/optimizer produced and classify it into the segments of an
+//! incremental plan (Fig. 2/3):
+//!
+//! 1. **Split** the input stream into `n = |W|/|w|` basic windows — done at
+//!    runtime by the factory; the rewriter decides *what runs where*.
+//! 2. **Replicate** as much of the plan as possible so it runs independently
+//!    per basic window ("the goal is to split the plan as deep as
+//!    possible"). Replicable instructions are classified `PerBw`.
+//! 3. **Merge** partial results with `concat` plus a per-operator
+//!    *compensating action* (re-aggregation, re-grouping, re-sorting,
+//!    summing partial counts). Instructions that must see merged data are
+//!    classified `Merge`; the boundary variables between the two worlds are
+//!    the *frontier*, whose per-basic-window values the runtime caches in
+//!    rings and merges per slide.
+//! 4. **Transition** — shifting the cached intermediates as the window
+//!    slides — is pure runtime bookkeeping on the rings (see
+//!    `factory::incremental`).
+//!
+//! Multi-stream joins get the n×n replication of Fig. 3(e): the join (and
+//! everything downstream of it that is still replicable) is classified
+//! `Matrix` and evaluated per pair of basic windows.
+//!
+//! `avg` is *expanded* (Fig. 3c) by a MAL→MAL pre-pass into `sum`+`count`
+//! flows merged by a division.
+
+use crate::error::DataCellError;
+use datacell_kernel::algebra::{AggKind, ArithOp};
+use datacell_plan::{Instr, MalOp, MalPlan, VarId};
+
+/// Which part of the incremental plan computes a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Computed once at registration (persistent table binds and anything
+    /// derived only from them).
+    Static,
+    /// Computed once per basic window of stream `k` (index into
+    /// [`MalPlan::streams`]).
+    PerBw(usize),
+    /// Computed once per *pair* of basic windows (two-stream join flows).
+    Matrix,
+    /// Computed once per slide, over merged frontier values.
+    Merge,
+}
+
+/// What a variable's value *is*, semantically — this decides the merge rule
+/// applied when the variable crosses the per-basic-window → merge frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Row-faithful data: concatenating per-basic-window values yields
+    /// exactly the whole-window value ("simple concatenation" category:
+    /// select, fetch, map results).
+    Rows,
+    /// A partial scalar aggregate; merged by the compensating aggregate
+    /// (paper: "applying the very operation ... also on the concatenated
+    /// result", count compensated by sum).
+    PartialScalar(AggKind),
+    /// Per-group partial aggregate column, member of the group cluster
+    /// identified by the `Group` variable (merged by re-grouping).
+    GroupedPartial(AggKind),
+    /// Per-basic-window distinct group keys (merged by re-grouping).
+    GroupKeysPartial,
+    /// A grouping structure — never allowed to cross the frontier.
+    GroupsStruct,
+    /// Per-basic-window distinct rows; merged by `distinct(concat(...))`.
+    DistinctRows,
+    /// Per-basic-window sorted rows; merged by `sort(concat(...))`.
+    SortedRows {
+        /// Sort direction.
+        desc: bool,
+    },
+    /// Computed in the merge stage or statically; no merge rule needed.
+    Plain,
+}
+
+/// One group-by cluster: the `Group` instruction plus the GroupKeys /
+/// GroupedAgg instructions hanging off it. Merged as a unit (Fig. 3d).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The `Group` variable.
+    pub group_var: VarId,
+    /// The `GroupKeys` variable (per-bw distinct keys).
+    pub keys_var: VarId,
+    /// Aggregate member variables and their kinds.
+    pub agg_vars: Vec<(VarId, AggKind)>,
+}
+
+/// The rewritten plan: the original program plus the classification that
+/// tells the incremental runtime what to run per basic window, per pair,
+/// and per slide.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlan {
+    /// The (avg-expanded) MAL program.
+    pub mal: MalPlan,
+    /// Stage per variable.
+    pub stages: Vec<Stage>,
+    /// Kind per variable.
+    pub kinds: Vec<VarKind>,
+    /// Instructions evaluated once at registration.
+    pub static_instrs: Vec<usize>,
+    /// Instructions evaluated per new basic window, grouped by stream index.
+    pub perbw_instrs: Vec<Vec<usize>>,
+    /// Instructions evaluated per new (left, right) basic-window pair.
+    pub matrix_instrs: Vec<usize>,
+    /// Instructions evaluated per slide over merged data.
+    pub merge_instrs: Vec<usize>,
+    /// Frontier variables: flow variables whose per-bw (or per-cell) values
+    /// are cached and merged.
+    pub frontier: Vec<VarId>,
+    /// Per-bw variables that matrix cells read (join inputs); cached in
+    /// rings even if not themselves merged.
+    pub ring_only: Vec<VarId>,
+    /// Group-by clusters.
+    pub clusters: Vec<Cluster>,
+    /// Stream indices joined by the (single) matrix join, if any.
+    pub matrix_pair: Option<(usize, usize)>,
+}
+
+impl IncrementalPlan {
+    /// All per-bw variables the runtime must cache per basic window.
+    pub fn ring_vars(&self) -> Vec<VarId> {
+        let mut out: Vec<VarId> = self
+            .frontier
+            .iter()
+            .copied()
+            .filter(|&v| matches!(self.stages[v], Stage::PerBw(_)))
+            .collect();
+        for &v in &self.ring_only {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Frontier variables living in the join matrix.
+    pub fn matrix_ring_vars(&self) -> Vec<VarId> {
+        self.frontier
+            .iter()
+            .copied()
+            .filter(|&v| self.stages[v] == Stage::Matrix)
+            .collect()
+    }
+
+    /// Render the incremental plan: the MAL program annotated with stages —
+    /// the textual analogue of the paper's Fig. 3 right-hand sides.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str("incremental plan (stage | instruction):\n");
+        for ins in &self.mal.instrs {
+            let stage = self.stages[ins.dests[0]];
+            let tag = match stage {
+                Stage::Static => "static ",
+                Stage::PerBw(k) => {
+                    out.push_str(&format!("per-bw[{k}] | "));
+                    ""
+                }
+                Stage::Matrix => "per-cell",
+                Stage::Merge => "merge  ",
+            };
+            if !tag.is_empty() {
+                out.push_str(&format!("{tag} | "));
+            }
+            let dests: Vec<String> = ins.dests.iter().map(|d| format!("X_{d}")).collect();
+            out.push_str(&format!("{} := {}\n", dests.join(", "), ins.op.name()));
+        }
+        out.push_str(&format!(
+            "frontier: {:?}\nclusters: {}\n",
+            self.frontier,
+            self.clusters.len()
+        ));
+        out
+    }
+}
+
+/// Expand `avg` into `sum` + `count` + divide (the paper's *expanding
+/// replication*, Fig. 3c) as a MAL→MAL rewrite, keeping all other
+/// instructions and variable ids intact.
+pub fn expand_avg(plan: &MalPlan) -> MalPlan {
+    let mut nvars = plan.nvars;
+    let mut instrs = Vec::with_capacity(plan.instrs.len());
+    for ins in &plan.instrs {
+        match &ins.op {
+            MalOp::ScalarAgg { kind: AggKind::Avg, vals } => {
+                let s = nvars;
+                let c = nvars + 1;
+                nvars += 2;
+                instrs.push(Instr { dests: vec![s], op: MalOp::ScalarAgg { kind: AggKind::Sum, vals: *vals } });
+                instrs.push(Instr { dests: vec![c], op: MalOp::ScalarAgg { kind: AggKind::Count, vals: *vals } });
+                instrs.push(Instr { dests: ins.dests.clone(), op: MalOp::DivScalar { num: s, den: c } });
+            }
+            MalOp::GroupedAgg { kind: AggKind::Avg, vals, groups } => {
+                let s = nvars;
+                let c = nvars + 1;
+                nvars += 2;
+                instrs.push(Instr {
+                    dests: vec![s],
+                    op: MalOp::GroupedAgg { kind: AggKind::Sum, vals: *vals, groups: *groups },
+                });
+                instrs.push(Instr {
+                    dests: vec![c],
+                    op: MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: *groups },
+                });
+                instrs.push(Instr {
+                    dests: ins.dests.clone(),
+                    op: MalOp::MapArith { left: s, right: c, op: ArithOp::Div },
+                });
+            }
+            _ => instrs.push(ins.clone()),
+        }
+    }
+    MalPlan {
+        instrs,
+        result_names: plan.result_names.clone(),
+        result_vars: plan.result_vars.clone(),
+        nvars,
+        streams: plan.streams.clone(),
+    }
+}
+
+/// Classify a normal plan into an incremental plan.
+///
+/// Errors with [`DataCellError::Unsupported`] for shapes outside the
+/// incremental rewriter's reach (more than one stream-stream join, ops that
+/// mix two streams without a join, landmark joins are rejected later by the
+/// factory). Callers can fall back to re-evaluation mode for those.
+pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
+    let mal = expand_avg(plan);
+    mal.validate().map_err(DataCellError::Plan)?;
+    let n_streams = mal.streams.len();
+    let mut stages: Vec<Stage> = vec![Stage::Static; mal.nvars];
+    let mut kinds: Vec<VarKind> = vec![VarKind::Plain; mal.nvars];
+    let mut matrix_pair: Option<(usize, usize)> = None;
+
+    // -- stage/kind classification, one instruction at a time (the
+    //    paper's "greedy manner ... consumes one operator of the target
+    //    plan at a time").
+    for ins in &mal.instrs {
+        let (stage, kind) = classify(&ins.op, &stages, &kinds, &mal, &mut matrix_pair)?;
+        for &d in &ins.dests {
+            stages[d] = stage;
+            kinds[d] = kind;
+        }
+    }
+
+    // -- segment assignment per instruction.
+    let mut static_instrs = Vec::new();
+    let mut perbw_instrs: Vec<Vec<usize>> = vec![Vec::new(); n_streams];
+    let mut matrix_instrs = Vec::new();
+    let mut merge_instrs = Vec::new();
+    for (i, ins) in mal.instrs.iter().enumerate() {
+        match stages[ins.dests[0]] {
+            Stage::Static => static_instrs.push(i),
+            Stage::PerBw(k) => perbw_instrs[k].push(i),
+            Stage::Matrix => matrix_instrs.push(i),
+            Stage::Merge => merge_instrs.push(i),
+        }
+    }
+
+    // -- frontier: flow vars read by merge instrs, plus flow result vars.
+    let mut frontier: Vec<VarId> = Vec::new();
+    let push_frontier = |v: VarId, frontier: &mut Vec<VarId>| {
+        if !frontier.contains(&v) {
+            frontier.push(v);
+        }
+    };
+    for &i in &merge_instrs {
+        for a in mal.instrs[i].op.args() {
+            if matches!(stages[a], Stage::PerBw(_) | Stage::Matrix) {
+                push_frontier(a, &mut frontier);
+            }
+        }
+    }
+    for &v in &mal.result_vars {
+        if matches!(stages[v], Stage::PerBw(_) | Stage::Matrix) {
+            push_frontier(v, &mut frontier);
+        }
+    }
+    for &v in &frontier {
+        if kinds[v] == VarKind::GroupsStruct {
+            return Err(DataCellError::Unsupported(
+                "a grouping structure crosses the merge frontier; \
+                 restructure the query or use re-evaluation mode"
+                    .into(),
+            ));
+        }
+    }
+
+    // -- ring-only vars: per-bw vars read by matrix instructions.
+    let mut ring_only = Vec::new();
+    for &i in &matrix_instrs {
+        for a in mal.instrs[i].op.args() {
+            if matches!(stages[a], Stage::PerBw(_)) && !ring_only.contains(&a) {
+                ring_only.push(a);
+            }
+        }
+    }
+
+    // -- group clusters: every per-bw/matrix Group instruction with its
+    //    GroupKeys/GroupedAgg members. A frontier member pulls the whole
+    //    cluster into the frontier (keys are needed to re-group partials).
+    let mut clusters = Vec::new();
+    for ins in &mal.instrs {
+        if let MalOp::Group { .. } = ins.op {
+            let gv = ins.dests[0];
+            if !matches!(stages[gv], Stage::PerBw(_) | Stage::Matrix) {
+                continue;
+            }
+            let mut keys_var = None;
+            let mut agg_vars = Vec::new();
+            for other in &mal.instrs {
+                match &other.op {
+                    MalOp::GroupKeys { groups, .. } if *groups == gv => {
+                        keys_var = Some(other.dests[0]);
+                    }
+                    MalOp::GroupedAgg { kind, groups, .. } if *groups == gv => {
+                        agg_vars.push((other.dests[0], *kind));
+                    }
+                    _ => {}
+                }
+            }
+            let members: Vec<VarId> = keys_var
+                .iter()
+                .copied()
+                .chain(agg_vars.iter().map(|(v, _)| *v))
+                .collect();
+            let any_frontier = members.iter().any(|v| frontier.contains(v));
+            if !any_frontier {
+                continue;
+            }
+            let keys_var = keys_var.ok_or_else(|| {
+                DataCellError::Unsupported(
+                    "grouped aggregation without group keys cannot be merged incrementally".into(),
+                )
+            })?;
+            // All members must be cached to allow re-grouping.
+            for v in members {
+                if !frontier.contains(&v) {
+                    frontier.push(v);
+                }
+            }
+            if !frontier.contains(&keys_var) {
+                frontier.push(keys_var);
+            }
+            clusters.push(Cluster { group_var: gv, keys_var, agg_vars });
+        }
+    }
+
+    Ok(IncrementalPlan {
+        mal,
+        stages,
+        kinds,
+        static_instrs,
+        perbw_instrs,
+        matrix_instrs,
+        merge_instrs,
+        frontier,
+        ring_only,
+        clusters,
+        matrix_pair,
+    })
+}
+
+/// Classify one operator given the stages/kinds of its arguments.
+fn classify(
+    op: &MalOp,
+    stages: &[Stage],
+    kinds: &[VarKind],
+    mal: &MalPlan,
+    matrix_pair: &mut Option<(usize, usize)>,
+) -> Result<(Stage, VarKind), DataCellError> {
+    // Stream binds start flows.
+    if let MalOp::BindStream { stream, .. } = op {
+        let k = mal
+            .streams
+            .iter()
+            .position(|s| s == stream)
+            .expect("bound stream is registered in plan.streams");
+        return Ok((Stage::PerBw(k), VarKind::Rows));
+    }
+    if matches!(op, MalOp::BindTable { .. }) {
+        return Ok((Stage::Static, VarKind::Plain));
+    }
+
+    let args = op.args();
+    let arg_stages: Vec<Stage> = args.iter().map(|&a| stages[a]).collect();
+    let any_partial = args.iter().any(|&a| {
+        matches!(
+            kinds[a],
+            VarKind::PartialScalar(_)
+                | VarKind::GroupedPartial(_)
+                | VarKind::GroupKeysPartial
+                | VarKind::DistinctRows
+                | VarKind::SortedRows { .. }
+        ) && matches!(stages[a], Stage::PerBw(_) | Stage::Matrix)
+    });
+
+    // The unique flow stage among the args (or Merge/Static).
+    let flow = combined_flow(op, &arg_stages, matrix_pair)?;
+
+    // Ops that never replicate: run at merge over merged inputs.
+    let never_replicates = matches!(
+        op,
+        MalOp::SortPerm { .. } | MalOp::Slice { .. } | MalOp::DivScalar { .. }
+    );
+
+    // An op consuming partial values cannot be replicated — partials must
+    // be merged first (replicating would aggregate aggregates).
+    if never_replicates || any_partial {
+        if matches!(flow, Stage::PerBw(_) | Stage::Matrix | Stage::Merge) {
+            return Ok((Stage::Merge, merge_kind(op)));
+        }
+        return Ok((Stage::Static, VarKind::Plain));
+    }
+
+    match flow {
+        Stage::Static => Ok((Stage::Static, VarKind::Plain)),
+        Stage::Merge => Ok((Stage::Merge, merge_kind(op))),
+        stage @ (Stage::PerBw(_) | Stage::Matrix) => {
+            let kind = match op {
+                MalOp::Select { .. }
+                | MalOp::Fetch { .. }
+                | MalOp::MapArith { .. }
+                | MalOp::MapScalar { .. }
+                | MalOp::Concat { .. }
+                | MalOp::Join { .. } => VarKind::Rows,
+                MalOp::ScalarAgg { kind, .. } => VarKind::PartialScalar(*kind),
+                MalOp::Group { .. } => VarKind::GroupsStruct,
+                MalOp::GroupKeys { .. } => VarKind::GroupKeysPartial,
+                MalOp::GroupedAgg { kind, .. } => VarKind::GroupedPartial(*kind),
+                MalOp::Distinct { .. } => VarKind::DistinctRows,
+                MalOp::Sort { desc, .. } => VarKind::SortedRows { desc: *desc },
+                MalOp::BindStream { .. } | MalOp::BindTable { .. } => unreachable!("handled above"),
+                MalOp::SortPerm { .. } | MalOp::Slice { .. } | MalOp::DivScalar { .. } => {
+                    unreachable!("never_replicates handled above")
+                }
+            };
+            Ok((stage, kind))
+        }
+    }
+}
+
+/// Combine argument stages into the op's flow stage. Handles the join
+/// boundary (two different streams → Matrix) and rejects unsupported
+/// mixtures.
+fn combined_flow(
+    op: &MalOp,
+    arg_stages: &[Stage],
+    matrix_pair: &mut Option<(usize, usize)>,
+) -> Result<Stage, DataCellError> {
+    let mut flow = Stage::Static;
+    for (idx, s) in arg_stages.iter().enumerate() {
+        match (flow, *s) {
+            (f, Stage::Static) => flow = f,
+            (Stage::Static, s) => flow = s,
+            (Stage::Merge, _) | (_, Stage::Merge) => flow = Stage::Merge,
+            (Stage::PerBw(a), Stage::PerBw(b)) if a == b => flow = Stage::PerBw(a),
+            (Stage::PerBw(a), Stage::PerBw(b)) => {
+                if matches!(op, MalOp::Join { .. }) && idx == 1 {
+                    match matrix_pair {
+                        None => {
+                            *matrix_pair = Some((a, b));
+                            flow = Stage::Matrix;
+                        }
+                        Some(pair) if *pair == (a, b) => flow = Stage::Matrix,
+                        Some(_) => {
+                            return Err(DataCellError::Unsupported(
+                                "more than one stream-stream join; incremental mode \
+                                 supports a single join pair (use re-evaluation)"
+                                    .into(),
+                            ))
+                        }
+                    }
+                } else {
+                    return Err(DataCellError::Unsupported(format!(
+                        "{} combines two streams without a join",
+                        op.name()
+                    )));
+                }
+            }
+            (Stage::Matrix, Stage::PerBw(k)) | (Stage::PerBw(k), Stage::Matrix) => {
+                // Reading a per-bw var inside a matrix cell is fine if the
+                // stream is one of the joined pair.
+                match matrix_pair {
+                    Some((a, b)) if k == *a || k == *b => flow = Stage::Matrix,
+                    _ => {
+                        return Err(DataCellError::Unsupported(
+                            "matrix flow mixed with an unjoined stream".into(),
+                        ))
+                    }
+                }
+            }
+            (Stage::Matrix, Stage::Matrix) => flow = Stage::Matrix,
+        }
+    }
+    Ok(flow)
+}
+
+/// Kind assigned to merge-stage destinations.
+fn merge_kind(_op: &MalOp) -> VarKind {
+    VarKind::Plain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_kernel::algebra::Predicate;
+    use datacell_plan::{compile, ColumnRef, LogicalPlan};
+    use datacell_plan::AggExpr;
+
+    fn col(s: &str, a: &str) -> ColumnRef {
+        ColumnRef::new(s, a)
+    }
+
+    /// Fig 3a: select a from stream where a < v1
+    fn fig3a() -> MalPlan {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::lt(10))
+            .project(vec![(col("s", "a"), "a".into())]);
+        compile(&p).unwrap()
+    }
+
+    /// Fig 3b: select sum(a) from stream where a < v1
+    fn fig3b() -> MalPlan {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::lt(10))
+            .aggregate(None, vec![AggExpr::new(AggKind::Sum, col("s", "a"), "sum_a")]);
+        compile(&p).unwrap()
+    }
+
+    /// Fig 3c: select avg(a) from stream where a < v1
+    fn fig3c() -> MalPlan {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::lt(10))
+            .aggregate(None, vec![AggExpr::new(AggKind::Avg, col("s", "a"), "avg_a")]);
+        compile(&p).unwrap()
+    }
+
+    /// Fig 3d: select a1, max(a2) from stream where a1 < v1 group by a1
+    fn fig3d() -> MalPlan {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a1"), Predicate::lt(10))
+            .aggregate(Some(col("s", "a1")), vec![AggExpr::new(AggKind::Max, col("s", "a2"), "max_a2")]);
+        compile(&p).unwrap()
+    }
+
+    /// Fig 3e: select max(a1) from sA, sB where a1<v1 and b1<v2 and a1=b1
+    fn fig3e() -> MalPlan {
+        let p = LogicalPlan::stream("sA")
+            .filter(col("sA", "a1"), Predicate::lt(10))
+            .join(
+                LogicalPlan::stream("sB").filter(col("sB", "b1"), Predicate::lt(20)),
+                col("sA", "a1"),
+                col("sB", "b1"),
+            )
+            .aggregate(None, vec![AggExpr::new(AggKind::Max, col("sA", "a1"), "max_a1")]);
+        compile(&p).unwrap()
+    }
+
+    #[test]
+    fn fig3a_fully_replicates() {
+        let inc = rewrite(&fig3a()).unwrap();
+        // Everything is per-bw; the only merge work is frontier concat.
+        assert!(inc.merge_instrs.is_empty());
+        assert_eq!(inc.perbw_instrs[0].len(), inc.mal.instrs.len());
+        // Result var is the frontier, kind Rows -> simple concatenation.
+        assert_eq!(inc.frontier.len(), 1);
+        assert_eq!(inc.kinds[inc.frontier[0]], VarKind::Rows);
+        assert!(inc.matrix_pair.is_none());
+    }
+
+    #[test]
+    fn fig3b_sum_is_partial_scalar() {
+        let inc = rewrite(&fig3b()).unwrap();
+        assert_eq!(inc.frontier.len(), 1);
+        assert_eq!(inc.kinds[inc.frontier[0]], VarKind::PartialScalar(AggKind::Sum));
+        assert!(inc.merge_instrs.is_empty()); // compensation is the merge rule itself
+    }
+
+    #[test]
+    fn fig3c_avg_expands_to_two_flows_plus_div() {
+        let inc = rewrite(&fig3c()).unwrap();
+        // Two frontier vars: partial sum + partial count.
+        let kinds: Vec<VarKind> = inc.frontier.iter().map(|&v| inc.kinds[v]).collect();
+        assert!(kinds.contains(&VarKind::PartialScalar(AggKind::Sum)));
+        assert!(kinds.contains(&VarKind::PartialScalar(AggKind::Count)));
+        // The division runs at merge.
+        assert_eq!(inc.merge_instrs.len(), 1);
+        assert!(matches!(inc.mal.instrs[inc.merge_instrs[0]].op, MalOp::DivScalar { .. }));
+    }
+
+    #[test]
+    fn fig3d_builds_group_cluster() {
+        let inc = rewrite(&fig3d()).unwrap();
+        assert_eq!(inc.clusters.len(), 1);
+        let c = &inc.clusters[0];
+        assert_eq!(c.agg_vars.len(), 1);
+        assert_eq!(c.agg_vars[0].1, AggKind::Max);
+        // Keys and aggs are both cached.
+        assert!(inc.frontier.contains(&c.keys_var));
+        assert!(inc.frontier.contains(&c.agg_vars[0].0));
+    }
+
+    #[test]
+    fn fig3e_join_becomes_matrix() {
+        let inc = rewrite(&fig3e()).unwrap();
+        assert_eq!(inc.matrix_pair, Some((0, 1)));
+        assert!(!inc.matrix_instrs.is_empty());
+        // The max over the join is a per-cell partial scalar.
+        let max_var = inc.frontier.iter().find(|&&v| {
+            inc.kinds[v] == VarKind::PartialScalar(AggKind::Max)
+        });
+        assert!(max_var.is_some());
+        assert_eq!(inc.stages[*max_var.unwrap()], Stage::Matrix);
+        // Join inputs (select/fetch results per stream) are ring-cached.
+        assert!(!inc.ring_only.is_empty());
+        for &v in &inc.ring_only {
+            assert!(matches!(inc.stages[v], Stage::PerBw(_)));
+        }
+    }
+
+    #[test]
+    fn avg_expansion_rewrites_scalar_and_grouped() {
+        let mal = fig3c();
+        let has_avg = mal
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, MalOp::ScalarAgg { kind: AggKind::Avg, .. }));
+        assert!(has_avg);
+        let expanded = expand_avg(&mal);
+        expanded.validate().unwrap();
+        assert!(!expanded
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, MalOp::ScalarAgg { kind: AggKind::Avg, .. })));
+        assert!(expanded.instrs.iter().any(|i| matches!(i.op, MalOp::DivScalar { .. })));
+    }
+
+    #[test]
+    fn grouped_avg_expansion() {
+        let p = LogicalPlan::stream("s")
+            .aggregate(Some(col("s", "k")), vec![AggExpr::new(AggKind::Avg, col("s", "v"), "a")]);
+        let mal = compile(&p).unwrap();
+        let inc = rewrite(&mal).unwrap();
+        // Cluster contains sum and count partials; div is at merge.
+        let c = &inc.clusters[0];
+        let kinds: Vec<AggKind> = c.agg_vars.iter().map(|(_, k)| *k).collect();
+        assert!(kinds.contains(&AggKind::Sum));
+        assert!(kinds.contains(&AggKind::Count));
+        assert_eq!(inc.merge_instrs.len(), 1);
+        assert!(matches!(inc.mal.instrs[inc.merge_instrs[0]].op, MalOp::MapArith { .. }));
+    }
+
+    #[test]
+    fn distinct_and_sort_get_compensation_kinds() {
+        let p = LogicalPlan::stream("s").project(vec![(col("s", "a"), "a".into())]).distinct();
+        let inc = rewrite(&compile(&p).unwrap()).unwrap();
+        assert_eq!(inc.kinds[inc.frontier[0]], VarKind::DistinctRows);
+    }
+
+    #[test]
+    fn orderby_limit_run_at_merge() {
+        let p = LogicalPlan::stream("s")
+            .project(vec![(col("s", "a"), "a".into())])
+            .order_by(col("s", "a"), false)
+            .limit(3);
+        let inc = rewrite(&compile(&p).unwrap()).unwrap();
+        // SortPerm, Fetch-through-perm and Slice all happen at merge.
+        assert!(inc.merge_instrs.len() >= 3);
+        // The projected rows are the frontier.
+        assert!(inc.frontier.iter().any(|&v| inc.kinds[v] == VarKind::Rows));
+    }
+
+    #[test]
+    fn stream_table_join_stays_per_bw() {
+        let p = LogicalPlan::stream("s")
+            .join(LogicalPlan::table("dim"), col("s", "k"), col("dim", "k"))
+            .aggregate(None, vec![AggExpr::new(AggKind::Count, col("dim", "k"), "n")]);
+        let inc = rewrite(&compile(&p).unwrap()).unwrap();
+        assert!(inc.matrix_pair.is_none());
+        assert!(inc.matrix_instrs.is_empty());
+        assert!(!inc.static_instrs.is_empty()); // the table bind
+        // Join replicated per basic window.
+        let join_idx = inc
+            .mal
+            .instrs
+            .iter()
+            .position(|i| matches!(i.op, MalOp::Join { .. }))
+            .unwrap();
+        assert!(inc.perbw_instrs[0].contains(&join_idx));
+    }
+
+    #[test]
+    fn explain_mentions_stages() {
+        let inc = rewrite(&fig3b()).unwrap();
+        let e = inc.explain();
+        assert!(e.contains("per-bw[0]"));
+        assert!(e.contains("frontier"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Concatenation — the merge operator of incremental plans.
+//!
+//! "The merging is done using the `concat` operator. Observe how before a
+//! concat operator the plan forks into multiple branches to process each
+//! basic window separately, while after the merge it goes back into a single
+//! flow." (paper §3, *Merging Intermediates*)
+
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::{Bat, Result};
+
+/// Concatenate the tails of `parts` in order into one transient BAT.
+///
+/// Head oids are *not* preserved — the result is a fresh dense sequence,
+/// exactly like MonetDB's `algebra.concat` producing a new transient BAT.
+/// All parts must share a tail type; the empty list is rejected because the
+/// result type would be unknown.
+pub fn concat(parts: &[&Bat]) -> Result<Bat> {
+    let cols: Vec<&Column> = parts.iter().map(|b| &b.tail).collect();
+    Ok(Bat::transient(concat_columns(&cols)?))
+}
+
+/// Column-level concatenation.
+pub fn concat_columns(parts: &[&Column]) -> Result<Column> {
+    let first = parts
+        .first()
+        .ok_or_else(|| KernelError::Unsupported("concat of zero parts".into()))?;
+    let total: usize = parts.iter().map(|c| c.len()).sum();
+    let mut out = Column::with_capacity(first.data_type(), total);
+    for part in parts {
+        out.append(part)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_in_order() {
+        let a = Bat::new(10, Column::Int(vec![1, 2]));
+        let b = Bat::new(99, Column::Int(vec![3]));
+        let c = concat(&[&a, &b]).unwrap();
+        assert_eq!(c.hseq, 0); // fresh dense head
+        assert_eq!(c.tail, Column::Int(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn concat_single_part() {
+        let a = Bat::transient(Column::Float(vec![1.0]));
+        assert_eq!(concat(&[&a]).unwrap().tail, Column::Float(vec![1.0]));
+    }
+
+    #[test]
+    fn concat_empty_parts_ok() {
+        let a = Bat::empty(crate::DataType::Int);
+        let b = Bat::transient(Column::Int(vec![5]));
+        let c = concat(&[&a, &b, &a]).unwrap();
+        assert_eq!(c.tail, Column::Int(vec![5]));
+    }
+
+    #[test]
+    fn concat_zero_parts_rejected() {
+        assert!(concat(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_type_mismatch() {
+        let a = Bat::transient(Column::Int(vec![1]));
+        let b = Bat::transient(Column::Float(vec![1.0]));
+        assert!(concat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn concat_columns_strings() {
+        let a = Column::Str(vec!["x".into()]);
+        let b = Column::Str(vec!["y".into()]);
+        assert_eq!(
+            concat_columns(&[&a, &b]).unwrap(),
+            Column::Str(vec!["x".into(), "y".into()])
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Tuple reconstruction: fetch tail values through a candidate list.
+//!
+//! MonetDB calls this `leftfetchjoin`: given a candidate list (oids produced
+//! by a selection on one attribute) and the BAT of another attribute of the
+//! same table, materialize the values of the second attribute for exactly
+//! the qualifying tuples — *late* tuple reconstruction (paper §2).
+
+use crate::column::Column;
+use crate::{Bat, Result};
+
+/// Fetch `values[oid]` for every oid in the candidate list `cands`.
+///
+/// The result is a transient BAT aligned with `cands` (position `i` of the
+/// output corresponds to candidate `i`). Errors if any candidate oid falls
+/// outside `values`.
+pub fn fetch(cands: &Bat, values: &Bat) -> Result<Bat> {
+    let oids = cands.tail.as_oid()?;
+    let out = match &values.tail {
+        Column::Int(v) => {
+            let mut out = Vec::with_capacity(oids.len());
+            for &oid in oids {
+                out.push(v[values.index_of(oid)?]);
+            }
+            Column::Int(out)
+        }
+        Column::Float(v) => {
+            let mut out = Vec::with_capacity(oids.len());
+            for &oid in oids {
+                out.push(v[values.index_of(oid)?]);
+            }
+            Column::Float(out)
+        }
+        Column::Str(v) => {
+            let mut out = Vec::with_capacity(oids.len());
+            for &oid in oids {
+                out.push(v[values.index_of(oid)?].clone());
+            }
+            Column::Str(out)
+        }
+        Column::Bool(v) => {
+            let mut out = Vec::with_capacity(oids.len());
+            for &oid in oids {
+                out.push(v[values.index_of(oid)?]);
+            }
+            Column::Bool(out)
+        }
+        Column::Oid(v) => {
+            let mut out = Vec::with_capacity(oids.len());
+            for &oid in oids {
+                out.push(v[values.index_of(oid)?]);
+            }
+            Column::Oid(out)
+        }
+    };
+    Ok(Bat::transient(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{select, Predicate};
+    use crate::KernelError;
+
+    #[test]
+    fn fetch_reconstructs_second_attribute() {
+        // Table with attributes x (selection) and y (fetched).
+        let x = Bat::new(0, Column::Int(vec![5, 10, 15, 20]));
+        let y = Bat::new(0, Column::Float(vec![0.5, 1.0, 1.5, 2.0]));
+        let cand = select(&x, &Predicate::gt(7)).unwrap();
+        let fetched = fetch(&cand, &y).unwrap();
+        assert_eq!(fetched.tail, Column::Float(vec![1.0, 1.5, 2.0]));
+    }
+
+    #[test]
+    fn fetch_respects_nonzero_hseq() {
+        let y = Bat::new(100, Column::Int(vec![7, 8, 9]));
+        let cand = Bat::transient(Column::Oid(vec![102, 100]));
+        let fetched = fetch(&cand, &y).unwrap();
+        assert_eq!(fetched.tail, Column::Int(vec![9, 7]));
+    }
+
+    #[test]
+    fn fetch_out_of_range_oid_errors() {
+        let y = Bat::new(0, Column::Int(vec![1]));
+        let cand = Bat::transient(Column::Oid(vec![3]));
+        let err = fetch(&cand, &y).unwrap_err();
+        assert!(matches!(err, KernelError::OidOutOfRange { oid: 3, .. }));
+    }
+
+    #[test]
+    fn fetch_requires_oid_candidates() {
+        let y = Bat::new(0, Column::Int(vec![1]));
+        let not_cand = Bat::transient(Column::Int(vec![0]));
+        assert!(fetch(&not_cand, &y).is_err());
+    }
+
+    #[test]
+    fn fetch_string_values_clones() {
+        let y = Bat::new(0, Column::Str(vec!["a".into(), "b".into()]));
+        let cand = Bat::transient(Column::Oid(vec![1, 1, 0]));
+        let fetched = fetch(&cand, &y).unwrap();
+        assert_eq!(fetched.tail, Column::Str(vec!["b".into(), "b".into(), "a".into()]));
+    }
+
+    #[test]
+    fn fetch_empty_candidates() {
+        let y = Bat::new(0, Column::Int(vec![1, 2]));
+        let cand = Bat::transient(Column::Oid(vec![]));
+        assert!(fetch(&cand, &y).unwrap().is_empty());
+    }
+}

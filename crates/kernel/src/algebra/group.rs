@@ -1,0 +1,291 @@
+//! Grouping: MonetDB's `group.new` equivalent.
+//!
+//! Produces a dense group-id per input tuple plus the *extents* (position of
+//! each group's first occurrence), from which group keys can be fetched.
+//! This is the building block for `GROUP BY` and for the re-grouping
+//! *compensating action* in incremental plans (paper Fig. 3d: a second
+//! `groupby` runs over the concatenation of partial group keys).
+
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::{Bat, Result};
+use crate::hash::FastMap;
+
+/// Result of grouping one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Groups {
+    /// For each input tuple, the dense id of its group (0-based).
+    pub ids: Vec<u32>,
+    /// For each group, the input position of its first member.
+    pub extents: Vec<u32>,
+}
+
+impl Groups {
+    /// Number of distinct groups.
+    pub fn ngroups(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Materialize the group keys by fetching the representative positions
+    /// from the grouped column.
+    pub fn keys(&self, col: &Bat) -> Result<Column> {
+        let mut out = Column::with_capacity(col.data_type(), self.extents.len());
+        for &pos in &self.extents {
+            let v = col.value_at(pos as usize).ok_or(KernelError::OidOutOfRange {
+                oid: col.hseq + pos as u64,
+                hseq: col.hseq,
+                len: col.len(),
+            })?;
+            out.push(v).expect("same type");
+        }
+        Ok(out)
+    }
+}
+
+/// Group the tail of `b`; group ids are assigned in first-occurrence order,
+/// so the operation is deterministic.
+pub fn group(b: &Bat) -> Result<Groups> {
+    let n = b.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut extents = Vec::new();
+    match &b.tail {
+        Column::Int(v) => {
+            let mut seen: FastMap<i64, u32> = FastMap::default();
+            for (i, &k) in v.iter().enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry(k).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Str(v) => {
+            let mut seen: FastMap<&str, u32> = FastMap::default();
+            for (i, k) in v.iter().enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry(k).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Bool(v) => {
+            let mut seen: FastMap<bool, u32> = FastMap::default();
+            for (i, &k) in v.iter().enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry(k).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Oid(v) => {
+            let mut seen: FastMap<u64, u32> = FastMap::default();
+            for (i, &k) in v.iter().enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry(k).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Float(v) => {
+            // Floats group by bit pattern: exact-equality grouping, the same
+            // rule MonetDB applies. (-0.0 and 0.0 form distinct groups.)
+            let mut seen: FastMap<u64, u32> = FastMap::default();
+            for (i, &k) in v.iter().enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry(k.to_bits()).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+    }
+    Ok(Groups { ids, extents })
+}
+
+/// Refine an existing grouping by a further key column — MonetDB's
+/// `group.derive`. The result groups rows that agree on *both* the original
+/// grouping and the new keys, enabling multi-attribute `GROUP BY` as a
+/// chain of refinements: `group(a)` then `group_derive(g, b)` …
+pub fn group_derive(prev: &Groups, keys: &Bat) -> Result<Groups> {
+    if prev.ids.len() != keys.len() {
+        return Err(KernelError::LengthMismatch {
+            op: "group_derive",
+            left: prev.ids.len(),
+            right: keys.len(),
+        });
+    }
+    let n = keys.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut extents = Vec::new();
+    // Composite key: (previous group id, new key); dispatch once on type.
+    match &keys.tail {
+        Column::Int(v) => {
+            let mut seen: FastMap<(u32, i64), u32> = FastMap::default();
+            for i in 0..n {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Str(v) => {
+            let mut seen: FastMap<(u32, &str), u32> = FastMap::default();
+            for i in 0..n {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((prev.ids[i], v[i].as_str())).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Bool(v) => {
+            let mut seen: FastMap<(u32, bool), u32> = FastMap::default();
+            for i in 0..n {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Oid(v) => {
+            let mut seen: FastMap<(u32, u64), u32> = FastMap::default();
+            for i in 0..n {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+        Column::Float(v) => {
+            let mut seen: FastMap<(u32, u64), u32> = FastMap::default();
+            for i in 0..n {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((prev.ids[i], v[i].to_bits())).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }
+    }
+    Ok(Groups { ids, extents })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_assigns_first_occurrence_order() {
+        let b = Bat::transient(Column::Int(vec![5, 3, 5, 7, 3]));
+        let g = group(&b).unwrap();
+        assert_eq!(g.ids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(g.extents, vec![0, 1, 3]);
+        assert_eq!(g.ngroups(), 3);
+    }
+
+    #[test]
+    fn group_keys_materialize() {
+        let b = Bat::transient(Column::Int(vec![5, 3, 5, 7]));
+        let g = group(&b).unwrap();
+        assert_eq!(g.keys(&b).unwrap(), Column::Int(vec![5, 3, 7]));
+    }
+
+    #[test]
+    fn group_strings() {
+        let b = Bat::transient(Column::Str(vec!["b".into(), "a".into(), "b".into()]));
+        let g = group(&b).unwrap();
+        assert_eq!(g.ngroups(), 2);
+        assert_eq!(g.keys(&b).unwrap(), Column::Str(vec!["b".into(), "a".into()]));
+    }
+
+    #[test]
+    fn group_empty() {
+        let b = Bat::empty(crate::DataType::Int);
+        let g = group(&b).unwrap();
+        assert!(g.ids.is_empty());
+        assert_eq!(g.ngroups(), 0);
+    }
+
+    #[test]
+    fn group_float_by_bit_pattern() {
+        let b = Bat::transient(Column::Float(vec![1.0, 2.0, 1.0]));
+        let g = group(&b).unwrap();
+        assert_eq!(g.ids, vec![0, 1, 0]);
+        assert_eq!(g.keys(&b).unwrap(), Column::Float(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn group_single_group() {
+        let b = Bat::transient(Column::Int(vec![4, 4, 4]));
+        let g = group(&b).unwrap();
+        assert_eq!(g.ids, vec![0, 0, 0]);
+        assert_eq!(g.extents, vec![0]);
+    }
+
+    #[test]
+    fn derive_refines_groups() {
+        // (a, b) pairs: (1,x) (1,y) (2,x) (1,x) -> groups {(1,x): rows 0,3},
+        // {(1,y): row 1}, {(2,x): row 2}.
+        let a = Bat::transient(Column::Int(vec![1, 1, 2, 1]));
+        let b = Bat::transient(Column::Str(vec!["x".into(), "y".into(), "x".into(), "x".into()]));
+        let g1 = group(&a).unwrap();
+        let g2 = group_derive(&g1, &b).unwrap();
+        assert_eq!(g2.ids, vec![0, 1, 2, 0]);
+        assert_eq!(g2.ngroups(), 3);
+        // Keys of both columns are recoverable through the extents.
+        assert_eq!(g2.keys(&a).unwrap(), Column::Int(vec![1, 1, 2]));
+        assert_eq!(
+            g2.keys(&b).unwrap(),
+            Column::Str(vec!["x".into(), "y".into(), "x".into()])
+        );
+    }
+
+    #[test]
+    fn derive_is_order_insensitive_in_group_count() {
+        // group(a) then derive(b) produces the same partition as
+        // group(b) then derive(a).
+        let a = Bat::transient(Column::Int(vec![1, 2, 1, 2, 1]));
+        let b = Bat::transient(Column::Int(vec![5, 5, 6, 6, 5]));
+        let ab = group_derive(&group(&a).unwrap(), &b).unwrap();
+        let ba = group_derive(&group(&b).unwrap(), &a).unwrap();
+        assert_eq!(ab.ngroups(), ba.ngroups());
+        // Same rows grouped together (ids may be permuted).
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                assert_eq!(ab.ids[i] == ab.ids[j], ba.ids[i] == ba.ids[j], "rows {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn derive_length_mismatch() {
+        let a = Bat::transient(Column::Int(vec![1, 2]));
+        let b = Bat::transient(Column::Int(vec![1]));
+        let g = group(&a).unwrap();
+        assert!(group_derive(&g, &b).is_err());
+    }
+
+    #[test]
+    fn derive_on_floats_by_bits() {
+        let a = Bat::transient(Column::Int(vec![1, 1]));
+        let b = Bat::transient(Column::Float(vec![0.5, 0.5]));
+        let g = group_derive(&group(&a).unwrap(), &b).unwrap();
+        assert_eq!(g.ngroups(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Hash equi-join over two BATs.
+//!
+//! Produces the matching head-oid pairs `(l_oid, r_oid)` as two aligned
+//! candidate BATs, the MonetDB `join` result shape: callers then `fetch`
+//! whatever attributes they need through either side. Float keys are
+//! rejected (bit-exact float equality joins are almost always a modelling
+//! error, and MonetDB hashes exact types too).
+
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::{Bat, Oid, Result};
+use crate::hash::{fast_map_with_capacity, FastMap};
+
+/// Hash join `l.tail == r.tail`; returns aligned `(left_oids, right_oids)`.
+///
+/// The smaller input is used as the build side. Output pairs are ordered by
+/// the probe side's position (and build order within one probe match), which
+/// is deterministic for a given pair of inputs.
+pub fn hashjoin(l: &Bat, r: &Bat) -> Result<(Bat, Bat)> {
+    if l.data_type() != r.data_type() {
+        return Err(KernelError::TypeMismatch {
+            op: "hashjoin",
+            expected: l.data_type(),
+            found: r.data_type(),
+        });
+    }
+    // Swap so that the build side is the smaller one, then restore order.
+    let (mut lo, mut ro) = if l.len() <= r.len() {
+        join_build_probe(l, r, true)?
+    } else {
+        join_build_probe(r, l, false)?
+    };
+    // `join_build_probe` returns (build_oids, probe_oids) tagged by which
+    // original argument was the build side; normalize to (left, right).
+    if l.len() > r.len() {
+        std::mem::swap(&mut lo, &mut ro);
+    }
+    Ok((Bat::transient(Column::Oid(lo)), Bat::transient(Column::Oid(ro))))
+}
+
+/// Build a hash table on `build`, probe with `probe`.
+/// Returns (build_oids, probe_oids). The `_build_is_left` flag only
+/// documents intent; normalization happens in the caller.
+///
+/// The table uses MonetDB's chained-bucket layout: a head map from key to
+/// the *last* build position with that key, plus a `next` chain array —
+/// zero allocations per distinct key, which matters because the DataCell
+/// join matrix calls this once per basic-window pair.
+fn join_build_probe(build: &Bat, probe: &Bat, _build_is_left: bool) -> Result<(Vec<Oid>, Vec<Oid>)> {
+    match (&build.tail, &probe.tail) {
+        (Column::Int(b), Column::Int(p)) => {
+            Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
+        }
+        (Column::Oid(b), Column::Oid(p)) => {
+            Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
+        }
+        (Column::Bool(b), Column::Bool(p)) => {
+            Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
+        }
+        (Column::Str(b), Column::Str(p)) => {
+            Ok(chained_join(b, p, build.hseq, probe.hseq, |k: &String| k.as_str()))
+        }
+        (Column::Float(_), _) => Err(KernelError::Unsupported("hashjoin on float keys".into())),
+        _ => unreachable!("type equality checked by caller"),
+    }
+}
+
+/// Chained-bucket equi-join core, generic over the key projection.
+fn chained_join<'a, T, K>(
+    build: &'a [T],
+    probe: &'a [T],
+    build_hseq: Oid,
+    probe_hseq: Oid,
+    key_of: impl Fn(&'a T) -> K,
+) -> (Vec<Oid>, Vec<Oid>)
+where
+    K: std::hash::Hash + Eq,
+{
+    const NONE: u32 = u32::MAX;
+    let mut head: FastMap<K, u32> = fast_map_with_capacity(build.len());
+    let mut next: Vec<u32> = vec![NONE; build.len()];
+    for (i, v) in build.iter().enumerate() {
+        let slot = head.entry(key_of(v)).or_insert(NONE);
+        next[i] = *slot;
+        *slot = i as u32;
+    }
+    let mut bo = Vec::new();
+    let mut po = Vec::new();
+    for (j, v) in probe.iter().enumerate() {
+        if let Some(&first) = head.get(&key_of(v)) {
+            let mut i = first;
+            while i != NONE {
+                bo.push(build_hseq + i as u64);
+                po.push(probe_hseq + j as u64);
+                i = next[i as usize];
+            }
+        }
+    }
+    (bo, po)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_int_keys() {
+        let l = Bat::new(0, Column::Int(vec![1, 2, 3]));
+        let r = Bat::new(10, Column::Int(vec![2, 3, 4, 3]));
+        let (lo, ro) = hashjoin(&l, &r).unwrap();
+        let pairs: Vec<(u64, u64)> = lo
+            .tail
+            .as_oid()
+            .unwrap()
+            .iter()
+            .zip(ro.tail.as_oid().unwrap())
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(1, 10), (2, 11), (2, 13)]);
+    }
+
+    #[test]
+    fn join_alignment_invariant() {
+        let l = Bat::new(0, Column::Int(vec![7, 7]));
+        let r = Bat::new(100, Column::Int(vec![7]));
+        let (lo, ro) = hashjoin(&l, &r).unwrap();
+        assert_eq!(lo.len(), ro.len());
+        assert_eq!(lo.len(), 2);
+        // Every output pair must actually match.
+        for (&a, &b) in lo.tail.as_oid().unwrap().iter().zip(ro.tail.as_oid().unwrap()) {
+            assert_eq!(l.value_at((a - l.hseq) as usize), r.value_at((b - r.hseq) as usize));
+        }
+    }
+
+    #[test]
+    fn join_empty_side() {
+        let l = Bat::new(0, Column::Int(vec![]));
+        let r = Bat::new(0, Column::Int(vec![1, 2]));
+        let (lo, ro) = hashjoin(&l, &r).unwrap();
+        assert!(lo.is_empty() && ro.is_empty());
+    }
+
+    #[test]
+    fn join_no_matches() {
+        let l = Bat::new(0, Column::Int(vec![1]));
+        let r = Bat::new(0, Column::Int(vec![2]));
+        let (lo, _) = hashjoin(&l, &r).unwrap();
+        assert!(lo.is_empty());
+    }
+
+    #[test]
+    fn join_str_keys() {
+        let l = Bat::new(0, Column::Str(vec!["a".into(), "b".into()]));
+        let r = Bat::new(5, Column::Str(vec!["b".into(), "c".into()]));
+        let (lo, ro) = hashjoin(&l, &r).unwrap();
+        assert_eq!(lo.tail, Column::Oid(vec![1]));
+        assert_eq!(ro.tail, Column::Oid(vec![5]));
+    }
+
+    #[test]
+    fn join_type_mismatch() {
+        let l = Bat::new(0, Column::Int(vec![1]));
+        let r = Bat::new(0, Column::Str(vec!["1".into()]));
+        assert!(hashjoin(&l, &r).is_err());
+    }
+
+    #[test]
+    fn join_float_keys_rejected() {
+        let l = Bat::new(0, Column::Float(vec![1.0]));
+        let r = Bat::new(0, Column::Float(vec![1.0]));
+        assert!(matches!(hashjoin(&l, &r), Err(KernelError::Unsupported(_))));
+    }
+
+    #[test]
+    fn join_larger_left_swaps_internally_but_output_is_left_right() {
+        let l = Bat::new(0, Column::Int(vec![1, 2, 3, 4, 5]));
+        let r = Bat::new(50, Column::Int(vec![3]));
+        let (lo, ro) = hashjoin(&l, &r).unwrap();
+        assert_eq!(lo.tail, Column::Oid(vec![2]));
+        assert_eq!(ro.tail, Column::Oid(vec![50]));
+    }
+
+    #[test]
+    fn join_cross_product_on_duplicates() {
+        let l = Bat::new(0, Column::Int(vec![9, 9]));
+        let r = Bat::new(0, Column::Int(vec![9, 9, 9]));
+        let (lo, _) = hashjoin(&l, &r).unwrap();
+        assert_eq!(lo.len(), 6);
+    }
+}

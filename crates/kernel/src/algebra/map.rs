@@ -1,0 +1,219 @@
+//! Map-like arithmetic — element-wise column operations.
+//!
+//! These are the "any map-like operations" of the paper's *Simple
+//! Concatenation* category: they replicate over basic windows as-is and
+//! their partials merge by plain concatenation. `div_values` is the final
+//! merge step of the expanded `avg` plan (global sum ÷ global count,
+//! Fig. 3c).
+
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::value::Value;
+use crate::{Bat, Result};
+
+/// Element-wise arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (always produces floats).
+    Div,
+}
+
+impl ArithOp {
+    #[inline(always)]
+    fn apply_i64(self, l: i64, r: i64) -> i64 {
+        match self {
+            ArithOp::Add => l.wrapping_add(r),
+            ArithOp::Sub => l.wrapping_sub(r),
+            ArithOp::Mul => l.wrapping_mul(r),
+            ArithOp::Div => unreachable!("int division routed through floats"),
+        }
+    }
+
+    #[inline(always)]
+    fn apply_f64(self, l: f64, r: f64) -> f64 {
+        match self {
+            ArithOp::Add => l + r,
+            ArithOp::Sub => l - r,
+            ArithOp::Mul => l * r,
+            ArithOp::Div => l / r,
+        }
+    }
+
+    /// SQL-ish symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// Element-wise `l <op> r` over two aligned numeric BATs.
+///
+/// Integer inputs stay integral except for division, which promotes to
+/// float (SQL semantics for `avg`-style expressions).
+pub fn map_arith(l: &Bat, r: &Bat, op: ArithOp) -> Result<Bat> {
+    if l.len() != r.len() {
+        return Err(KernelError::LengthMismatch { op: "map_arith", left: l.len(), right: r.len() });
+    }
+    let out = match (&l.tail, &r.tail) {
+        (Column::Int(a), Column::Int(b)) if op != ArithOp::Div => {
+            Column::Int(a.iter().zip(b).map(|(&x, &y)| op.apply_i64(x, y)).collect())
+        }
+        (Column::Int(a), Column::Int(b)) => {
+            Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x as f64, y as f64)).collect())
+        }
+        (Column::Float(a), Column::Float(b)) => {
+            Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x, y)).collect())
+        }
+        (Column::Int(a), Column::Float(b)) => {
+            Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x as f64, y)).collect())
+        }
+        (Column::Float(a), Column::Int(b)) => {
+            Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x, y as f64)).collect())
+        }
+        (a, b) => {
+            return Err(KernelError::TypeMismatch {
+                op: "map_arith",
+                expected: a.data_type(),
+                found: b.data_type(),
+            })
+        }
+    };
+    Ok(Bat::transient(out))
+}
+
+/// Element-wise `b <op> scalar`.
+pub fn map_arith_scalar(b: &Bat, op: ArithOp, scalar: &Value) -> Result<Bat> {
+    let out = match (&b.tail, scalar) {
+        (Column::Int(a), Value::Int(s)) if op != ArithOp::Div => {
+            Column::Int(a.iter().map(|&x| op.apply_i64(x, *s)).collect())
+        }
+        (Column::Int(a), s) => {
+            let s = numeric(s, "map_arith_scalar")?;
+            Column::Float(a.iter().map(|&x| op.apply_f64(x as f64, s)).collect())
+        }
+        (Column::Float(a), s) => {
+            let s = numeric(s, "map_arith_scalar")?;
+            Column::Float(a.iter().map(|&x| op.apply_f64(x, s)).collect())
+        }
+        (c, _) => {
+            return Err(KernelError::TypeMismatch {
+                op: "map_arith_scalar",
+                expected: crate::DataType::Float,
+                found: c.data_type(),
+            })
+        }
+    };
+    Ok(Bat::transient(out))
+}
+
+fn numeric(v: &Value, op: &'static str) -> Result<f64> {
+    v.as_f64().ok_or(KernelError::TypeMismatch {
+        op: if op.is_empty() { "numeric" } else { "map" },
+        expected: crate::DataType::Float,
+        found: v.data_type(),
+    })
+}
+
+/// Scalar division used by the avg merge (`global_sum / global_count`).
+/// Returns `None` when the divisor is zero-count (empty window): SQL's
+/// `avg` over an empty set is NULL, which we surface as absence.
+pub fn div_values(num: &Value, den: &Value) -> Result<Option<Value>> {
+    let n = numeric(num, "div")?;
+    let d = numeric(den, "div")?;
+    if d == 0.0 {
+        return Ok(None);
+    }
+    Ok(Some(Value::Float(n / d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_add_stays_int() {
+        let a = Bat::transient(Column::Int(vec![1, 2]));
+        let b = Bat::transient(Column::Int(vec![10, 20]));
+        assert_eq!(map_arith(&a, &b, ArithOp::Add).unwrap().tail, Column::Int(vec![11, 22]));
+    }
+
+    #[test]
+    fn int_div_promotes_to_float() {
+        let a = Bat::transient(Column::Int(vec![3]));
+        let b = Bat::transient(Column::Int(vec![2]));
+        assert_eq!(map_arith(&a, &b, ArithOp::Div).unwrap().tail, Column::Float(vec![1.5]));
+    }
+
+    #[test]
+    fn mixed_types_promote() {
+        let a = Bat::transient(Column::Int(vec![4]));
+        let b = Bat::transient(Column::Float(vec![0.5]));
+        assert_eq!(map_arith(&a, &b, ArithOp::Mul).unwrap().tail, Column::Float(vec![2.0]));
+        assert_eq!(map_arith(&b, &a, ArithOp::Mul).unwrap().tail, Column::Float(vec![2.0]));
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let a = Bat::transient(Column::Int(vec![1]));
+        let b = Bat::transient(Column::Int(vec![1, 2]));
+        assert!(map_arith(&a, &b, ArithOp::Add).is_err());
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Bat::transient(Column::Int(vec![1, 2, 3]));
+        assert_eq!(
+            map_arith_scalar(&a, ArithOp::Mul, &Value::Int(10)).unwrap().tail,
+            Column::Int(vec![10, 20, 30])
+        );
+        assert_eq!(
+            map_arith_scalar(&a, ArithOp::Div, &Value::Int(2)).unwrap().tail,
+            Column::Float(vec![0.5, 1.0, 1.5])
+        );
+    }
+
+    #[test]
+    fn scalar_on_strings_errors() {
+        let a = Bat::transient(Column::Str(vec!["x".into()]));
+        assert!(map_arith_scalar(&a, ArithOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn div_values_basic() {
+        assert_eq!(div_values(&Value::Int(7), &Value::Int(2)).unwrap(), Some(Value::Float(3.5)));
+    }
+
+    #[test]
+    fn div_values_by_zero_is_none() {
+        assert_eq!(div_values(&Value::Int(7), &Value::Int(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn div_values_non_numeric_errors() {
+        assert!(div_values(&Value::from("x"), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn wrapping_semantics_documented() {
+        let a = Bat::transient(Column::Int(vec![i64::MAX]));
+        let b = Bat::transient(Column::Int(vec![1]));
+        // Overflow wraps rather than panicking: stream aggregation must not
+        // abort a standing query mid-flight.
+        assert_eq!(map_arith(&a, &b, ArithOp::Add).unwrap().tail, Column::Int(vec![i64::MIN]));
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(ArithOp::Div.symbol(), "/");
+    }
+}

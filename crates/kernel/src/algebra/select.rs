@@ -1,0 +1,338 @@
+//! Selection: predicates over one column producing candidate lists.
+//!
+//! `algebra.select(w, v1, v2)` in the paper's Algorithm 1/2 is exactly this
+//! operator: filter a (basic-window) column and return the qualifying oids.
+
+use crate::column::ColumnSlice;
+use crate::error::KernelError;
+use crate::value::Value;
+use crate::{Bat, Column, Oid, Result};
+
+/// Comparison operators for single-bound predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on a pair of `f64`s.
+    #[inline(always)]
+    fn holds_f64(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    #[inline(always)]
+    fn holds_i64(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    fn holds_str(self, l: &str, r: &str) -> bool {
+        match self {
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+        }
+    }
+
+    /// Render in SQL syntax.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        }
+    }
+}
+
+/// A selection predicate over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col <op> value`
+    Cmp(CmpOp, Value),
+    /// `lo <(=) col <(=) hi`; bounds are inclusive when the flag is true.
+    Range {
+        /// Lower bound.
+        lo: Value,
+        /// Upper bound.
+        hi: Value,
+        /// Lower bound inclusive?
+        lo_inc: bool,
+        /// Upper bound inclusive?
+        hi_inc: bool,
+    },
+    /// Accept every tuple (used by plans that need a candidate list anyway).
+    True,
+}
+
+impl Predicate {
+    /// Convenience: `col > v`.
+    pub fn gt(v: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(CmpOp::Gt, v.into())
+    }
+
+    /// Convenience: `col < v`.
+    pub fn lt(v: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(CmpOp::Lt, v.into())
+    }
+
+    /// Convenience: `col = v`.
+    pub fn eq(v: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(CmpOp::Eq, v.into())
+    }
+
+    /// Convenience: inclusive range `v1 <= col <= v2` (the paper's
+    /// "selects all values of attribute X in a range v1-v2").
+    pub fn between(lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+        Predicate::Range { lo: lo.into(), hi: hi.into(), lo_inc: true, hi_inc: true }
+    }
+
+    /// Evaluate against a single value (slow path; used by the volcano-style
+    /// SystemX simulator and by row-level tests).
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp(op, rhs) => match (v, rhs) {
+                (Value::Int(l), Value::Int(r)) => op.holds_i64(*l, *r),
+                (Value::Float(l), Value::Float(r)) => op.holds_f64(*l, *r),
+                (Value::Int(l), Value::Float(r)) => op.holds_f64(*l as f64, *r),
+                (Value::Float(l), Value::Int(r)) => op.holds_f64(*l, *r as f64),
+                (Value::Str(l), Value::Str(r)) => op.holds_str(l, r),
+                (Value::Bool(l), Value::Bool(r)) => op.holds_i64(*l as i64, *r as i64),
+                (Value::Oid(l), Value::Oid(r)) => op.holds_i64(*l as i64, *r as i64),
+                _ => false,
+            },
+            Predicate::Range { lo, hi, lo_inc, hi_inc } => {
+                let lo_op = if *lo_inc { CmpOp::Ge } else { CmpOp::Gt };
+                let hi_op = if *hi_inc { CmpOp::Le } else { CmpOp::Lt };
+                Predicate::Cmp(lo_op, lo.clone()).matches(v) && Predicate::Cmp(hi_op, hi.clone()).matches(v)
+            }
+        }
+    }
+}
+
+/// Bulk selection over a column view whose first tuple has oid `base`.
+/// Returns the qualifying oids. This is the kernel inner loop used both for
+/// whole BATs and for basic-window views.
+pub fn select_slice(col: ColumnSlice<'_>, base: Oid, pred: &Predicate) -> Result<Vec<Oid>> {
+    let mut out = Vec::new();
+    match (col, pred) {
+        (_, Predicate::True) => {
+            out.extend((0..col.len() as u64).map(|i| base + i));
+        }
+        (ColumnSlice::Int(v), Predicate::Cmp(op, Value::Int(rhs))) => {
+            let (op, rhs) = (*op, *rhs);
+            for (i, &x) in v.iter().enumerate() {
+                if op.holds_i64(x, rhs) {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        (ColumnSlice::Int(v), Predicate::Cmp(op, Value::Float(rhs))) => {
+            let (op, rhs) = (*op, *rhs);
+            for (i, &x) in v.iter().enumerate() {
+                if op.holds_f64(x as f64, rhs) {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        (ColumnSlice::Float(v), Predicate::Cmp(op, rhs)) => {
+            let rhs = rhs.as_f64().ok_or(KernelError::TypeMismatch {
+                op: "select",
+                expected: crate::DataType::Float,
+                found: rhs.data_type(),
+            })?;
+            let op = *op;
+            for (i, &x) in v.iter().enumerate() {
+                if op.holds_f64(x, rhs) {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        (ColumnSlice::Str(v), Predicate::Cmp(op, Value::Str(rhs))) => {
+            let op = *op;
+            for (i, x) in v.iter().enumerate() {
+                if op.holds_str(x, rhs) {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        (ColumnSlice::Int(v), Predicate::Range { lo, hi, lo_inc, hi_inc }) => {
+            let (lo, hi) = match (lo, hi) {
+                (Value::Int(l), Value::Int(h)) => (*l, *h),
+                _ => return select_generic(col, base, pred),
+            };
+            for (i, &x) in v.iter().enumerate() {
+                let ok_lo = if *lo_inc { x >= lo } else { x > lo };
+                let ok_hi = if *hi_inc { x <= hi } else { x < hi };
+                if ok_lo && ok_hi {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        (ColumnSlice::Float(v), Predicate::Range { lo, hi, lo_inc, hi_inc }) => {
+            let (lo, hi) = match (lo.as_f64(), hi.as_f64()) {
+                (Some(l), Some(h)) => (l, h),
+                _ => return select_generic(col, base, pred),
+            };
+            for (i, &x) in v.iter().enumerate() {
+                let ok_lo = if *lo_inc { x >= lo } else { x > lo };
+                let ok_hi = if *hi_inc { x <= hi } else { x < hi };
+                if ok_lo && ok_hi {
+                    out.push(base + i as u64);
+                }
+            }
+        }
+        _ => return select_generic(col, base, pred),
+    }
+    Ok(out)
+}
+
+/// Fallback row-at-a-time evaluation for type combinations that have no
+/// specialized bulk loop (bool columns, mixed string/range cases).
+fn select_generic(col: ColumnSlice<'_>, base: Oid, pred: &Predicate) -> Result<Vec<Oid>> {
+    let mut out = Vec::new();
+    for i in 0..col.len() {
+        let v = col.get(i).expect("in range");
+        if pred.matches(&v) {
+            out.push(base + i as u64);
+        }
+    }
+    Ok(out)
+}
+
+/// Selection over a whole BAT: returns a candidate-list BAT (oid tail).
+pub fn select(bat: &Bat, pred: &Predicate) -> Result<Bat> {
+    let oids = select_slice(bat.tail_slice(), bat.hseq, pred)?;
+    Ok(Bat::transient(Column::Oid(oids)))
+}
+
+/// Range selection in the paper's `algebra.select(w, v1, v2)` form:
+/// inclusive on both bounds.
+pub fn select_range(bat: &Bat, lo: impl Into<Value>, hi: impl Into<Value>) -> Result<Bat> {
+    select(bat, &Predicate::between(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_bat(hseq: Oid, vals: Vec<i64>) -> Bat {
+        Bat::new(hseq, Column::Int(vals))
+    }
+
+    #[test]
+    fn select_gt_int() {
+        let b = int_bat(0, vec![5, 10, 15, 20]);
+        let c = select(&b, &Predicate::gt(10)).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![2, 3]));
+    }
+
+    #[test]
+    fn select_respects_hseq() {
+        let b = int_bat(100, vec![1, 2, 3]);
+        let c = select(&b, &Predicate::lt(3)).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![100, 101]));
+    }
+
+    #[test]
+    fn select_range_inclusive() {
+        let b = int_bat(0, vec![1, 2, 3, 4, 5]);
+        let c = select_range(&b, 2, 4).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn select_float_with_int_bound() {
+        let b = Bat::transient(Column::Float(vec![0.5, 1.5, 2.5]));
+        let c = select(&b, &Predicate::Cmp(CmpOp::Ge, Value::Int(1))).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![1, 2]));
+    }
+
+    #[test]
+    fn select_int_with_float_bound() {
+        let b = int_bat(0, vec![1, 2, 3]);
+        let c = select(&b, &Predicate::Cmp(CmpOp::Gt, Value::Float(1.5))).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![1, 2]));
+    }
+
+    #[test]
+    fn select_str_eq() {
+        let b = Bat::transient(Column::Str(vec!["a".into(), "b".into(), "a".into()]));
+        let c = select(&b, &Predicate::eq("a")).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![0, 2]));
+    }
+
+    #[test]
+    fn select_true_returns_all() {
+        let b = int_bat(7, vec![1, 2]);
+        let c = select(&b, &Predicate::True).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![7, 8]));
+    }
+
+    #[test]
+    fn select_float_vs_str_is_type_error() {
+        let b = Bat::transient(Column::Float(vec![1.0]));
+        assert!(select(&b, &Predicate::eq("x")).is_err());
+    }
+
+    #[test]
+    fn select_bool_generic_path() {
+        let b = Bat::transient(Column::Bool(vec![true, false, true]));
+        let c = select(&b, &Predicate::Cmp(CmpOp::Eq, Value::Bool(true))).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![0, 2]));
+    }
+
+    #[test]
+    fn select_exclusive_range() {
+        let b = int_bat(0, vec![1, 2, 3, 4]);
+        let p = Predicate::Range { lo: Value::Int(1), hi: Value::Int(4), lo_inc: false, hi_inc: false };
+        let c = select(&b, &p).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![1, 2]));
+    }
+
+    #[test]
+    fn predicate_matches_rowwise() {
+        assert!(Predicate::gt(5).matches(&Value::Int(6)));
+        assert!(!Predicate::gt(5).matches(&Value::Int(5)));
+        assert!(Predicate::between(1, 3).matches(&Value::Int(3)));
+        assert!(Predicate::eq("a").matches(&Value::from("a")));
+        assert!(Predicate::True.matches(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn cmp_sql_rendering() {
+        assert_eq!(CmpOp::Le.sql(), "<=");
+        assert_eq!(CmpOp::Ne.sql(), "<>");
+    }
+}

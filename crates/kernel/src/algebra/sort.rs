@@ -1,0 +1,144 @@
+//! Ordering operators: sort, distinct, top-n.
+//!
+//! `orderby`/`sort` and `distinct` belong to the paper's *concatenation plus
+//! compensation* category: replicate per basic window, concatenate the
+//! sorted/deduplicated partials, and re-apply the operator as compensation.
+
+use crate::column::Column;
+use crate::{Bat, Result};
+
+/// Stable ascending sort of the tail. Returns a fresh transient BAT.
+pub fn sort(b: &Bat) -> Result<Bat> {
+    let perm = sort_perm(b)?;
+    let mut out = Column::with_capacity(b.data_type(), b.len());
+    for &i in &perm {
+        out.push(b.value_at(i as usize).expect("perm in range")).expect("same type");
+    }
+    Ok(Bat::transient(out))
+}
+
+/// The permutation (positions) that sorts the tail ascending; stable.
+pub fn sort_perm(b: &Bat) -> Result<Vec<u32>> {
+    let mut perm: Vec<u32> = (0..b.len() as u32).collect();
+    match &b.tail {
+        Column::Int(v) => perm.sort_by_key(|&i| v[i as usize]),
+        Column::Float(v) => perm.sort_by(|&i, &j| v[i as usize].total_cmp(&v[j as usize])),
+        Column::Str(v) => perm.sort_by(|&i, &j| v[i as usize].cmp(&v[j as usize])),
+        Column::Bool(v) => perm.sort_by_key(|&i| v[i as usize]),
+        Column::Oid(v) => perm.sort_by_key(|&i| v[i as usize]),
+    }
+    Ok(perm)
+}
+
+/// Distinct values, in first-occurrence order (hash-based like MonetDB's
+/// `unique` over unsorted inputs).
+pub fn distinct(b: &Bat) -> Result<Bat> {
+    let g = super::group::group(b)?;
+    Ok(Bat::transient(g.keys(b)?))
+}
+
+/// The `n` smallest (or largest) values, sorted.
+pub fn topn(b: &Bat, n: usize, largest: bool) -> Result<Bat> {
+    let sorted = sort(b)?;
+    let len = sorted.len();
+    let take = n.min(len);
+    let col = if largest {
+        sorted.tail.slice_owned(len - take, take)
+    } else {
+        sorted.tail.slice_owned(0, take)
+    };
+    Ok(Bat::transient(col))
+}
+
+/// Sort-merge helper for the harnesses: lexicographic comparison of
+/// same-position values across several columns (row ordering).
+pub fn row_cmp(cols: &[&Column], i: usize, j: usize) -> std::cmp::Ordering {
+    for c in cols {
+        let a = c.get(i).expect("in range");
+        let b = c.get(j).expect("in range");
+        let ord = a.total_cmp(&b);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Apply a permutation to a column (row reordering after a multi-column
+/// sort).
+pub fn apply_perm(c: &Column, perm: &[u32]) -> Column {
+    let mut out = Column::with_capacity(c.data_type(), perm.len());
+    for &i in perm {
+        out.push(c.get(i as usize).expect("perm in range")).expect("same type");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_ints() {
+        let b = Bat::transient(Column::Int(vec![3, 1, 2]));
+        assert_eq!(sort(&b).unwrap().tail, Column::Int(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn sort_floats_total_order() {
+        let b = Bat::transient(Column::Float(vec![2.0, -1.0, 0.5]));
+        assert_eq!(sort(&b).unwrap().tail, Column::Float(vec![-1.0, 0.5, 2.0]));
+    }
+
+    #[test]
+    fn sort_is_stable_via_perm() {
+        let b = Bat::transient(Column::Int(vec![2, 1, 2, 1]));
+        assert_eq!(sort_perm(&b).unwrap(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn distinct_first_occurrence_order() {
+        let b = Bat::transient(Column::Int(vec![5, 3, 5, 7, 3]));
+        assert_eq!(distinct(&b).unwrap().tail, Column::Int(vec![5, 3, 7]));
+    }
+
+    #[test]
+    fn distinct_strings() {
+        let b = Bat::transient(Column::Str(vec!["b".into(), "a".into(), "b".into()]));
+        assert_eq!(distinct(&b).unwrap().tail, Column::Str(vec!["b".into(), "a".into()]));
+    }
+
+    #[test]
+    fn topn_smallest_and_largest() {
+        let b = Bat::transient(Column::Int(vec![5, 1, 9, 3]));
+        assert_eq!(topn(&b, 2, false).unwrap().tail, Column::Int(vec![1, 3]));
+        assert_eq!(topn(&b, 2, true).unwrap().tail, Column::Int(vec![5, 9]));
+    }
+
+    #[test]
+    fn topn_larger_than_input() {
+        let b = Bat::transient(Column::Int(vec![2, 1]));
+        assert_eq!(topn(&b, 10, false).unwrap().tail, Column::Int(vec![1, 2]));
+    }
+
+    #[test]
+    fn row_cmp_lexicographic() {
+        let a = Column::Int(vec![1, 1]);
+        let b = Column::Int(vec![2, 1]);
+        assert_eq!(row_cmp(&[&a, &b], 0, 1), std::cmp::Ordering::Greater);
+        assert_eq!(row_cmp(&[&a, &a], 0, 1), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn apply_perm_reorders() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(apply_perm(&c, &[2, 0]), Column::Str(vec!["c".into(), "a".into()]));
+    }
+
+    #[test]
+    fn sort_empty() {
+        let b = Bat::empty(crate::DataType::Float);
+        assert!(sort(&b).unwrap().is_empty());
+        assert!(distinct(&b).unwrap().is_empty());
+    }
+}

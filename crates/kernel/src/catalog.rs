@@ -1,0 +1,213 @@
+//! Persistent tables and the catalog.
+//!
+//! DataCell's architecture keeps baskets and tables "within the same
+//! processing fabric" (paper Fig. 1): a continuous query may join stream
+//! data against stored relations. The catalog is that stored-relation side.
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::value::DataType;
+use crate::{Oid, Result};
+use std::collections::HashMap;
+
+/// A persistent relational table stored column-wise: one BAT per attribute.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    /// Attribute names in declaration order.
+    order: Vec<String>,
+    cols: HashMap<String, Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: &[(&str, DataType)]) -> Table {
+        let mut cols = HashMap::new();
+        let mut order = Vec::new();
+        for (n, dt) in schema {
+            order.push((*n).to_owned());
+            cols.insert((*n).to_owned(), Column::empty(*dt));
+        }
+        Table { name: name.into(), order, cols, nrows: 0 }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Attribute names in declaration order.
+    pub fn columns(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The BAT of one attribute (hseq 0: tables are never windowed).
+    pub fn bat(&self, col: &str) -> Result<Bat> {
+        let c = self.cols.get(col).ok_or_else(|| KernelError::NotFound(format!("{}.{}", self.name, col)))?;
+        Ok(Bat::new(0, c.clone()))
+    }
+
+    /// Borrow one attribute column.
+    pub fn column(&self, col: &str) -> Result<&Column> {
+        self.cols.get(col).ok_or_else(|| KernelError::NotFound(format!("{}.{}", self.name, col)))
+    }
+
+    /// Append one batch of aligned columns (in declaration order).
+    pub fn append(&mut self, batch: &[Column]) -> Result<()> {
+        if batch.len() != self.order.len() {
+            return Err(KernelError::LengthMismatch {
+                op: "table append",
+                left: batch.len(),
+                right: self.order.len(),
+            });
+        }
+        let n = batch.first().map_or(0, |c| c.len());
+        for c in batch {
+            if c.len() != n {
+                return Err(KernelError::LengthMismatch { op: "table append", left: c.len(), right: n });
+            }
+        }
+        for (name, col) in self.order.iter().zip(batch) {
+            self.cols.get_mut(name).expect("schema column").append(col)?;
+        }
+        self.nrows += n;
+        Ok(())
+    }
+
+    /// The oid range covered by the table (tables always start at 0).
+    pub fn oid_range(&self) -> (Oid, Oid) {
+        (0, self.nrows as Oid)
+    }
+}
+
+/// A named collection of persistent tables.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table; rejects duplicates.
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(KernelError::AlreadyExists(table.name().to_owned()));
+        }
+        self.tables.insert(table.name().to_owned(), table);
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables.get(name).ok_or_else(|| KernelError::NotFound(name.to_owned()))
+    }
+
+    /// Mutable lookup (for loading data).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| KernelError::NotFound(name.to_owned()))
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables.remove(name).ok_or_else(|| KernelError::NotFound(name.to_owned()))
+    }
+
+    /// Names of all registered tables (unsorted).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> Table {
+        let mut t = Table::new("sensors", &[("id", DataType::Int), ("loc", DataType::Str)]);
+        t.append(&[
+            Column::Int(vec![1, 2]),
+            Column::Str(vec!["hall".into(), "lab".into()]),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn table_schema_and_rows() {
+        let t = sample();
+        assert_eq!(t.name(), "sensors");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.columns(), &["id".to_owned(), "loc".to_owned()]);
+        assert_eq!(t.oid_range(), (0, 2));
+    }
+
+    #[test]
+    fn table_bat_access() {
+        let t = sample();
+        let b = t.bat("id").unwrap();
+        assert_eq!(b.tail, Column::Int(vec![1, 2]));
+        assert!(t.bat("nope").is_err());
+    }
+
+    #[test]
+    fn append_validates_arity_and_alignment() {
+        let mut t = sample();
+        assert!(t.append(&[Column::Int(vec![3])]).is_err()); // arity
+        assert!(t
+            .append(&[Column::Int(vec![3]), Column::Str(vec![])])
+            .is_err()); // alignment
+        assert!(t
+            .append(&[Column::Int(vec![3]), Column::Str(vec!["x".into()])])
+            .is_ok());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut t = sample();
+        assert!(t
+            .append(&[Column::Float(vec![1.0]), Column::Str(vec!["x".into()])])
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_crud() {
+        let mut cat = Catalog::new();
+        cat.create_table(sample()).unwrap();
+        assert!(cat.create_table(sample()).is_err());
+        assert_eq!(cat.table("sensors").unwrap().len(), 2);
+        assert!(cat.table("x").is_err());
+        cat.table_mut("sensors")
+            .unwrap()
+            .append(&[Column::Int(vec![9]), Column::Str(vec!["roof".into()])])
+            .unwrap();
+        assert_eq!(cat.table("sensors").unwrap().len(), 3);
+        let names: Vec<&str> = cat.table_names().collect();
+        assert_eq!(names, vec!["sensors"]);
+        cat.drop_table("sensors").unwrap();
+        assert!(cat.table("sensors").is_err());
+    }
+
+    #[test]
+    fn column_value_access() {
+        let t = sample();
+        assert_eq!(t.column("loc").unwrap().get(1), Some(Value::from("lab")));
+    }
+}

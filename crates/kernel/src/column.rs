@@ -1,0 +1,435 @@
+//! Typed columns and zero-copy column slices.
+//!
+//! A [`Column`] is a monomorphic vector — one per attribute, exactly like a
+//! MonetDB BAT tail. All bulk operators in [`crate::algebra`] dispatch on the
+//! type tag once and then run a tight monomorphic loop, which is the
+//! "vector-like operator implementation" the paper's §2 describes.
+//!
+//! [`ColumnSlice`] is a borrowed window into a column. DataCell's *split*
+//! step ("an almost zero cost operation \[that\] results in creating a number
+//! of views over the base input basket", paper §3) is implemented by slicing.
+
+use crate::error::KernelError;
+use crate::value::{DataType, Value};
+use crate::{Oid, Result};
+
+/// A typed, fully materialized column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Object identifiers (candidate lists, join results).
+    Oid(Vec<Oid>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dt: DataType) -> Column {
+        match dt {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Oid => Column::Oid(Vec::new()),
+        }
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Column {
+        match dt {
+            DataType::Int => Column::Int(Vec::with_capacity(cap)),
+            DataType::Float => Column::Float(Vec::with_capacity(cap)),
+            DataType::Str => Column::Str(Vec::with_capacity(cap)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(cap)),
+            DataType::Oid => Column::Oid(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+            Column::Oid(_) => DataType::Oid,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Oid(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch one value by position (bounds-checked).
+    pub fn get(&self, i: usize) -> Option<Value> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(v[i].clone()),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Oid(v) => Value::Oid(v[i]),
+        })
+    }
+
+    /// Append a scalar; errors if the type does not match.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        match (self, v) {
+            (Column::Int(c), Value::Int(v)) => c.push(v),
+            (Column::Float(c), Value::Float(v)) => c.push(v),
+            (Column::Str(c), Value::Str(v)) => c.push(v),
+            (Column::Bool(c), Value::Bool(v)) => c.push(v),
+            (Column::Oid(c), Value::Oid(v)) => c.push(v),
+            (c, v) => {
+                return Err(KernelError::TypeMismatch {
+                    op: "push",
+                    expected: c.data_type(),
+                    found: v.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append all values of `other` (same type) onto `self`.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+            (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+            (Column::Str(a), Column::Str(b)) => a.extend_from_slice(b),
+            (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+            (Column::Oid(a), Column::Oid(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(KernelError::TypeMismatch {
+                    op: "append",
+                    expected: a.data_type(),
+                    found: b.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow the whole column as a slice view.
+    pub fn as_slice(&self) -> ColumnSlice<'_> {
+        self.slice(0, self.len())
+    }
+
+    /// Borrow `[offset, offset+len)` as a zero-copy view.
+    ///
+    /// Panics if the range is out of bounds (an internal invariant violation,
+    /// not a user-facing error path).
+    pub fn slice(&self, offset: usize, len: usize) -> ColumnSlice<'_> {
+        match self {
+            Column::Int(v) => ColumnSlice::Int(&v[offset..offset + len]),
+            Column::Float(v) => ColumnSlice::Float(&v[offset..offset + len]),
+            Column::Str(v) => ColumnSlice::Str(&v[offset..offset + len]),
+            Column::Bool(v) => ColumnSlice::Bool(&v[offset..offset + len]),
+            Column::Oid(v) => ColumnSlice::Oid(&v[offset..offset + len]),
+        }
+    }
+
+    /// Copy the sub-range `[offset, offset+len)` into an owned column.
+    pub fn slice_owned(&self, offset: usize, len: usize) -> Column {
+        self.slice(offset, len).to_column()
+    }
+
+    /// Remove the first `n` values in place (window expiry on baskets).
+    pub fn drain_front(&mut self, n: usize) {
+        match self {
+            Column::Int(v) => {
+                v.drain(..n);
+            }
+            Column::Float(v) => {
+                v.drain(..n);
+            }
+            Column::Str(v) => {
+                v.drain(..n);
+            }
+            Column::Bool(v) => {
+                v.drain(..n);
+            }
+            Column::Oid(v) => {
+                v.drain(..n);
+            }
+        }
+    }
+
+    /// Iterate values as [`Value`]s (slow path — tests and row emission only).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("in range"))
+    }
+
+    /// Borrow as `&[i64]`, or error.
+    pub fn as_int(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int(v) => Ok(v),
+            c => Err(type_err("as_int", DataType::Int, c.data_type())),
+        }
+    }
+
+    /// Borrow as `&[f64]`, or error.
+    pub fn as_float(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float(v) => Ok(v),
+            c => Err(type_err("as_float", DataType::Float, c.data_type())),
+        }
+    }
+
+    /// Borrow as `&[Oid]`, or error.
+    pub fn as_oid(&self) -> Result<&[Oid]> {
+        match self {
+            Column::Oid(v) => Ok(v),
+            c => Err(type_err("as_oid", DataType::Oid, c.data_type())),
+        }
+    }
+
+    /// Borrow as `&[String]`, or error.
+    pub fn as_str(&self) -> Result<&[String]> {
+        match self {
+            Column::Str(v) => Ok(v),
+            c => Err(type_err("as_str", DataType::Str, c.data_type())),
+        }
+    }
+
+    /// Borrow as `&[bool]`, or error.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            c => Err(type_err("as_bool", DataType::Bool, c.data_type())),
+        }
+    }
+}
+
+fn type_err(op: &'static str, expected: DataType, found: DataType) -> KernelError {
+    KernelError::TypeMismatch { op, expected, found }
+}
+
+/// A borrowed, zero-copy view of a contiguous column range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnSlice<'a> {
+    /// View of 64-bit integers.
+    Int(&'a [i64]),
+    /// View of 64-bit floats.
+    Float(&'a [f64]),
+    /// View of strings.
+    Str(&'a [String]),
+    /// View of booleans.
+    Bool(&'a [bool]),
+    /// View of oids.
+    Oid(&'a [Oid]),
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// The type of the viewed column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnSlice::Int(_) => DataType::Int,
+            ColumnSlice::Float(_) => DataType::Float,
+            ColumnSlice::Str(_) => DataType::Str,
+            ColumnSlice::Bool(_) => DataType::Bool,
+            ColumnSlice::Oid(_) => DataType::Oid,
+        }
+    }
+
+    /// Number of values in view.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::Int(v) => v.len(),
+            ColumnSlice::Float(v) => v.len(),
+            ColumnSlice::Str(v) => v.len(),
+            ColumnSlice::Bool(v) => v.len(),
+            ColumnSlice::Oid(v) => v.len(),
+        }
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the view into an owned column.
+    pub fn to_column(&self) -> Column {
+        match self {
+            ColumnSlice::Int(v) => Column::Int(v.to_vec()),
+            ColumnSlice::Float(v) => Column::Float(v.to_vec()),
+            ColumnSlice::Str(v) => Column::Str(v.to_vec()),
+            ColumnSlice::Bool(v) => Column::Bool(v.to_vec()),
+            ColumnSlice::Oid(v) => Column::Oid(v.to_vec()),
+        }
+    }
+
+    /// Narrow the view further.
+    pub fn subslice(&self, offset: usize, len: usize) -> ColumnSlice<'a> {
+        match self {
+            ColumnSlice::Int(v) => ColumnSlice::Int(&v[offset..offset + len]),
+            ColumnSlice::Float(v) => ColumnSlice::Float(&v[offset..offset + len]),
+            ColumnSlice::Str(v) => ColumnSlice::Str(&v[offset..offset + len]),
+            ColumnSlice::Bool(v) => ColumnSlice::Bool(&v[offset..offset + len]),
+            ColumnSlice::Oid(v) => ColumnSlice::Oid(&v[offset..offset + len]),
+        }
+    }
+
+    /// Fetch one value by position.
+    pub fn get(&self, i: usize) -> Option<Value> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(match self {
+            ColumnSlice::Int(v) => Value::Int(v[i]),
+            ColumnSlice::Float(v) => Value::Float(v[i]),
+            ColumnSlice::Str(v) => Value::Str(v[i].clone()),
+            ColumnSlice::Bool(v) => Value::Bool(v[i]),
+            ColumnSlice::Oid(v) => Value::Oid(v[i]),
+        })
+    }
+}
+
+impl FromIterator<i64> for Column {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        Column::Int(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<f64> for Column {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Column::Float(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::Int(v)
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::Float(v)
+    }
+}
+
+impl From<Vec<Oid>> for Column {
+    fn from(v: Vec<Oid>) -> Self {
+        Column::Oid(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_capacity() {
+        for dt in [DataType::Int, DataType::Float, DataType::Str, DataType::Bool, DataType::Oid] {
+            let c = Column::empty(dt);
+            assert_eq!(c.data_type(), dt);
+            assert!(c.is_empty());
+            let c = Column::with_capacity(dt, 16);
+            assert_eq!(c.len(), 0);
+        }
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Int(-1)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Some(Value::Int(3)));
+        assert_eq!(c.get(1), Some(Value::Int(-1)));
+        assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn push_type_mismatch() {
+        let mut c = Column::empty(DataType::Int);
+        let err = c.push(Value::Float(1.0)).unwrap_err();
+        assert!(matches!(err, KernelError::TypeMismatch { op: "push", .. }));
+    }
+
+    #[test]
+    fn append_same_type() {
+        let mut a = Column::Int(vec![1, 2]);
+        let b = Column::Int(vec![3]);
+        a.append(&b).unwrap();
+        assert_eq!(a, Column::Int(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut a = Column::Int(vec![1]);
+        assert!(a.append(&Column::Float(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn slice_views_are_zero_copy_ranges() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Some(Value::Int(20)));
+        assert_eq!(s.to_column(), Column::Int(vec![20, 30]));
+        let ss = s.subslice(1, 1);
+        assert_eq!(ss.to_column(), Column::Int(vec![30]));
+    }
+
+    #[test]
+    fn slice_owned_copies() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.slice_owned(2, 1), Column::Str(vec!["c".into()]));
+    }
+
+    #[test]
+    fn drain_front_expires_prefix() {
+        let mut c = Column::Float(vec![1.0, 2.0, 3.0]);
+        c.drain_front(2);
+        assert_eq!(c, Column::Float(vec![3.0]));
+        c.drain_front(0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Column::Int(vec![1]).as_int().unwrap(), &[1]);
+        assert_eq!(Column::Float(vec![1.5]).as_float().unwrap(), &[1.5]);
+        assert_eq!(Column::Oid(vec![7]).as_oid().unwrap(), &[7]);
+        assert!(Column::Int(vec![1]).as_float().is_err());
+        assert!(Column::Bool(vec![true]).as_bool().unwrap()[0]);
+        assert_eq!(Column::Str(vec!["x".into()]).as_str().unwrap()[0], "x");
+    }
+
+    #[test]
+    fn iter_values_roundtrip() {
+        let c = Column::Int(vec![5, 6]);
+        let vals: Vec<Value> = c.iter_values().collect();
+        assert_eq!(vals, vec![Value::Int(5), Value::Int(6)]);
+    }
+
+    #[test]
+    fn from_impls() {
+        let c: Column = vec![1i64, 2].into();
+        assert_eq!(c.data_type(), DataType::Int);
+        let c: Column = (0..3).map(|i| i as f64).collect();
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernel error type.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised by kernel storage and algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// An operator received a column of an unexpected type.
+    TypeMismatch {
+        /// The operation that failed.
+        op: &'static str,
+        /// The type it expected.
+        expected: DataType,
+        /// The type it received.
+        found: DataType,
+    },
+    /// Two columns that must be aligned have different lengths.
+    LengthMismatch {
+        /// The operation that failed.
+        op: &'static str,
+        /// Length of the left input.
+        left: usize,
+        /// Length of the right input.
+        right: usize,
+    },
+    /// An oid in a candidate list does not fall inside the target BAT.
+    OidOutOfRange {
+        /// The offending oid.
+        oid: u64,
+        /// First oid of the target BAT.
+        hseq: u64,
+        /// Number of tuples in the target BAT.
+        len: usize,
+    },
+    /// A named column or table does not exist.
+    NotFound(String),
+    /// A table or column with this name already exists.
+    AlreadyExists(String),
+    /// Catch-all for unsupported operations (e.g. grouping on floats).
+    Unsupported(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::TypeMismatch { op, expected, found } => {
+                write!(f, "{op}: type mismatch (expected {expected}, found {found})")
+            }
+            KernelError::LengthMismatch { op, left, right } => {
+                write!(f, "{op}: length mismatch ({left} vs {right})")
+            }
+            KernelError::OidOutOfRange { oid, hseq, len } => {
+                write!(f, "oid {oid} outside BAT [{hseq}, {})", hseq + *len as u64)
+            }
+            KernelError::NotFound(name) => write!(f, "not found: {name}"),
+            KernelError::AlreadyExists(name) => write!(f, "already exists: {name}"),
+            KernelError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = KernelError::TypeMismatch { op: "select", expected: DataType::Int, found: DataType::Float };
+        assert_eq!(e.to_string(), "select: type mismatch (expected int, found float)");
+    }
+
+    #[test]
+    fn display_oid_out_of_range() {
+        let e = KernelError::OidOutOfRange { oid: 12, hseq: 0, len: 10 };
+        assert_eq!(e.to_string(), "oid 12 outside BAT [0, 10)");
+    }
+
+    #[test]
+    fn display_not_found_and_exists() {
+        assert_eq!(KernelError::NotFound("t".into()).to_string(), "not found: t");
+        assert_eq!(KernelError::AlreadyExists("t".into()).to_string(), "already exists: t");
+    }
+}

@@ -1,0 +1,191 @@
+//! Scalar values and data types.
+
+use crate::Oid;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Object identifier (tuple position).
+    Oid,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+            DataType::Oid => "oid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Value` is the boundary type between the typed bulk loops of the kernel
+/// and the untyped world of plans and SQL literals. The kernel never stores
+/// `Value`s row-by-row; they appear only as operator parameters (selection
+/// bounds, map constants) and scalar aggregate results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Object identifier.
+    Oid(Oid),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Bool(_) => DataType::Bool,
+            Value::Oid(_) => DataType::Oid,
+        }
+    }
+
+    /// Interpret as f64 where a numeric value is required (int widens).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Oid(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as i64 where an integral value is required.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Oid(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Total order across values of the same type; floats use IEEE total
+    /// ordering so that sorting is well-defined. Cross-type comparisons
+    /// compare numerics numerically and otherwise order by type tag.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Oid(a), Oid(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 0,
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Oid(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Oid(v) => write!(f, "{v}@oid"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_roundtrip() {
+        assert_eq!(Value::Int(1).data_type(), DataType::Int);
+        assert_eq!(Value::Float(1.0).data_type(), DataType::Float);
+        assert_eq!(Value::from("x").data_type(), DataType::Str);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(Value::Oid(3).data_type(), DataType::Oid);
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.0).as_i64(), None);
+    }
+
+    #[test]
+    fn total_cmp_same_type() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::from("b").total_cmp(&Value::from("a")), Ordering::Greater);
+    }
+
+    #[test]
+    fn total_cmp_mixed_numeric() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Oid(9).to_string(), "9@oid");
+    }
+}

@@ -1,0 +1,474 @@
+//! Lowering logical plans to MAL programs.
+//!
+//! The compiler follows MonetDB's columnar compilation scheme: selections
+//! produce candidate lists, every later attribute access goes through a
+//! `fetch`, and joins produce aligned oid pairs that act as row mappings
+//! back into each side's base columns. The output program is exactly the
+//! kind of "normal database query plan" the DataCell rewriter consumes
+//! (paper Fig. 3, left-hand sides).
+
+use crate::logical::{AggExpr, ColumnRef, LogicalPlan};
+use crate::mal::{MalBuilder, MalOp, MalPlan, VarId};
+use crate::PlanError;
+use datacell_kernel::algebra::Predicate;
+use std::collections::HashMap;
+
+/// Compile a logical plan into a MAL program.
+pub fn compile(plan: &LogicalPlan) -> crate::Result<MalPlan> {
+    let mut c = Compiler { b: MalBuilder::new(), binds: HashMap::new(), fetch_cache: HashMap::new() };
+    let scope = c.compile_rel(plan)?;
+    let (names, vars) = match scope.output {
+        Output::Columns(cols) => {
+            let mut names = Vec::new();
+            let mut vars = Vec::new();
+            for (name, var) in cols {
+                names.push(name);
+                vars.push(var);
+            }
+            (names, vars)
+        }
+    };
+    if names.is_empty() {
+        return Err(PlanError::Unsupported(
+            "plan produces no output columns; add a projection or aggregation".into(),
+        ));
+    }
+    let plan = c.b.finish(names, vars);
+    debug_assert!(plan.validate().is_ok(), "compiler produced invalid MAL:\n{}", plan.explain());
+    Ok(plan)
+}
+
+/// Where values of one base relation live inside a scope.
+#[derive(Debug, Clone)]
+struct SideBinding {
+    /// The base stream/table.
+    source: String,
+    /// Is it a stream (vs a persistent table)?
+    is_stream: bool,
+    /// Row mapping: a candidate BAT of global oids into `source`, aligned
+    /// with all other sides of the scope. `None` = identity (whole input).
+    cands: Option<VarId>,
+}
+
+/// The result of compiling a relational subtree.
+struct Scope {
+    /// One entry per reachable base relation; all `cands` aligned.
+    sides: Vec<SideBinding>,
+    /// Materialized output (set by projection-like nodes).
+    output: Output,
+}
+
+enum Output {
+    /// Named output columns.
+    Columns(Vec<(String, VarId)>),
+}
+
+struct Compiler {
+    b: MalBuilder,
+    /// Cache of raw binds: (source, attr) → var.
+    binds: HashMap<(String, String), VarId>,
+    /// Cache of fetches: (cands, bind) → var.
+    fetch_cache: HashMap<(VarId, VarId), VarId>,
+}
+
+impl Compiler {
+    fn bind(&mut self, side: &SideBinding, attr: &str) -> VarId {
+        let key = (side.source.clone(), attr.to_owned());
+        if let Some(v) = self.binds.get(&key) {
+            return *v;
+        }
+        let op = if side.is_stream {
+            MalOp::BindStream { stream: side.source.clone(), attr: attr.to_owned() }
+        } else {
+            MalOp::BindTable { table: side.source.clone(), attr: attr.to_owned() }
+        };
+        let v = self.b.emit(op);
+        self.binds.insert(key, v);
+        v
+    }
+
+    /// The values of `col` aligned with the scope's current rows.
+    fn values(&mut self, scope: &Scope, col: &ColumnRef) -> crate::Result<VarId> {
+        let side = scope
+            .sides
+            .iter()
+            .find(|s| s.source == col.source)
+            .ok_or_else(|| PlanError::UnknownColumn(col.to_string()))?
+            .clone();
+        let raw = self.bind(&side, &col.attr);
+        match side.cands {
+            None => Ok(raw),
+            Some(c) => Ok(self.fetch(c, raw)),
+        }
+    }
+
+    fn fetch(&mut self, cands: VarId, values: VarId) -> VarId {
+        if let Some(v) = self.fetch_cache.get(&(cands, values)) {
+            return *v;
+        }
+        let v = self.b.emit(MalOp::Fetch { cands, values });
+        self.fetch_cache.insert((cands, values), v);
+        v
+    }
+
+    fn compile_rel(&mut self, plan: &LogicalPlan) -> crate::Result<Scope> {
+        match plan {
+            LogicalPlan::ScanStream { stream } => Ok(Scope {
+                sides: vec![SideBinding { source: stream.clone(), is_stream: true, cands: None }],
+                output: Output::Columns(vec![]),
+            }),
+            LogicalPlan::ScanTable { table } => Ok(Scope {
+                sides: vec![SideBinding { source: table.clone(), is_stream: false, cands: None }],
+                output: Output::Columns(vec![]),
+            }),
+            LogicalPlan::Filter { input, column, pred } => {
+                let scope = self.compile_rel(input)?;
+                self.compile_filter(scope, column, pred)
+            }
+            LogicalPlan::Join { left, right, left_on, right_on } => {
+                let ls = self.compile_rel(left)?;
+                let rs = self.compile_rel(right)?;
+                self.compile_join(ls, rs, left_on, right_on)
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let scope = self.compile_rel(input)?;
+                self.compile_aggregate(scope, group_by.as_ref(), aggs)
+            }
+            LogicalPlan::Project { input, columns } => {
+                let scope = self.compile_rel(input)?;
+                let mut out = Vec::with_capacity(columns.len());
+                for (col, alias) in columns {
+                    let v = self.values(&scope, col)?;
+                    out.push((alias.clone(), v));
+                }
+                Ok(Scope { sides: scope.sides, output: Output::Columns(out) })
+            }
+            LogicalPlan::Distinct { input } => {
+                let scope = self.compile_rel(input)?;
+                let Output::Columns(cols) = &scope.output;
+                if cols.len() != 1 {
+                    return Err(PlanError::Unsupported(
+                        "distinct requires exactly one projected column".into(),
+                    ));
+                }
+                let (name, var) = cols[0].clone();
+                let d = self.b.emit(MalOp::Distinct { input: var });
+                Ok(Scope { sides: scope.sides, output: Output::Columns(vec![(name, d)]) })
+            }
+            LogicalPlan::OrderBy { input, column, desc } => {
+                let scope = self.compile_rel(input)?;
+                let Output::Columns(cols) = &scope.output;
+                if cols.is_empty() {
+                    return Err(PlanError::Unsupported("order by requires a projection".into()));
+                }
+                // Sort key: prefer an already-projected column with this
+                // attribute name; otherwise fetch it through the scope.
+                let cols = cols.clone();
+                let key_var = match cols.iter().find(|(n, _)| *n == column.attr) {
+                    Some((_, v)) => *v,
+                    None => self.values(&scope, column)?,
+                };
+                let perm = self.b.emit(MalOp::SortPerm { input: key_var, desc: *desc });
+                let mut out = Vec::with_capacity(cols.len());
+                for (name, var) in cols {
+                    out.push((name, self.fetch(perm, var)));
+                }
+                Ok(Scope { sides: scope.sides, output: Output::Columns(out) })
+            }
+            LogicalPlan::Limit { input, n } => {
+                let scope = self.compile_rel(input)?;
+                let Output::Columns(cols) = &scope.output;
+                let cols = cols.clone();
+                if cols.is_empty() {
+                    return Err(PlanError::Unsupported("limit requires a projection".into()));
+                }
+                let mut out = Vec::with_capacity(cols.len());
+                for (name, var) in cols {
+                    out.push((name, self.b.emit(MalOp::Slice { input: var, n: *n })));
+                }
+                Ok(Scope { sides: scope.sides, output: Output::Columns(out) })
+            }
+        }
+    }
+
+    fn compile_filter(
+        &mut self,
+        scope: Scope,
+        column: &ColumnRef,
+        pred: &Predicate,
+    ) -> crate::Result<Scope> {
+        let vals = self.values(&scope, column)?;
+        let sel = self.b.emit(MalOp::Select { input: vals, pred: pred.clone() });
+        // `sel` is positional when `vals` was fetched (hseq 0) and global
+        // when `vals` was a raw bind. Re-map every side's candidates.
+        let mut sides = Vec::with_capacity(scope.sides.len());
+        for side in &scope.sides {
+            let new_cands = match side.cands {
+                // Raw bind: `sel` holds global oids into this side already —
+                // but only the side the predicate touched. For other
+                // unfiltered sides this cannot happen (a multi-side scope
+                // always has materialized cands).
+                None => sel,
+                Some(c) => self.fetch(sel, c),
+            };
+            sides.push(SideBinding { cands: Some(new_cands), ..side.clone() });
+        }
+        Ok(Scope { sides, output: scope.output })
+    }
+
+    fn compile_join(
+        &mut self,
+        ls: Scope,
+        rs: Scope,
+        left_on: &ColumnRef,
+        right_on: &ColumnRef,
+    ) -> crate::Result<Scope> {
+        let lv = self.values(&ls, left_on)?;
+        let rv = self.values(&rs, right_on)?;
+        let (jl, jr) = self.b.emit_join(lv, rv);
+        // Join oids are positional into lv/rv when those were fetched;
+        // remap to global candidate lists per side.
+        let mut sides = Vec::new();
+        for side in &ls.sides {
+            let cands = match side.cands {
+                None => jl,
+                Some(c) => self.fetch(jl, c),
+            };
+            sides.push(SideBinding { cands: Some(cands), ..side.clone() });
+        }
+        for side in &rs.sides {
+            let cands = match side.cands {
+                None => jr,
+                Some(c) => self.fetch(jr, c),
+            };
+            sides.push(SideBinding { cands: Some(cands), ..side.clone() });
+        }
+        Ok(Scope { sides, output: Output::Columns(vec![]) })
+    }
+
+    fn compile_aggregate(
+        &mut self,
+        scope: Scope,
+        group_by: Option<&ColumnRef>,
+        aggs: &[AggExpr],
+    ) -> crate::Result<Scope> {
+        let mut out = Vec::new();
+        match group_by {
+            None => {
+                for agg in aggs {
+                    let vals = match &agg.input {
+                        Some(col) => self.values(&scope, col)?,
+                        None => {
+                            // count(*): count any side's candidate list; with
+                            // no candidates, count the first bound column.
+                            match scope.sides.first().and_then(|s| s.cands) {
+                                Some(c) => c,
+                                None => {
+                                    let side = scope.sides.first().ok_or_else(|| {
+                                        PlanError::Unsupported("count(*) without input".into())
+                                    })?;
+                                    return Err(PlanError::Unsupported(format!(
+                                        "count(*) over unfiltered scan of {} — name a column instead",
+                                        side.source
+                                    )));
+                                }
+                            }
+                        }
+                    };
+                    let v = self.b.emit(MalOp::ScalarAgg { kind: agg.kind, vals });
+                    out.push((agg.alias.clone(), v));
+                }
+            }
+            Some(gcol) => {
+                let keys = self.values(&scope, gcol)?;
+                let g = self.b.emit(MalOp::Group { keys });
+                let k = self.b.emit(MalOp::GroupKeys { groups: g, keys });
+                out.push((gcol.attr.clone(), k));
+                for agg in aggs {
+                    let vals = match &agg.input {
+                        Some(col) => Some(self.values(&scope, col)?),
+                        None => None,
+                    };
+                    let v = self.b.emit(MalOp::GroupedAgg { kind: agg.kind, vals, groups: g });
+                    out.push((agg.alias.clone(), v));
+                }
+            }
+        }
+        Ok(Scope { sides: scope.sides, output: Output::Columns(out) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, WindowCtx};
+    use datacell_basket::BasicWindow;
+    use datacell_kernel::algebra::AggKind;
+    use datacell_kernel::{Column, Value};
+
+    fn col(s: &str, a: &str) -> ColumnRef {
+        ColumnRef::new(s, a)
+    }
+
+    fn window(xs: Vec<i64>, ys: Vec<i64>) -> BasicWindow {
+        let n = xs.len();
+        BasicWindow::new(
+            0,
+            vec![Column::Int(xs), Column::Int(ys)],
+            vec![0; n],
+            vec!["x1".into(), "x2".into()],
+        )
+    }
+
+    #[test]
+    fn q1_compiles_and_runs() {
+        // Q1: SELECT x1, sum(x2) FROM s WHERE x1 > 10 GROUP BY x1
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "x1"), Predicate::gt(10))
+            .aggregate(Some(col("s", "x1")), vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "sum_x2")]);
+        let mal = compile(&p).unwrap();
+        mal.validate().unwrap();
+        assert_eq!(mal.result_names, vec!["x1".to_owned(), "sum_x2".to_owned()]);
+
+        let w = window(vec![20, 5, 20, 30], vec![1, 2, 3, 4]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&mal, &ctx).unwrap();
+        assert_eq!(
+            rs.sorted_rows(),
+            vec![vec![Value::Int(20), Value::Int(4)], vec![Value::Int(30), Value::Int(4)]]
+        );
+    }
+
+    #[test]
+    fn q2_join_compiles_and_runs() {
+        // Q2: SELECT max(s1.x1), avg(s2.x1) FROM s1, s2 WHERE s1.x2 = s2.x2
+        let p = LogicalPlan::stream("s1").join(
+            LogicalPlan::stream("s2"),
+            col("s1", "x2"),
+            col("s2", "x2"),
+        );
+        let p = p.aggregate(
+            None,
+            vec![
+                AggExpr::new(AggKind::Max, col("s1", "x1"), "max1"),
+                AggExpr::new(AggKind::Avg, col("s2", "x1"), "avg2"),
+            ],
+        );
+        let mal = compile(&p).unwrap();
+        let w1 = window(vec![100, 200, 300], vec![1, 2, 9]);
+        let w2 = window(vec![10, 20, 30], vec![2, 1, 7]);
+        let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2);
+        let rs = execute(&mal, &ctx).unwrap();
+        // Matches: s1 rows (x2=1,2) with s2 rows (x2=1,2): max(s1.x1 of
+        // matches {100,200}) = 200; avg(s2.x1 of matches {20,10}) = 15.
+        assert_eq!(rs.rows(), vec![vec![Value::Int(200), Value::Float(15.0)]]);
+    }
+
+    #[test]
+    fn projection_of_filtered_stream() {
+        // Fig 3a: SELECT a FROM s WHERE a < v1
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "x1"), Predicate::lt(10))
+            .project(vec![(col("s", "x1"), "a".into())]);
+        let mal = compile(&p).unwrap();
+        let w = window(vec![5, 20, 7], vec![0, 0, 0]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&mal, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(5)], vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn two_filters_chain_candidates() {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "x1"), Predicate::gt(1))
+            .filter(col("s", "x2"), Predicate::lt(30))
+            .project(vec![(col("s", "x1"), "a".into()), (col("s", "x2"), "b".into())]);
+        let mal = compile(&p).unwrap();
+        let w = window(vec![1, 2, 3, 4], vec![10, 20, 30, 40]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&mal, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(2), Value::Int(20)]]);
+    }
+
+    #[test]
+    fn filtered_join_both_sides() {
+        let p = LogicalPlan::stream("s1")
+            .filter(col("s1", "x1"), Predicate::gt(0))
+            .join(
+                LogicalPlan::stream("s2").filter(col("s2", "x1"), Predicate::gt(0)),
+                col("s1", "x2"),
+                col("s2", "x2"),
+            )
+            .aggregate(None, vec![AggExpr::new(AggKind::Count, col("s1", "x1"), "n")]);
+        let mal = compile(&p).unwrap();
+        let w1 = window(vec![1, -1, 2], vec![7, 7, 8]);
+        let w2 = window(vec![5, 6], vec![8, 7]);
+        let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2);
+        let rs = execute(&mal, &ctx).unwrap();
+        // s1 keeps rows (x1>0): x2 in {7, 8}; s2 keeps both: x2 in {8, 7}.
+        // matches: 7-7 and 8-8 -> 2 pairs.
+        assert_eq!(rs.rows(), vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn distinct_and_order_and_limit() {
+        let p = LogicalPlan::stream("s")
+            .project(vec![(col("s", "x1"), "a".into())])
+            .distinct()
+            .order_by(col("s", "a"), false)
+            .limit(2);
+        let mal = compile(&p).unwrap();
+        let w = window(vec![3, 1, 3, 2], vec![0, 0, 0, 0]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&mal, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn distinct_requires_single_column() {
+        let p = LogicalPlan::stream("s")
+            .project(vec![(col("s", "x1"), "a".into()), (col("s", "x2"), "b".into())])
+            .distinct();
+        assert!(matches!(compile(&p), Err(PlanError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let p = LogicalPlan::stream("s").filter(col("zzz", "x"), Predicate::gt(0));
+        let p = p.project(vec![(col("s", "x1"), "a".into())]);
+        assert!(matches!(compile(&p), Err(PlanError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn bare_scan_has_no_output() {
+        let p = LogicalPlan::stream("s");
+        assert!(matches!(compile(&p), Err(PlanError::Unsupported(_))));
+    }
+
+    #[test]
+    fn fetch_cache_avoids_duplicate_instructions() {
+        // x1 used twice under same candidates: only one fetch emitted.
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "x1"), Predicate::gt(0))
+            .aggregate(
+                None,
+                vec![
+                    AggExpr::new(AggKind::Min, col("s", "x1"), "lo"),
+                    AggExpr::new(AggKind::Max, col("s", "x1"), "hi"),
+                ],
+            );
+        let mal = compile(&p).unwrap();
+        let fetches = mal.instrs.iter().filter(|i| matches!(i.op, MalOp::Fetch { .. })).count();
+        assert_eq!(fetches, 1);
+    }
+
+    #[test]
+    fn stream_table_join() {
+        let p = LogicalPlan::stream("s")
+            .join(LogicalPlan::table("dim"), col("s", "x1"), col("dim", "k"))
+            .aggregate(None, vec![AggExpr::new(AggKind::Count, col("dim", "k"), "n")]);
+        let mal = compile(&p).unwrap();
+        assert_eq!(mal.streams, vec!["s".to_owned()]);
+        assert!(mal.instrs.iter().any(|i| matches!(i.op, MalOp::BindTable { .. })));
+    }
+}

@@ -1,0 +1,69 @@
+//! Plan-layer errors.
+
+use datacell_basket::BasketError;
+use datacell_kernel::KernelError;
+use std::fmt;
+
+/// Errors raised while building, compiling or executing plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A column reference could not be resolved against the plan's inputs.
+    UnknownColumn(String),
+    /// A stream or table referenced by the plan is missing from the context.
+    UnknownSource(String),
+    /// The plan shape is not supported by the compiler.
+    Unsupported(String),
+    /// The executor found an uninitialized variable — a compiler bug.
+    Internal(String),
+    /// Error surfaced from the kernel.
+    Kernel(KernelError),
+    /// Error surfaced from the basket layer.
+    Basket(BasketError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            PlanError::UnknownSource(s) => write!(f, "unknown stream/table: {s}"),
+            PlanError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+            PlanError::Internal(m) => write!(f, "internal plan error: {m}"),
+            PlanError::Kernel(e) => write!(f, "kernel: {e}"),
+            PlanError::Basket(e) => write!(f, "basket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<KernelError> for PlanError {
+    fn from(e: KernelError) -> Self {
+        PlanError::Kernel(e)
+    }
+}
+
+impl From<BasketError> for PlanError {
+    fn from(e: BasketError) -> Self {
+        PlanError::Basket(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(PlanError::UnknownColumn("x".into()).to_string(), "unknown column: x");
+        assert_eq!(PlanError::UnknownSource("s".into()).to_string(), "unknown stream/table: s");
+        assert!(PlanError::Unsupported("m".into()).to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn conversions() {
+        let k: PlanError = KernelError::NotFound("t".into()).into();
+        assert!(matches!(k, PlanError::Kernel(_)));
+        let b: PlanError = BasketError::UnknownColumn("c".into()).into();
+        assert!(matches!(b, PlanError::Basket(_)));
+    }
+}

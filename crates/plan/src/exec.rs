@@ -1,0 +1,418 @@
+//! The MAL interpreter: one-shot plan execution.
+//!
+//! [`execute`] runs a [`MalPlan`] against a set of stream windows and the
+//! catalog. This is exactly how DataCellR (the re-evaluation baseline)
+//! evaluates a continuous query: "every time a window is complete ... we
+//! compute the result over all tuples in the window" (paper §3).
+//!
+//! [`eval_op`] — the single-instruction evaluator — is shared with the
+//! incremental runtime in `datacell-core`, which feeds it *basic windows*
+//! instead of whole windows and caches the per-instruction intermediates.
+
+use crate::mal::{MalOp, MalPlan, MalValue};
+use crate::result::ResultSet;
+use crate::PlanError;
+use datacell_basket::BasicWindow;
+use datacell_kernel::algebra::{self, AggKind, ArithOp};
+use datacell_kernel::{Bat, Catalog, Column, Table};
+#[cfg(test)]
+use datacell_kernel::Value;
+use std::collections::HashMap;
+
+/// Execution context: where `basket.bind` and `sql.bind` find their data.
+pub trait ExecCtx {
+    /// The window content of a stream (whole window for one-shot execution,
+    /// a basic window in incremental mode).
+    fn stream_window(&self, stream: &str) -> Option<&BasicWindow>;
+    /// A persistent table.
+    fn table(&self, name: &str) -> Option<&Table>;
+}
+
+/// A simple context over borrowed windows and an optional catalog.
+#[derive(Default)]
+pub struct WindowCtx<'a> {
+    windows: HashMap<String, &'a BasicWindow>,
+    catalog: Option<&'a Catalog>,
+}
+
+impl<'a> WindowCtx<'a> {
+    /// Empty context.
+    pub fn new() -> WindowCtx<'a> {
+        WindowCtx::default()
+    }
+
+    /// Bind a stream name to a window.
+    pub fn with_stream(mut self, name: impl Into<String>, w: &'a BasicWindow) -> WindowCtx<'a> {
+        self.windows.insert(name.into(), w);
+        self
+    }
+
+    /// Attach a catalog.
+    pub fn with_catalog(mut self, cat: &'a Catalog) -> WindowCtx<'a> {
+        self.catalog = Some(cat);
+        self
+    }
+}
+
+impl<'a> ExecCtx for WindowCtx<'a> {
+    fn stream_window(&self, stream: &str) -> Option<&BasicWindow> {
+        self.windows.get(stream).copied()
+    }
+
+    fn table(&self, name: &str) -> Option<&Table> {
+        self.catalog.and_then(|c| c.table(name).ok())
+    }
+}
+
+/// Evaluate one MAL operator given its argument values (in [`MalOp::args`]
+/// order). Returns one value per destination.
+pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Result<Vec<MalValue>> {
+    let out = match op {
+        MalOp::BindStream { stream, attr } => {
+            let w = ctx
+                .stream_window(stream)
+                .ok_or_else(|| PlanError::UnknownSource(stream.clone()))?;
+            vec![MalValue::Bat(w.bat_by_name(attr)?)]
+        }
+        MalOp::BindTable { table, attr } => {
+            let t = ctx.table(table).ok_or_else(|| PlanError::UnknownSource(table.clone()))?;
+            vec![MalValue::Bat(t.bat(attr)?)]
+        }
+        MalOp::Select { pred, .. } => {
+            let b = args[0].as_bat("select input")?;
+            vec![MalValue::Bat(algebra::select(b, pred)?)]
+        }
+        MalOp::Fetch { .. } => {
+            let cands = args[0].as_bat("fetch cands")?;
+            let values = args[1].as_bat("fetch values")?;
+            vec![MalValue::Bat(algebra::fetch(cands, values)?)]
+        }
+        MalOp::Join { .. } => {
+            let l = args[0].as_bat("join left")?;
+            let r = args[1].as_bat("join right")?;
+            let (lo, ro) = algebra::hashjoin(l, r)?;
+            vec![MalValue::Bat(lo), MalValue::Bat(ro)]
+        }
+        MalOp::Group { .. } => {
+            let keys = args[0].as_bat("group keys")?;
+            vec![MalValue::Groups(algebra::group(keys)?)]
+        }
+        MalOp::GroupKeys { .. } => {
+            let groups = args[0].as_groups("groupkeys")?;
+            let keys = args[1].as_bat("groupkeys source")?;
+            vec![MalValue::Bat(Bat::transient(groups.keys(keys)?))]
+        }
+        MalOp::GroupedAgg { kind, vals, groups: _ } => {
+            // args order: [vals?, groups]
+            let (vals_bat, groups) = match vals {
+                Some(_) => (Some(args[0].as_bat("grouped agg vals")?), args[1].as_groups("grouped agg")?),
+                None => (None, args[0].as_groups("grouped agg")?),
+            };
+            let col = match kind {
+                AggKind::Count => algebra::count_grouped(groups),
+                AggKind::Sum => algebra::sum_grouped(req(vals_bat, "sum")?, groups)?,
+                AggKind::Min => algebra::min_grouped(req(vals_bat, "min")?, groups)?,
+                AggKind::Max => algebra::max_grouped(req(vals_bat, "max")?, groups)?,
+                AggKind::Avg => {
+                    let v = req(vals_bat, "avg")?;
+                    let sums = algebra::sum_grouped(v, groups)?;
+                    let counts = algebra::count_grouped(groups);
+                    let sums_b = Bat::transient(sums);
+                    let counts_b = Bat::transient(counts);
+                    algebra::map_arith(&sums_b, &counts_b, ArithOp::Div)?.tail
+                }
+            };
+            vec![MalValue::Bat(Bat::transient(col))]
+        }
+        MalOp::ScalarAgg { kind, .. } => {
+            let b = args[0].as_bat("scalar agg")?;
+            vec![scalar_agg(*kind, b)?]
+        }
+        MalOp::Concat { parts } => {
+            if parts.is_empty() {
+                return Err(PlanError::Internal("concat of zero parts".into()));
+            }
+            let bats: Vec<&Bat> = args
+                .iter()
+                .map(|v| v.as_bat("concat part"))
+                .collect::<crate::Result<_>>()?;
+            vec![MalValue::Bat(algebra::concat(&bats)?)]
+        }
+        MalOp::MapArith { op, .. } => {
+            let l = args[0].as_bat("map left")?;
+            let r = args[1].as_bat("map right")?;
+            vec![MalValue::Bat(algebra::map_arith(l, r, *op)?)]
+        }
+        MalOp::MapScalar { op, value, .. } => {
+            let b = args[0].as_bat("map input")?;
+            vec![MalValue::Bat(algebra::map_arith_scalar(b, *op, value)?)]
+        }
+        MalOp::DivScalar { .. } => {
+            let num = args[0].as_scalar("div num")?;
+            let den = args[1].as_scalar("div den")?;
+            match (num, den) {
+                (Some(n), Some(d)) => match algebra::div_values(n, d)? {
+                    Some(v) => vec![MalValue::Scalar(v)],
+                    None => vec![MalValue::Absent],
+                },
+                _ => vec![MalValue::Absent],
+            }
+        }
+        MalOp::Sort { desc, .. } => {
+            let b = args[0].as_bat("sort")?;
+            let sorted = algebra::sort(b)?;
+            vec![MalValue::Bat(if *desc { reverse_bat(&sorted) } else { sorted })]
+        }
+        MalOp::SortPerm { desc, .. } => {
+            let b = args[0].as_bat("sortperm")?;
+            let mut perm = algebra::sort_perm(b)?;
+            if *desc {
+                perm.reverse();
+            }
+            // Emit head oids (not positions) so a later Fetch against the
+            // same input resolves regardless of the input's hseq.
+            let col = Column::Oid(perm.into_iter().map(|p| b.hseq + p as u64).collect());
+            vec![MalValue::Bat(Bat::transient(col))]
+        }
+        MalOp::Distinct { .. } => {
+            let b = args[0].as_bat("distinct")?;
+            vec![MalValue::Bat(algebra::distinct(b)?)]
+        }
+        MalOp::Slice { n, .. } => {
+            let b = args[0].as_bat("slice")?;
+            let take = (*n).min(b.len());
+            vec![MalValue::Bat(Bat::transient(b.tail.slice_owned(0, take)))]
+        }
+    };
+    Ok(out)
+}
+
+fn req<'a>(b: Option<&'a Bat>, kind: &str) -> crate::Result<&'a Bat> {
+    b.ok_or_else(|| PlanError::Internal(format!("grouped {kind} requires a value column")))
+}
+
+/// Scalar aggregation with SQL empty-set semantics: `count` of nothing is
+/// 0; `sum`/`min`/`max`/`avg` of nothing are absent.
+pub fn scalar_agg(kind: AggKind, b: &Bat) -> crate::Result<MalValue> {
+    Ok(match kind {
+        AggKind::Count => MalValue::Scalar(algebra::count(b)),
+        AggKind::Sum => {
+            if b.is_empty() {
+                MalValue::Absent
+            } else {
+                MalValue::Scalar(algebra::sum(b)?)
+            }
+        }
+        AggKind::Min => algebra::min(b)?.map_or(MalValue::Absent, MalValue::Scalar),
+        AggKind::Max => algebra::max(b)?.map_or(MalValue::Absent, MalValue::Scalar),
+        AggKind::Avg => algebra::avg(b)?.map_or(MalValue::Absent, MalValue::Scalar),
+    })
+}
+
+fn reverse_bat(b: &Bat) -> Bat {
+    let n = b.len();
+    let mut out = Column::with_capacity(b.data_type(), n);
+    for i in (0..n).rev() {
+        out.push(b.value_at(i).expect("in range")).expect("same type");
+    }
+    Bat::transient(out)
+}
+
+/// Execute a whole MAL program against a context.
+pub fn execute(plan: &MalPlan, ctx: &dyn ExecCtx) -> crate::Result<ResultSet> {
+    let mut env: Vec<Option<MalValue>> = vec![None; plan.nvars];
+    for ins in &plan.instrs {
+        let arg_ids = ins.op.args();
+        let mut args = Vec::with_capacity(arg_ids.len());
+        for a in &arg_ids {
+            args.push(
+                env[*a]
+                    .as_ref()
+                    .ok_or_else(|| PlanError::Internal(format!("X_{a} read before write")))?,
+            );
+        }
+        let outs = eval_op(&ins.op, &args, ctx)?;
+        debug_assert_eq!(outs.len(), ins.dests.len());
+        for (d, v) in ins.dests.iter().zip(outs) {
+            env[*d] = Some(v);
+        }
+    }
+    let mut vals = Vec::with_capacity(plan.result_vars.len());
+    for v in &plan.result_vars {
+        vals.push(
+            env[*v]
+                .take()
+                .ok_or_else(|| PlanError::Internal(format!("result X_{v} never written")))?,
+        );
+    }
+    ResultSet::from_mal(plan.result_names.clone(), vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mal::MalBuilder;
+    use datacell_kernel::algebra::Predicate;
+    use datacell_kernel::DataType;
+
+    fn window(xs: Vec<i64>, ys: Vec<i64>) -> BasicWindow {
+        let n = xs.len();
+        BasicWindow::new(
+            0,
+            vec![Column::Int(xs), Column::Int(ys)],
+            vec![0; n],
+            vec!["x1".into(), "x2".into()],
+        )
+    }
+
+    #[test]
+    fn execute_select_sum() {
+        // SELECT sum(x2) FROM s WHERE x1 > 10
+        let mut b = MalBuilder::new();
+        let x1 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let x2 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x2".into() });
+        let c = b.emit(MalOp::Select { input: x1, pred: Predicate::gt(10) });
+        let v = b.emit(MalOp::Fetch { cands: c, values: x2 });
+        let s = b.emit(MalOp::ScalarAgg { kind: AggKind::Sum, vals: v });
+        let plan = b.finish(vec!["sum_x2".into()], vec![s]);
+        plan.validate().unwrap();
+
+        let w = window(vec![5, 20, 30, 7], vec![1, 2, 3, 4]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn execute_grouped_aggregate() {
+        // SELECT x1, sum(x2) FROM s GROUP BY x1
+        let mut b = MalBuilder::new();
+        let x1 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let x2 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x2".into() });
+        let g = b.emit(MalOp::Group { keys: x1 });
+        let k = b.emit(MalOp::GroupKeys { groups: g, keys: x1 });
+        let s = b.emit(MalOp::GroupedAgg { kind: AggKind::Sum, vals: Some(x2), groups: g });
+        let plan = b.finish(vec!["x1".into(), "sum_x2".into()], vec![k, s]);
+
+        let w = window(vec![1, 2, 1], vec![10, 20, 30]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(
+            rs.sorted_rows(),
+            vec![vec![Value::Int(1), Value::Int(40)], vec![Value::Int(2), Value::Int(20)]]
+        );
+    }
+
+    #[test]
+    fn execute_join() {
+        let mut b = MalBuilder::new();
+        let a = b.emit(MalOp::BindStream { stream: "s1".into(), attr: "x1".into() });
+        let c = b.emit(MalOp::BindStream { stream: "s2".into(), attr: "x1".into() });
+        let (jl, _jr) = b.emit_join(a, c);
+        let v = b.emit(MalOp::Fetch { cands: jl, values: a });
+        let m = b.emit(MalOp::ScalarAgg { kind: AggKind::Max, vals: v });
+        let plan = b.finish(vec!["max".into()], vec![m]);
+
+        let w1 = BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
+        let w2 = BasicWindow::new(0, vec![Column::Int(vec![2, 3, 4])], vec![0; 3], vec!["x1".into()]);
+        let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn scalar_agg_empty_semantics() {
+        let empty = Bat::empty(DataType::Int);
+        assert_eq!(scalar_agg(AggKind::Count, &empty).unwrap(), MalValue::Scalar(Value::Int(0)));
+        assert_eq!(scalar_agg(AggKind::Sum, &empty).unwrap(), MalValue::Absent);
+        assert_eq!(scalar_agg(AggKind::Min, &empty).unwrap(), MalValue::Absent);
+        assert_eq!(scalar_agg(AggKind::Avg, &empty).unwrap(), MalValue::Absent);
+    }
+
+    #[test]
+    fn avg_scalar_and_grouped() {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let a = b.emit(MalOp::ScalarAgg { kind: AggKind::Avg, vals: x });
+        let plan = b.finish(vec!["a".into()], vec![a]);
+        let w = BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        assert_eq!(execute(&plan, &ctx).unwrap().rows(), vec![vec![Value::Float(2.0)]]);
+
+        let mut b = MalBuilder::new();
+        let x1 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let g = b.emit(MalOp::Group { keys: x1 });
+        let a = b.emit(MalOp::GroupedAgg { kind: AggKind::Avg, vals: Some(x1), groups: g });
+        let plan = b.finish(vec!["a".into()], vec![a]);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn missing_stream_is_unknown_source() {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "ghost".into(), attr: "x".into() });
+        let plan = b.finish(vec!["x".into()], vec![x]);
+        let ctx = WindowCtx::new();
+        assert!(matches!(execute(&plan, &ctx), Err(PlanError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn bind_table_from_catalog() {
+        let mut cat = Catalog::new();
+        let mut t = Table::new("dim", &[("k", DataType::Int)]);
+        t.append(&[Column::Int(vec![7, 8])]).unwrap();
+        cat.create_table(t).unwrap();
+
+        let mut b = MalBuilder::new();
+        let k = b.emit(MalOp::BindTable { table: "dim".into(), attr: "k".into() });
+        let s = b.emit(MalOp::ScalarAgg { kind: AggKind::Sum, vals: k });
+        let plan = b.finish(vec!["s".into()], vec![s]);
+        let ctx = WindowCtx::new().with_catalog(&cat);
+        assert_eq!(execute(&plan, &ctx).unwrap().rows(), vec![vec![Value::Int(15)]]);
+    }
+
+    #[test]
+    fn sort_and_slice_ops() {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let srt = b.emit(MalOp::Sort { input: x, desc: true });
+        let top = b.emit(MalOp::Slice { input: srt, n: 2 });
+        let plan = b.finish(vec!["x".into()], vec![top]);
+        let w = BasicWindow::new(0, vec![Column::Int(vec![5, 9, 1])], vec![0; 3], vec!["x1".into()]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(rs.rows(), vec![vec![Value::Int(9)], vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn sortperm_applies_via_fetch() {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let y = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x2".into() });
+        let p = b.emit(MalOp::SortPerm { input: x, desc: false });
+        let ys = b.emit(MalOp::Fetch { cands: p, values: y });
+        let plan = b.finish(vec!["y".into()], vec![ys]);
+        let w = window(vec![3, 1, 2], vec![30, 10, 20]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        let rs = execute(&plan, &ctx).unwrap();
+        assert_eq!(
+            rs.rows(),
+            vec![vec![Value::Int(10)], vec![Value::Int(20)], vec![Value::Int(30)]]
+        );
+    }
+
+    #[test]
+    fn div_scalar_absent_propagation() {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let sum = b.emit(MalOp::ScalarAgg { kind: AggKind::Sum, vals: x });
+        let cnt = b.emit(MalOp::ScalarAgg { kind: AggKind::Count, vals: x });
+        let d = b.emit(MalOp::DivScalar { num: sum, den: cnt });
+        let plan = b.finish(vec!["avg".into()], vec![d]);
+        let w = BasicWindow::new(0, vec![Column::empty(DataType::Int)], vec![], vec!["x1".into()]);
+        let ctx = WindowCtx::new().with_stream("s", &w);
+        // Empty window: sum is absent -> avg row dropped.
+        assert!(execute(&plan, &ctx).unwrap().is_empty());
+    }
+}

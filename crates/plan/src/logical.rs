@@ -1,0 +1,323 @@
+//! Logical (relational) plans.
+//!
+//! The tree the SQL front-end produces and the optimizer massages. A
+//! logical plan references stream/table attributes via [`ColumnRef`]s that
+//! carry their source qualifier, so multi-stream queries are unambiguous.
+
+use datacell_kernel::algebra::{AggKind, Predicate};
+use std::fmt;
+
+/// A qualified column reference, e.g. `s1.x2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// The stream or table the attribute belongs to.
+    pub source: String,
+    /// Attribute name.
+    pub attr: String,
+}
+
+impl ColumnRef {
+    /// Build a reference.
+    pub fn new(source: impl Into<String>, attr: impl Into<String>) -> ColumnRef {
+        ColumnRef { source: source.into(), attr: attr.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.source, self.attr)
+    }
+}
+
+/// One aggregate expression in a query's select list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub kind: AggKind,
+    /// The aggregated column. `None` only for `count(*)`.
+    pub input: Option<ColumnRef>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// `kind(col) AS alias`.
+    pub fn new(kind: AggKind, input: ColumnRef, alias: impl Into<String>) -> AggExpr {
+        AggExpr { kind, input: Some(input), alias: alias.into() }
+    }
+
+    /// `count(*) AS alias`.
+    pub fn count_star(alias: impl Into<String>) -> AggExpr {
+        AggExpr { kind: AggKind::Count, input: None, alias: alias.into() }
+    }
+}
+
+/// A relational plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a registered stream; in a continuous query this is the window
+    /// content at each firing.
+    ScanStream {
+        /// Stream name.
+        stream: String,
+    },
+    /// Scan a persistent catalog table.
+    ScanTable {
+        /// Table name.
+        table: String,
+    },
+    /// Filter tuples of `input` by a predicate over one column.
+    Filter {
+        /// Child plan.
+        input: Box<LogicalPlan>,
+        /// The filtered column.
+        column: ColumnRef,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// Equi-join two inputs.
+    Join {
+        /// Left child.
+        left: Box<LogicalPlan>,
+        /// Right child.
+        right: Box<LogicalPlan>,
+        /// Join key on the left.
+        left_on: ColumnRef,
+        /// Join key on the right.
+        right_on: ColumnRef,
+    },
+    /// Grouped or scalar aggregation.
+    Aggregate {
+        /// Child plan.
+        input: Box<LogicalPlan>,
+        /// Group-by column; `None` for scalar aggregation over the window.
+        group_by: Option<ColumnRef>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+    /// Project columns (the non-aggregate select list).
+    Project {
+        /// Child plan.
+        input: Box<LogicalPlan>,
+        /// Columns to emit, with output names.
+        columns: Vec<(ColumnRef, String)>,
+    },
+    /// Remove duplicate rows (single-column form).
+    Distinct {
+        /// Child plan (must project exactly one column).
+        input: Box<LogicalPlan>,
+    },
+    /// Order the output by one column.
+    OrderBy {
+        /// Child plan.
+        input: Box<LogicalPlan>,
+        /// Sort column.
+        column: ColumnRef,
+        /// Descending?
+        desc: bool,
+    },
+    /// Keep only the first `n` rows.
+    Limit {
+        /// Child plan.
+        input: Box<LogicalPlan>,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// All streams scanned by this plan, in left-to-right scan order.
+    pub fn streams(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_streams(&mut out);
+        out
+    }
+
+    fn collect_streams(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::ScanStream { stream } => {
+                if !out.contains(stream) {
+                    out.push(stream.clone());
+                }
+            }
+            LogicalPlan::ScanTable { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::OrderBy { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_streams(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_streams(out);
+                right.collect_streams(out);
+            }
+        }
+    }
+
+    /// Pretty, indented rendering (used by `EXPLAIN` output and tests).
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.fmt_tree(&mut s, 0);
+        s
+    }
+
+    fn fmt_tree(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::ScanStream { stream } => {
+                out.push_str(&format!("{pad}scan stream {stream}\n"));
+            }
+            LogicalPlan::ScanTable { table } => {
+                out.push_str(&format!("{pad}scan table {table}\n"));
+            }
+            LogicalPlan::Filter { input, column, pred } => {
+                out.push_str(&format!("{pad}filter {column} {pred:?}\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::Join { left, right, left_on, right_on } => {
+                out.push_str(&format!("{pad}join {left_on} = {right_on}\n"));
+                left.fmt_tree(out, depth + 1);
+                right.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let aggs_s: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match &a.input {
+                        Some(c) => format!("{}({}) as {}", a.kind.sql(), c, a.alias),
+                        None => format!("count(*) as {}", a.alias),
+                    })
+                    .collect();
+                match group_by {
+                    Some(g) => out.push_str(&format!("{pad}aggregate [{}] group by {g}\n", aggs_s.join(", "))),
+                    None => out.push_str(&format!("{pad}aggregate [{}]\n", aggs_s.join(", "))),
+                }
+                input.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::Project { input, columns } => {
+                let cols: Vec<String> =
+                    columns.iter().map(|(c, a)| format!("{c} as {a}")).collect();
+                out.push_str(&format!("{pad}project [{}]\n", cols.join(", ")));
+                input.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}distinct\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::OrderBy { input, column, desc } => {
+                out.push_str(&format!("{pad}order by {column}{}\n", if *desc { " desc" } else { "" }));
+                input.fmt_tree(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}limit {n}\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Builder helpers so examples/tests can assemble plans tersely.
+impl LogicalPlan {
+    /// `scan stream`.
+    pub fn stream(name: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::ScanStream { stream: name.into() }
+    }
+
+    /// `scan table`.
+    pub fn table(name: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::ScanTable { table: name.into() }
+    }
+
+    /// Add a filter on top.
+    pub fn filter(self, column: ColumnRef, pred: Predicate) -> LogicalPlan {
+        LogicalPlan::Filter { input: Box::new(self), column, pred }
+    }
+
+    /// Join with another plan.
+    pub fn join(self, right: LogicalPlan, left_on: ColumnRef, right_on: ColumnRef) -> LogicalPlan {
+        LogicalPlan::Join { left: Box::new(self), right: Box::new(right), left_on, right_on }
+    }
+
+    /// Aggregate on top.
+    pub fn aggregate(self, group_by: Option<ColumnRef>, aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    /// Project on top.
+    pub fn project(self, columns: Vec<(ColumnRef, String)>) -> LogicalPlan {
+        LogicalPlan::Project { input: Box::new(self), columns }
+    }
+
+    /// Distinct on top.
+    pub fn distinct(self) -> LogicalPlan {
+        LogicalPlan::Distinct { input: Box::new(self) }
+    }
+
+    /// Order-by on top.
+    pub fn order_by(self, column: ColumnRef, desc: bool) -> LogicalPlan {
+        LogicalPlan::OrderBy { input: Box::new(self), column, desc }
+    }
+
+    /// Limit on top.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit { input: Box::new(self), n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(s: &str, a: &str) -> ColumnRef {
+        ColumnRef::new(s, a)
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(col("s1", "x2").to_string(), "s1.x2");
+    }
+
+    #[test]
+    fn streams_deduplicated_in_order() {
+        let p = LogicalPlan::stream("a")
+            .join(LogicalPlan::stream("b"), col("a", "k"), col("b", "k"))
+            .join(LogicalPlan::stream("a"), col("a", "k"), col("a", "k"));
+        assert_eq!(p.streams(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn tables_are_not_streams() {
+        let p = LogicalPlan::stream("s").join(LogicalPlan::table("t"), col("s", "k"), col("t", "k"));
+        assert_eq!(p.streams(), vec!["s".to_owned()]);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "x1"), Predicate::gt(10))
+            .aggregate(Some(col("s", "x1")), vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "s2")]);
+        let e = p.explain();
+        assert!(e.contains("aggregate [sum(s.x2) as s2] group by s.x1"));
+        assert!(e.contains("filter s.x1"));
+        assert!(e.contains("scan stream s"));
+        // Indentation increases with depth.
+        assert!(e.lines().nth(1).unwrap().starts_with("  "));
+    }
+
+    #[test]
+    fn count_star_has_no_input() {
+        let a = AggExpr::count_star("n");
+        assert_eq!(a.kind, AggKind::Count);
+        assert!(a.input.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = LogicalPlan::stream("s")
+            .project(vec![(col("s", "a"), "a".into())])
+            .distinct()
+            .order_by(col("s", "a"), true)
+            .limit(5);
+        assert!(matches!(p, LogicalPlan::Limit { n: 5, .. }));
+        assert!(p.explain().contains("order by s.a desc"));
+    }
+}

@@ -1,0 +1,517 @@
+//! MAL-like physical plans.
+//!
+//! MonetDB compiles SQL into MAL: a flat program of columnar kernel calls
+//! where **every instruction materializes its result into a variable**. The
+//! DataCell rewriter needs exactly this representation — the explicit
+//! intermediates are the "breakpoints in multiple parts of a query plan"
+//! (paper §3) where execution can be frozen, partial results cached, and
+//! processing resumed when the window slides.
+//!
+//! A [`MalPlan`] is a straight-line SSA-ish program: each [`Instr`] writes
+//! one or more fresh [`VarId`]s and reads earlier ones. The final
+//! result-set columns are designated by `result_vars`.
+
+use datacell_kernel::algebra::{AggKind, ArithOp, Groups, Predicate};
+use datacell_kernel::{Bat, Value};
+use std::fmt;
+
+/// Index of a MAL variable.
+pub type VarId = usize;
+
+/// A runtime value bound to a MAL variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalValue {
+    /// A columnar intermediate.
+    Bat(Bat),
+    /// A grouping structure (`group.new` result).
+    Groups(Groups),
+    /// A scalar (aggregate result).
+    Scalar(Value),
+    /// An absent scalar: aggregate over an empty window (`min`/`max`/`avg`
+    /// of nothing). Plans propagate absence; a fully absent scalar result
+    /// row is simply not emitted.
+    Absent,
+}
+
+impl MalValue {
+    /// Borrow as BAT or fail with a message naming `what`.
+    pub fn as_bat(&self, what: &str) -> crate::Result<&Bat> {
+        match self {
+            MalValue::Bat(b) => Ok(b),
+            other => Err(crate::PlanError::Internal(format!("{what}: expected BAT, got {other:?}"))),
+        }
+    }
+
+    /// Borrow as Groups or fail.
+    pub fn as_groups(&self, what: &str) -> crate::Result<&Groups> {
+        match self {
+            MalValue::Groups(g) => Ok(g),
+            other => {
+                Err(crate::PlanError::Internal(format!("{what}: expected groups, got {other:?}")))
+            }
+        }
+    }
+
+    /// Borrow as scalar (or `None` when absent) or fail.
+    pub fn as_scalar(&self, what: &str) -> crate::Result<Option<&Value>> {
+        match self {
+            MalValue::Scalar(v) => Ok(Some(v)),
+            MalValue::Absent => Ok(None),
+            other => {
+                Err(crate::PlanError::Internal(format!("{what}: expected scalar, got {other:?}")))
+            }
+        }
+    }
+}
+
+/// A MAL operator. Variables referenced are listed by [`MalOp::args`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalOp {
+    /// `basket.bind(stream, attr)` — the window content of one stream
+    /// attribute (whole window for one-shot execution; one basic window in
+    /// incremental mode).
+    BindStream {
+        /// Stream name.
+        stream: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `sql.bind(table, attr)` — a persistent table column.
+    BindTable {
+        /// Table name.
+        table: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `algebra.select(input, pred)` → candidate oids.
+    Select {
+        /// Values searched.
+        input: VarId,
+        /// Selection predicate.
+        pred: Predicate,
+    },
+    /// `algebra.fetch(cands, values)` — late tuple reconstruction.
+    Fetch {
+        /// Candidate oids.
+        cands: VarId,
+        /// Values fetched through the candidates.
+        values: VarId,
+    },
+    /// `algebra.join(left, right)` → two aligned oid BATs (2 dests).
+    Join {
+        /// Left values.
+        left: VarId,
+        /// Right values.
+        right: VarId,
+    },
+    /// `group.new(keys)` → grouping structure.
+    Group {
+        /// Grouping keys.
+        keys: VarId,
+    },
+    /// Materialize per-group key values from a grouping.
+    GroupKeys {
+        /// The grouping.
+        groups: VarId,
+        /// The key column that was grouped.
+        keys: VarId,
+    },
+    /// Per-group aggregate (`aggr.sum` etc.). `vals` is `None` for
+    /// `count(*)` which needs no value column.
+    GroupedAgg {
+        /// Aggregate function.
+        kind: AggKind,
+        /// Aggregated values (aligned with the grouping input).
+        vals: Option<VarId>,
+        /// The grouping.
+        groups: VarId,
+    },
+    /// Scalar aggregate over a whole BAT.
+    ScalarAgg {
+        /// Aggregate function.
+        kind: AggKind,
+        /// Aggregated values.
+        vals: VarId,
+    },
+    /// `algebra.concat(parts...)` — the merge operator of incremental plans.
+    Concat {
+        /// Parts, concatenated in order.
+        parts: Vec<VarId>,
+    },
+    /// Element-wise arithmetic over two aligned BATs.
+    MapArith {
+        /// Left operand.
+        left: VarId,
+        /// Right operand.
+        right: VarId,
+        /// Operator.
+        op: ArithOp,
+    },
+    /// Element-wise arithmetic with a constant.
+    MapScalar {
+        /// Input BAT.
+        input: VarId,
+        /// Operator.
+        op: ArithOp,
+        /// Constant operand (right side).
+        value: Value,
+    },
+    /// Scalar division — the final merge step of an expanded `avg`.
+    DivScalar {
+        /// Numerator scalar.
+        num: VarId,
+        /// Denominator scalar.
+        den: VarId,
+    },
+    /// Sorted copy of a BAT.
+    Sort {
+        /// Input BAT.
+        input: VarId,
+        /// Descending?
+        desc: bool,
+    },
+    /// The permutation (as positional oids) that sorts `input`.
+    SortPerm {
+        /// Input BAT.
+        input: VarId,
+        /// Descending?
+        desc: bool,
+    },
+    /// Distinct values (first-occurrence order).
+    Distinct {
+        /// Input BAT.
+        input: VarId,
+    },
+    /// First `n` rows of a BAT (LIMIT).
+    Slice {
+        /// Input BAT.
+        input: VarId,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl MalOp {
+    /// The variables this operator reads, in a fixed order (used by both
+    /// the executor and the incremental rewriter's dataflow analysis).
+    pub fn args(&self) -> Vec<VarId> {
+        match self {
+            MalOp::BindStream { .. } | MalOp::BindTable { .. } => vec![],
+            MalOp::Select { input, .. } => vec![*input],
+            MalOp::Fetch { cands, values } => vec![*cands, *values],
+            MalOp::Join { left, right } => vec![*left, *right],
+            MalOp::Group { keys } => vec![*keys],
+            MalOp::GroupKeys { groups, keys } => vec![*groups, *keys],
+            MalOp::GroupedAgg { vals, groups, .. } => match vals {
+                Some(v) => vec![*v, *groups],
+                None => vec![*groups],
+            },
+            MalOp::ScalarAgg { vals, .. } => vec![*vals],
+            MalOp::Concat { parts } => parts.clone(),
+            MalOp::MapArith { left, right, .. } => vec![*left, *right],
+            MalOp::MapScalar { input, .. } => vec![*input],
+            MalOp::DivScalar { num, den } => vec![*num, *den],
+            MalOp::Sort { input, .. }
+            | MalOp::SortPerm { input, .. }
+            | MalOp::Distinct { input }
+            | MalOp::Slice { input, .. } => vec![*input],
+        }
+    }
+
+    /// Number of variables this operator writes.
+    pub fn n_dests(&self) -> usize {
+        match self {
+            MalOp::Join { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Operator name in MAL-ish rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MalOp::BindStream { .. } => "basket.bind",
+            MalOp::BindTable { .. } => "sql.bind",
+            MalOp::Select { .. } => "algebra.select",
+            MalOp::Fetch { .. } => "algebra.fetch",
+            MalOp::Join { .. } => "algebra.join",
+            MalOp::Group { .. } => "group.new",
+            MalOp::GroupKeys { .. } => "group.keys",
+            MalOp::GroupedAgg { .. } => "aggr.grouped",
+            MalOp::ScalarAgg { .. } => "aggr.scalar",
+            MalOp::Concat { .. } => "algebra.concat",
+            MalOp::MapArith { .. } => "batcalc.arith",
+            MalOp::MapScalar { .. } => "batcalc.arith_const",
+            MalOp::DivScalar { .. } => "calc.div",
+            MalOp::Sort { .. } => "algebra.sort",
+            MalOp::SortPerm { .. } => "algebra.sortperm",
+            MalOp::Distinct { .. } => "algebra.distinct",
+            MalOp::Slice { .. } => "algebra.slice",
+        }
+    }
+}
+
+/// One MAL instruction: `dests := op(args)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Destination variables (2 for joins, 1 otherwise).
+    pub dests: Vec<VarId>,
+    /// The operator.
+    pub op: MalOp,
+}
+
+/// A straight-line MAL program plus its result designation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MalPlan {
+    /// Instructions in execution order; instruction `i` may only read
+    /// variables written by instructions `< i`.
+    pub instrs: Vec<Instr>,
+    /// Output column names.
+    pub result_names: Vec<String>,
+    /// Variables holding the output columns/scalars.
+    pub result_vars: Vec<VarId>,
+    /// Total number of variables.
+    pub nvars: usize,
+    /// Streams read by the plan (scan order).
+    pub streams: Vec<String>,
+}
+
+impl MalPlan {
+    /// MAL-ish textual rendering, one instruction per line.
+    ///
+    /// ```text
+    /// X_0 := basket.bind(s, x1)
+    /// X_2 := algebra.select(X_0, > 10)
+    /// ...
+    /// return sum_x2 := X_5
+    /// ```
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for ins in &self.instrs {
+            let dests: Vec<String> = ins.dests.iter().map(|d| format!("X_{d}")).collect();
+            let extra = match &ins.op {
+                MalOp::BindStream { stream, attr } => format!("({stream}, {attr})"),
+                MalOp::BindTable { table, attr } => format!("({table}, {attr})"),
+                MalOp::Select { input, pred } => format!("(X_{input}, {pred:?})"),
+                MalOp::GroupedAgg { kind, vals, groups } => match vals {
+                    Some(v) => format!("[{}](X_{v}, X_{groups})", kind.sql()),
+                    None => format!("[{}](X_{groups})", kind.sql()),
+                },
+                MalOp::ScalarAgg { kind, vals } => format!("[{}](X_{vals})", kind.sql()),
+                MalOp::MapArith { left, right, op } => {
+                    format!("(X_{left} {} X_{right})", op.symbol())
+                }
+                MalOp::MapScalar { input, op, value } => {
+                    format!("(X_{input} {} {value})", op.symbol())
+                }
+                MalOp::Slice { input, n } => format!("(X_{input}, {n})"),
+                op => {
+                    let args: Vec<String> = op.args().iter().map(|a| format!("X_{a}")).collect();
+                    format!("({})", args.join(", "))
+                }
+            };
+            out.push_str(&format!("{} := {}{}\n", dests.join(", "), ins.op.name(), extra));
+        }
+        for (name, var) in self.result_names.iter().zip(&self.result_vars) {
+            out.push_str(&format!("return {name} := X_{var}\n"));
+        }
+        out
+    }
+
+    /// Sanity check the SSA-ish invariants: each var written once, reads
+    /// only after writes, result vars written. Used by tests and debug
+    /// builds of the rewriter.
+    pub fn validate(&self) -> crate::Result<()> {
+        let mut written = vec![false; self.nvars];
+        for (i, ins) in self.instrs.iter().enumerate() {
+            for a in ins.op.args() {
+                if a >= self.nvars || !written[a] {
+                    return Err(crate::PlanError::Internal(format!(
+                        "instr {i} reads unwritten X_{a}"
+                    )));
+                }
+            }
+            if ins.dests.len() != ins.op.n_dests() {
+                return Err(crate::PlanError::Internal(format!(
+                    "instr {i} has {} dests, op wants {}",
+                    ins.dests.len(),
+                    ins.op.n_dests()
+                )));
+            }
+            for &d in &ins.dests {
+                if d >= self.nvars {
+                    return Err(crate::PlanError::Internal(format!("instr {i} writes X_{d} >= nvars")));
+                }
+                if written[d] {
+                    return Err(crate::PlanError::Internal(format!("X_{d} written twice")));
+                }
+                written[d] = true;
+            }
+        }
+        for &v in &self.result_vars {
+            if v >= self.nvars || !written[v] {
+                return Err(crate::PlanError::Internal(format!("result X_{v} never written")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+/// Incremental builder for MAL programs (used by the compiler and tests).
+#[derive(Debug, Default)]
+pub struct MalBuilder {
+    instrs: Vec<Instr>,
+    nvars: usize,
+    streams: Vec<String>,
+}
+
+impl MalBuilder {
+    /// Fresh builder.
+    pub fn new() -> MalBuilder {
+        MalBuilder::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh(&mut self) -> VarId {
+        let v = self.nvars;
+        self.nvars += 1;
+        v
+    }
+
+    /// Emit a single-dest instruction, returning its destination.
+    pub fn emit(&mut self, op: MalOp) -> VarId {
+        if let MalOp::BindStream { stream, .. } = &op {
+            if !self.streams.contains(stream) {
+                self.streams.push(stream.clone());
+            }
+        }
+        debug_assert_eq!(op.n_dests(), 1);
+        let d = self.fresh();
+        self.instrs.push(Instr { dests: vec![d], op });
+        d
+    }
+
+    /// Emit a join (two destinations: left oids, right oids).
+    pub fn emit_join(&mut self, left: VarId, right: VarId) -> (VarId, VarId) {
+        let dl = self.fresh();
+        let dr = self.fresh();
+        self.instrs.push(Instr { dests: vec![dl, dr], op: MalOp::Join { left, right } });
+        (dl, dr)
+    }
+
+    /// Finish the program.
+    pub fn finish(self, result_names: Vec<String>, result_vars: Vec<VarId>) -> MalPlan {
+        MalPlan { instrs: self.instrs, result_names, result_vars, nvars: self.nvars, streams: self.streams }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_kernel::Column;
+
+    fn tiny_plan() -> MalPlan {
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x".into() });
+        let c = b.emit(MalOp::Select { input: x, pred: Predicate::gt(10) });
+        let v = b.emit(MalOp::Fetch { cands: c, values: x });
+        let s = b.emit(MalOp::ScalarAgg { kind: AggKind::Sum, vals: v });
+        b.finish(vec!["sum_x".into()], vec![s])
+    }
+
+    #[test]
+    fn builder_assigns_sequential_vars() {
+        let p = tiny_plan();
+        assert_eq!(p.nvars, 4);
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(p.streams, vec!["s".to_owned()]);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn join_has_two_dests() {
+        let mut b = MalBuilder::new();
+        let l = b.emit(MalOp::BindStream { stream: "a".into(), attr: "k".into() });
+        let r = b.emit(MalOp::BindStream { stream: "b".into(), attr: "k".into() });
+        let (jl, jr) = b.emit_join(l, r);
+        let p = b.finish(vec!["l".into(), "r".into()], vec![jl, jr]);
+        p.validate().unwrap();
+        assert_eq!(p.instrs[2].dests, vec![jl, jr]);
+        assert_eq!(p.streams, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn explain_renders_mal_text() {
+        let p = tiny_plan();
+        let e = p.explain();
+        assert!(e.contains("X_0 := basket.bind(s, x)"));
+        assert!(e.contains("algebra.select(X_0"));
+        assert!(e.contains("aggr.scalar[sum](X_2)"));
+        assert!(e.contains("return sum_x := X_3"));
+    }
+
+    #[test]
+    fn validate_catches_read_before_write() {
+        let p = MalPlan {
+            instrs: vec![Instr { dests: vec![0], op: MalOp::Distinct { input: 1 } }],
+            result_names: vec![],
+            result_vars: vec![],
+            nvars: 2,
+            streams: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_double_write() {
+        let p = MalPlan {
+            instrs: vec![
+                Instr { dests: vec![0], op: MalOp::BindStream { stream: "s".into(), attr: "x".into() } },
+                Instr { dests: vec![0], op: MalOp::BindStream { stream: "s".into(), attr: "y".into() } },
+            ],
+            result_names: vec![],
+            result_vars: vec![],
+            nvars: 1,
+            streams: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_missing_result() {
+        let p = MalPlan {
+            instrs: vec![],
+            result_names: vec!["x".into()],
+            result_vars: vec![0],
+            nvars: 1,
+            streams: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn malvalue_accessors() {
+        let b = MalValue::Bat(Bat::transient(Column::Int(vec![1])));
+        assert!(b.as_bat("t").is_ok());
+        assert!(b.as_groups("t").is_err());
+        assert!(b.as_scalar("t").is_err());
+        assert_eq!(MalValue::Absent.as_scalar("t").unwrap(), None);
+        let s = MalValue::Scalar(Value::Int(5));
+        assert_eq!(s.as_scalar("t").unwrap(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn op_args_ordering() {
+        let op = MalOp::Fetch { cands: 3, values: 7 };
+        assert_eq!(op.args(), vec![3, 7]);
+        let op = MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: 2 };
+        assert_eq!(op.args(), vec![2]);
+        let op = MalOp::Concat { parts: vec![5, 6, 7] };
+        assert_eq!(op.args(), vec![5, 6, 7]);
+    }
+}

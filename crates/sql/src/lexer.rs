@@ -1,0 +1,231 @@
+//! SQL tokenizer.
+
+use crate::parser::SqlError;
+
+/// A lexical token. Keywords are case-insensitive and surface as uppercase
+/// `Ident`s matched by the parser, which keeps the lexer trivial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved in `.0`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// A symbol: one of `, . ( ) * = < > <= >= <>`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Does this token match a (case-insensitive) keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Sym(","));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Sym("."));
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::Sym("("));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(")"));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym("*"));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym("="));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::new("unterminated string literal"));
+                }
+                out.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == '-' && starts_number(bytes, i)) => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_float && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+                        is_float = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && bytes
+                            .get(j + 1)
+                            .is_some_and(|b| b.is_ascii_digit() || *b == b'-' || *b == b'+')
+                    {
+                        is_float = true;
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| SqlError::new(format!("bad float `{text}`: {e}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| SqlError::new(format!("bad int `{text}`: {e}")))?;
+                    out.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(input[start..j].to_owned()));
+                i = j;
+            }
+            other => return Err(SqlError::new(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+fn starts_number(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_q1() {
+        let toks = tokenize("SELECT x1, sum(x2) FROM stream WHERE x1 > 10 GROUP BY x1").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("x1".into()));
+        assert_eq!(toks[2], Token::Sym(","));
+        assert!(toks.contains(&Token::Sym(">")));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = tokenize("a <= b >= c <> d").unwrap();
+        assert_eq!(toks[1], Token::Sym("<="));
+        assert_eq!(toks[3], Token::Sym(">="));
+        assert_eq!(toks[5], Token::Sym("<>"));
+    }
+
+    #[test]
+    fn numbers_int_float_negative_scientific() {
+        let toks = tokenize("42 -7 2.5 -0.5 1e3 2.5e-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(2.5),
+                Token::Float(-0.5),
+                Token::Float(1000.0),
+                Token::Float(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_without_digit_is_error() {
+        assert!(tokenize("a - b").is_err());
+    }
+
+    #[test]
+    fn string_literals() {
+        let toks = tokenize("name = 'hello world'").unwrap();
+        assert_eq!(toks[2], Token::Str("hello world".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn qualified_names_and_parens() {
+        let toks = tokenize("max(s1.x1)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("max".into()),
+                Token::Sym("("),
+                Token::Ident("s1".into()),
+                Token::Sym("."),
+                Token::Ident("x1".into()),
+                Token::Sym(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select SELECT SeLeCt").unwrap();
+        assert!(toks.iter().all(|t| t.is_kw("select")));
+    }
+
+    #[test]
+    fn count_star() {
+        let toks = tokenize("count(*)").unwrap();
+        assert_eq!(toks[2], Token::Sym("*"));
+    }
+}

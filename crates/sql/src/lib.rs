@@ -1,0 +1,37 @@
+//! # datacell-sql
+//!
+//! A SQL front-end for DataCell continuous queries. The paper extends the
+//! SQL compiler "with a few orthogonal language constructs to recognize and
+//! process continuous queries" (§2); this crate implements the analogous
+//! subset:
+//!
+//! ```sql
+//! SELECT x1, sum(x2) FROM stream
+//! WHERE x1 > 10
+//! GROUP BY x1
+//! WINDOW SIZE 1000 SLIDE 100
+//! ```
+//!
+//! Supported surface:
+//!
+//! * select lists of (possibly aliased) columns and aggregates
+//!   (`sum`/`count`/`min`/`max`/`avg`), `DISTINCT` single-column queries;
+//! * `FROM` with one or two sources (comma join), table or stream;
+//! * `WHERE` conjunctions of single-column comparisons (`<`, `<=`, `>`,
+//!   `>=`, `=`, `<>`, `BETWEEN ... AND ...`) and one column = column
+//!   equality (the join condition, Q2-style);
+//! * `GROUP BY`, `ORDER BY ... [DESC]`, `LIMIT n`;
+//! * window clauses: `WINDOW SIZE n SLIDE m` (count-based),
+//!   `WINDOW RANGE n <unit> SLIDE m <unit>` (time-based),
+//!   `WINDOW LANDMARK SLIDE m [<unit>]` (landmark), with units
+//!   `MILLISECONDS|SECONDS|MINUTES|HOURS`.
+//!
+//! The parser performs alias resolution and lowers to a
+//! [`datacell_plan::LogicalPlan`] plus an optional
+//! [`datacell_plan::WindowSpec`].
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token};
+pub use parser::{parse, ContinuousQuery, SqlError};

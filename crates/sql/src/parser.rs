@@ -1,0 +1,692 @@
+//! Recursive-descent parser lowering the SQL subset to logical plans.
+
+use crate::lexer::{tokenize, Token};
+use datacell_kernel::algebra::{AggKind, CmpOp, Predicate};
+use datacell_kernel::Value;
+use datacell_plan::{AggExpr, ColumnRef, LogicalPlan, WindowSpec};
+use std::fmt;
+
+/// A parsed continuous query: relational plan + optional window clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousQuery {
+    /// The relational part.
+    pub plan: LogicalPlan,
+    /// The window clause, if present. Continuous registration requires one;
+    /// one-time queries over tables leave it `None`.
+    pub window: Option<WindowSpec>,
+}
+
+/// Parse errors with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    msg: String,
+}
+
+impl SqlError {
+    pub(crate) fn new(msg: impl Into<String>) -> SqlError {
+        SqlError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sql error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parse one continuous query.
+pub fn parse(input: &str) -> Result<ContinuousQuery, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { toks: tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.toks.len() {
+        return Err(SqlError::new(format!("trailing input at token {:?}", p.toks[p.pos])));
+    }
+    Ok(q)
+}
+
+/// One item of the select list, before plan shaping.
+#[derive(Debug, Clone)]
+enum SelectItem {
+    Column { col: RawCol, alias: Option<String> },
+    Agg { kind: AggKind, col: Option<RawCol>, alias: Option<String> },
+}
+
+/// A possibly-unqualified column name as written.
+#[derive(Debug, Clone, PartialEq)]
+struct RawCol {
+    qualifier: Option<String>,
+    attr: String,
+}
+
+impl fmt::Display for RawCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.attr),
+            None => write!(f, "{}", self.attr),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Source {
+    name: String,
+    alias: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum WherePred {
+    ColCmp { col: RawCol, pred: Predicate },
+    JoinEq { left: RawCol, right: RawCol },
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), SqlError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(SqlError::new(format!("expected `{s}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // -- grammar ---------------------------------------------------------
+
+    fn query(&mut self) -> Result<ContinuousQuery, SqlError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let items = self.select_list()?;
+        self.expect_kw("from")?;
+        let sources = self.source_list()?;
+        let mut preds = Vec::new();
+        if self.eat_kw("where") {
+            preds = self.where_preds()?;
+        }
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            Some(self.raw_col()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let col = self.raw_col()?;
+            let desc = self.eat_kw("desc");
+            if !desc {
+                self.eat_kw("asc");
+            }
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(SqlError::new(format!("expected limit count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        let window = if self.eat_kw("window") { Some(self.window_clause()?) } else { None };
+
+        let plan = shape_plan(ShapeInput {
+            items,
+            distinct,
+            sources,
+            preds,
+            group_by,
+            order_by,
+            limit,
+        })?;
+        Ok(ContinuousQuery { plan, window })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        let mut items = vec![self.select_item()?];
+        while self.eat_sym(",") {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        // Aggregate?
+        if let Some(Token::Ident(name)) = self.peek() {
+            let kind = match name.to_ascii_lowercase().as_str() {
+                "sum" => Some(AggKind::Sum),
+                "count" => Some(AggKind::Count),
+                "min" => Some(AggKind::Min),
+                "max" => Some(AggKind::Max),
+                "avg" => Some(AggKind::Avg),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                if matches!(self.toks.get(self.pos + 1), Some(Token::Sym("("))) {
+                    self.pos += 2; // name (
+                    let col = if self.eat_sym("*") {
+                        if kind != AggKind::Count {
+                            return Err(SqlError::new(format!("{}(*) is not supported", kind.sql())));
+                        }
+                        None
+                    } else {
+                        Some(self.raw_col()?)
+                    };
+                    self.expect_sym(")")?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg { kind, col, alias });
+                }
+            }
+        }
+        let col = self.raw_col()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Column { col, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn raw_col(&mut self) -> Result<RawCol, SqlError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let attr = self.ident()?;
+            Ok(RawCol { qualifier: Some(first), attr })
+        } else {
+            Ok(RawCol { qualifier: None, attr: first })
+        }
+    }
+
+    fn source_list(&mut self) -> Result<Vec<Source>, SqlError> {
+        let mut out = vec![self.source()?];
+        while self.eat_sym(",") {
+            out.push(self.source()?);
+        }
+        if out.len() > 2 {
+            return Err(SqlError::new("at most two sources are supported"));
+        }
+        Ok(out)
+    }
+
+    fn source(&mut self) -> Result<Source, SqlError> {
+        let name = self.ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !["where", "group", "order", "limit", "window", "join", "on"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+            {
+                Some(self.ident()?)
+            }
+            _ => None,
+        };
+        Ok(Source { name, alias })
+    }
+
+    fn where_preds(&mut self) -> Result<Vec<WherePred>, SqlError> {
+        let mut out = vec![self.where_pred()?];
+        while self.eat_kw("and") {
+            out.push(self.where_pred()?);
+        }
+        Ok(out)
+    }
+
+    fn where_pred(&mut self) -> Result<WherePred, SqlError> {
+        let col = self.raw_col()?;
+        if self.eat_kw("between") {
+            let lo = self.literal()?;
+            self.expect_kw("and")?;
+            let hi = self.literal()?;
+            return Ok(WherePred::ColCmp { col, pred: Predicate::between(lo, hi) });
+        }
+        let op = match self.next() {
+            Some(Token::Sym("<")) => CmpOp::Lt,
+            Some(Token::Sym("<=")) => CmpOp::Le,
+            Some(Token::Sym(">")) => CmpOp::Gt,
+            Some(Token::Sym(">=")) => CmpOp::Ge,
+            Some(Token::Sym("=")) => CmpOp::Eq,
+            Some(Token::Sym("<>")) => CmpOp::Ne,
+            other => return Err(SqlError::new(format!("expected comparison, found {other:?}"))),
+        };
+        // Column = column (join condition) or column <op> literal.
+        if op == CmpOp::Eq {
+            if let Some(Token::Ident(_)) = self.peek() {
+                let right = self.raw_col()?;
+                return Ok(WherePred::JoinEq { left: col, right });
+            }
+        }
+        let lit = self.literal()?;
+        Ok(WherePred::ColCmp { col, pred: Predicate::Cmp(op, lit) })
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Value::Int(v)),
+            Some(Token::Float(v)) => Ok(Value::Float(v)),
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            other => Err(SqlError::new(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn window_clause(&mut self) -> Result<WindowSpec, SqlError> {
+        if self.eat_kw("size") {
+            let size = self.count()?;
+            self.expect_kw("slide")?;
+            let step = self.count()?;
+            let w = WindowSpec::CountSliding { size, step };
+            w.validate().map_err(|e| SqlError::new(e.to_string()))?;
+            Ok(w)
+        } else if self.eat_kw("range") {
+            let n = self.count()? as u64;
+            let unit = self.time_unit()?;
+            self.expect_kw("slide")?;
+            let m = self.count()? as u64;
+            let sunit = self.time_unit()?;
+            let w = WindowSpec::TimeSliding { size_ms: n * unit, step_ms: m * sunit };
+            w.validate().map_err(|e| SqlError::new(e.to_string()))?;
+            Ok(w)
+        } else if self.eat_kw("landmark") {
+            self.expect_kw("slide")?;
+            let m = self.count()?;
+            // Optional time unit makes it a time-based landmark.
+            match self.opt_time_unit() {
+                Some(unit) => {
+                    let w = WindowSpec::TimeLandmark { step_ms: m as u64 * unit };
+                    w.validate().map_err(|e| SqlError::new(e.to_string()))?;
+                    Ok(w)
+                }
+                None => {
+                    let w = WindowSpec::CountLandmark { step: m };
+                    w.validate().map_err(|e| SqlError::new(e.to_string()))?;
+                    Ok(w)
+                }
+            }
+        } else {
+            Err(SqlError::new(format!(
+                "expected SIZE, RANGE or LANDMARK after WINDOW, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn count(&mut self) -> Result<usize, SqlError> {
+        match self.next() {
+            Some(Token::Int(n)) if n > 0 => Ok(n as usize),
+            other => Err(SqlError::new(format!("expected positive count, found {other:?}"))),
+        }
+    }
+
+    fn time_unit(&mut self) -> Result<u64, SqlError> {
+        self.opt_time_unit()
+            .ok_or_else(|| SqlError::new(format!("expected time unit, found {:?}", self.peek())))
+    }
+
+    fn opt_time_unit(&mut self) -> Option<u64> {
+        let unit = match self.peek() {
+            Some(Token::Ident(s)) => match s.to_ascii_lowercase().as_str() {
+                "millisecond" | "milliseconds" | "ms" => Some(1),
+                "second" | "seconds" => Some(1_000),
+                "minute" | "minutes" => Some(60_000),
+                "hour" | "hours" => Some(3_600_000),
+                _ => None,
+            },
+            _ => None,
+        }?;
+        self.pos += 1;
+        Some(unit)
+    }
+}
+
+// -- plan shaping ---------------------------------------------------------
+
+struct ShapeInput {
+    items: Vec<SelectItem>,
+    distinct: bool,
+    sources: Vec<Source>,
+    preds: Vec<WherePred>,
+    group_by: Option<RawCol>,
+    order_by: Option<(RawCol, bool)>,
+    limit: Option<usize>,
+}
+
+/// Resolve a raw column against the FROM sources (alias → real name).
+fn resolve(col: &RawCol, sources: &[Source]) -> Result<ColumnRef, SqlError> {
+    match &col.qualifier {
+        Some(q) => {
+            let src = sources
+                .iter()
+                .find(|s| s.alias.as_deref() == Some(q.as_str()) || s.name == *q)
+                .ok_or_else(|| SqlError::new(format!("unknown qualifier `{q}` in `{col}`")))?;
+            Ok(ColumnRef::new(src.name.clone(), col.attr.clone()))
+        }
+        None => {
+            if sources.len() != 1 {
+                return Err(SqlError::new(format!(
+                    "column `{col}` must be qualified in a multi-source query"
+                )));
+            }
+            Ok(ColumnRef::new(sources[0].name.clone(), col.attr.clone()))
+        }
+    }
+}
+
+fn shape_plan(input: ShapeInput) -> Result<LogicalPlan, SqlError> {
+    let ShapeInput { items, distinct, sources, preds, group_by, order_by, limit } = input;
+
+    // Split WHERE into per-column filters and at most one join condition.
+    let mut filters: Vec<(ColumnRef, Predicate)> = Vec::new();
+    let mut join: Option<(ColumnRef, ColumnRef)> = None;
+    for p in preds {
+        match p {
+            WherePred::ColCmp { col, pred } => filters.push((resolve(&col, &sources)?, pred)),
+            WherePred::JoinEq { left, right } => {
+                if join.is_some() {
+                    return Err(SqlError::new("at most one join condition is supported"));
+                }
+                join = Some((resolve(&left, &sources)?, resolve(&right, &sources)?));
+            }
+        }
+    }
+
+    // Base: scan(s) + join.
+    let mut plan = match sources.len() {
+        1 => LogicalPlan::stream(sources[0].name.clone()),
+        2 => {
+            let (l_on, r_on) = join.clone().ok_or_else(|| {
+                SqlError::new("two-source queries need a join condition (a.x = b.y) in WHERE")
+            })?;
+            // Orient the condition: left side must belong to source 0.
+            let (l_on, r_on) = if l_on.source == sources[0].name { (l_on, r_on) } else { (r_on, l_on) };
+            if l_on.source != sources[0].name || r_on.source != sources[1].name {
+                return Err(SqlError::new("join condition must reference both sources"));
+            }
+            LogicalPlan::stream(sources[0].name.clone())
+                .join(LogicalPlan::stream(sources[1].name.clone()), l_on, r_on)
+        }
+        _ => unreachable!("source_list capped at two"),
+    };
+    if sources.len() == 1 && join.is_some() {
+        return Err(SqlError::new("join condition requires two sources"));
+    }
+
+    // Filters above scans — the logical optimizer pushes them down.
+    for (col, pred) in filters {
+        plan = plan.filter(col, pred);
+    }
+
+    // Select list shaping.
+    let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+    if has_agg || group_by.is_some() {
+        let gcol = group_by.map(|g| resolve(&g, &sources)).transpose()?;
+        let mut aggs = Vec::new();
+        for item in &items {
+            match item {
+                SelectItem::Agg { kind, col, alias } => {
+                    let input = col.as_ref().map(|c| resolve(c, &sources)).transpose()?;
+                    let default_name = match (&input, kind) {
+                        (Some(c), k) => format!("{}_{}", k.sql(), c.attr),
+                        (None, _) => "count_star".to_owned(),
+                    };
+                    aggs.push(AggExpr {
+                        kind: *kind,
+                        input,
+                        alias: alias.clone().unwrap_or(default_name),
+                    });
+                }
+                SelectItem::Column { col, alias } => {
+                    // Plain columns in an aggregate query must be the
+                    // group-by key (standard SQL restriction).
+                    let c = resolve(col, &sources)?;
+                    match &gcol {
+                        Some(g) if *g == c => {
+                            if alias.is_some() {
+                                return Err(SqlError::new(
+                                    "aliasing the group-by key is not supported",
+                                ));
+                            }
+                        }
+                        _ => {
+                            return Err(SqlError::new(format!(
+                                "column `{col}` must appear in GROUP BY"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        // The Aggregate node emits the group key first, then aggregates —
+        // require the select list to match that shape.
+        if let Some(g) = &gcol {
+            let first_is_key = matches!(
+                items.first(),
+                Some(SelectItem::Column { col, .. }) if resolve(col, &sources).ok().as_ref() == Some(g)
+            );
+            if !first_is_key {
+                return Err(SqlError::new(
+                    "grouped queries must list the group-by key as the first select item",
+                ));
+            }
+        }
+        plan = plan.aggregate(gcol, aggs);
+    } else {
+        let mut cols = Vec::new();
+        for item in &items {
+            match item {
+                SelectItem::Column { col, alias } => {
+                    let c = resolve(col, &sources)?;
+                    let name = alias.clone().unwrap_or_else(|| c.attr.clone());
+                    cols.push((c, name));
+                }
+                SelectItem::Agg { .. } => unreachable!("has_agg checked"),
+            }
+        }
+        plan = plan.project(cols);
+        if distinct {
+            plan = plan.distinct();
+        }
+    }
+    if distinct && has_agg {
+        return Err(SqlError::new("DISTINCT with aggregates is not supported"));
+    }
+
+    if let Some((col, desc)) = order_by {
+        plan = plan.order_by(resolve(&col, &sources)?, desc);
+    }
+    if let Some(n) = limit {
+        plan = plan.limit(n);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_parses() {
+        let q = parse(
+            "SELECT x1, sum(x2) FROM stream WHERE x1 > 10 GROUP BY x1 WINDOW SIZE 100 SLIDE 10",
+        )
+        .unwrap();
+        assert_eq!(q.window, Some(WindowSpec::CountSliding { size: 100, step: 10 }));
+        let e = q.plan.explain();
+        assert!(e.contains("aggregate [sum(stream.x2) as sum_x2] group by stream.x1"));
+        assert!(e.contains("filter stream.x1"));
+    }
+
+    #[test]
+    fn q2_parses_with_aliases() {
+        let q = parse(
+            "SELECT max(s1.x1), avg(s2.x1) FROM stream1 s1, stream2 s2 \
+             WHERE s1.x2 = s2.x2 WINDOW SIZE 64 SLIDE 1",
+        )
+        .unwrap();
+        let e = q.plan.explain();
+        assert!(e.contains("join stream1.x2 = stream2.x2"));
+        assert!(e.contains("max(stream1.x1) as max_x1"));
+        assert!(e.contains("avg(stream2.x1) as avg_x1"));
+    }
+
+    #[test]
+    fn q3_landmark_parses() {
+        let q = parse(
+            "SELECT max(x1), sum(x2) FROM stream WHERE x1 > 5 WINDOW LANDMARK SLIDE 1000",
+        )
+        .unwrap();
+        assert_eq!(q.window, Some(WindowSpec::CountLandmark { step: 1000 }));
+    }
+
+    #[test]
+    fn time_window_parses() {
+        let q = parse(
+            "SELECT avg(x1) FROM s WINDOW RANGE 1 HOURS SLIDE 10 MINUTES",
+        )
+        .unwrap();
+        assert_eq!(
+            q.window,
+            Some(WindowSpec::TimeSliding { size_ms: 3_600_000, step_ms: 600_000 })
+        );
+    }
+
+    #[test]
+    fn time_landmark_parses() {
+        let q = parse("SELECT sum(x) FROM s WINDOW LANDMARK SLIDE 5 SECONDS").unwrap();
+        assert_eq!(q.window, Some(WindowSpec::TimeLandmark { step_ms: 5_000 }));
+    }
+
+    #[test]
+    fn projection_with_alias_and_order() {
+        let q = parse(
+            "SELECT a AS first, b FROM s WHERE a BETWEEN 1 AND 5 ORDER BY a DESC LIMIT 3",
+        )
+        .unwrap();
+        let e = q.plan.explain();
+        assert!(e.starts_with("limit 3"));
+        assert!(e.contains("order by s.a desc"));
+        assert!(e.contains("project [s.a as first, s.b as b]"));
+        assert!(q.window.is_none());
+    }
+
+    #[test]
+    fn distinct_single_column() {
+        let q = parse("SELECT DISTINCT a FROM s WINDOW SIZE 4 SLIDE 2").unwrap();
+        assert!(q.plan.explain().contains("distinct"));
+    }
+
+    #[test]
+    fn unqualified_ambiguous_column_rejected() {
+        let err = parse("SELECT x FROM a, b WHERE a.k = b.k").unwrap_err();
+        assert!(err.to_string().contains("qualified"));
+    }
+
+    #[test]
+    fn group_key_must_lead_select_list() {
+        let err = parse("SELECT sum(x2), x1 FROM s GROUP BY x1").unwrap_err();
+        assert!(err.to_string().contains("first select item"));
+    }
+
+    #[test]
+    fn non_grouped_column_with_agg_rejected() {
+        let err = parse("SELECT x3, sum(x2) FROM s GROUP BY x1").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn two_sources_need_join_condition() {
+        let err = parse("SELECT max(a.x) FROM a, b").unwrap_err();
+        assert!(err.to_string().contains("join condition"));
+    }
+
+    #[test]
+    fn window_validation_bubbles_up() {
+        let err = parse("SELECT sum(x) FROM s WINDOW SIZE 100 SLIDE 30").unwrap_err();
+        assert!(err.to_string().contains("multiple"));
+    }
+
+    #[test]
+    fn count_star_supported_sum_star_rejected() {
+        let q = parse("SELECT count(*) FROM s WHERE x > 0 WINDOW SIZE 2 SLIDE 1").unwrap();
+        assert!(q.plan.explain().contains("count(*) as count_star"));
+        assert!(parse("SELECT sum(*) FROM s").is_err());
+    }
+
+    #[test]
+    fn join_condition_reorients() {
+        // Condition written right-to-left still compiles with source order.
+        let q = parse("SELECT max(a.x) FROM a, b WHERE b.k = a.k").unwrap();
+        assert!(q.plan.explain().contains("join a.k = b.k"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT a FROM s xyzzy plugh").is_err());
+        assert!(parse("SELECT a FROM s WINDOW SIZE 2 SLIDE 1 garbage").is_err());
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let q = parse("SELECT a FROM s WHERE a BETWEEN 2 AND 4").unwrap();
+        assert!(q.plan.explain().contains("Range"));
+    }
+
+    #[test]
+    fn string_literal_predicate() {
+        let q = parse("SELECT a FROM s WHERE tag = 'alert'").unwrap();
+        assert!(q.plan.explain().contains("alert"));
+    }
+}

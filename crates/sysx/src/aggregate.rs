@@ -1,0 +1,179 @@
+//! Retractable (insert/retract) aggregate state.
+
+use crate::multiset::Multiset;
+use std::collections::HashMap;
+
+/// Scalar aggregate state supporting per-tuple insert and retract:
+/// running `sum`/`count` plus a multiset for `min`/`max`.
+#[derive(Debug, Default, Clone)]
+pub struct RetractableAgg {
+    sum: i64,
+    count: i64,
+    extrema: Multiset,
+}
+
+impl RetractableAgg {
+    /// Fresh, empty state.
+    pub fn new() -> RetractableAgg {
+        RetractableAgg::default()
+    }
+
+    /// Add one value.
+    pub fn insert(&mut self, v: i64) {
+        self.sum = self.sum.wrapping_add(v);
+        self.count += 1;
+        self.extrema.insert(v);
+    }
+
+    /// Retract one value (window expiry). Returns false on a retraction
+    /// of a value that was never inserted.
+    pub fn retract(&mut self, v: i64) -> bool {
+        if !self.extrema.remove(v) {
+            return false;
+        }
+        self.sum = self.sum.wrapping_sub(v);
+        self.count -= 1;
+        true
+    }
+
+    /// Current sum (`None` when empty — SQL semantics).
+    pub fn sum(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.sum)
+    }
+
+    /// Current count.
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Current maximum.
+    pub fn max(&self) -> Option<i64> {
+        self.extrema.max()
+    }
+
+    /// Current minimum.
+    pub fn min(&self) -> Option<i64> {
+        self.extrema.min()
+    }
+
+    /// Current average.
+    pub fn avg(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// True when no values are held.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Grouped sum/count state with retraction: per-group running aggregates
+/// that drop groups when their count reaches zero.
+#[derive(Debug, Default, Clone)]
+pub struct GroupedSumState {
+    groups: HashMap<i64, (i64, i64)>, // key -> (sum, count)
+}
+
+impl GroupedSumState {
+    /// Fresh state.
+    pub fn new() -> GroupedSumState {
+        GroupedSumState::default()
+    }
+
+    /// Add `(key, value)`.
+    pub fn insert(&mut self, key: i64, v: i64) {
+        let e = self.groups.entry(key).or_insert((0, 0));
+        e.0 = e.0.wrapping_add(v);
+        e.1 += 1;
+    }
+
+    /// Retract `(key, value)`. Returns false when the group is unknown.
+    pub fn retract(&mut self, key: i64, v: i64) -> bool {
+        match self.groups.get_mut(&key) {
+            Some(e) => {
+                e.0 = e.0.wrapping_sub(v);
+                e.1 -= 1;
+                if e.1 <= 0 {
+                    self.groups.remove(&key);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of live groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no groups are live.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Snapshot of `(key, sum)` rows, sorted by key for determinism.
+    pub fn rows(&self) -> Vec<(i64, i64)> {
+        let mut out: Vec<(i64, i64)> = self.groups.iter().map(|(k, (s, _))| (*k, *s)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_insert_retract_roundtrip() {
+        let mut a = RetractableAgg::new();
+        assert!(a.is_empty());
+        assert_eq!(a.sum(), None);
+        a.insert(5);
+        a.insert(-2);
+        a.insert(9);
+        assert_eq!(a.sum(), Some(12));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(9));
+        assert_eq!(a.min(), Some(-2));
+        assert_eq!(a.avg(), Some(4.0));
+        assert!(a.retract(9));
+        assert_eq!(a.max(), Some(5));
+        assert_eq!(a.sum(), Some(3));
+        assert!(!a.retract(100));
+    }
+
+    #[test]
+    fn scalar_matches_naive_over_sliding_window() {
+        let vals: Vec<i64> = vec![4, 8, 1, 9, 3, 7, 2, 6];
+        let w = 4;
+        let mut a = RetractableAgg::new();
+        for i in 0..vals.len() {
+            a.insert(vals[i]);
+            if i >= w {
+                a.retract(vals[i - w]);
+            }
+            if i + 1 >= w {
+                let window = &vals[i + 1 - w..=i];
+                assert_eq!(a.sum(), Some(window.iter().sum()));
+                assert_eq!(a.max(), window.iter().max().copied());
+                assert_eq!(a.min(), window.iter().min().copied());
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_insert_retract() {
+        let mut g = GroupedSumState::new();
+        g.insert(1, 10);
+        g.insert(2, 20);
+        g.insert(1, 30);
+        assert_eq!(g.rows(), vec![(1, 40), (2, 20)]);
+        assert!(g.retract(1, 10));
+        assert_eq!(g.rows(), vec![(1, 30), (2, 20)]);
+        assert!(g.retract(2, 20));
+        assert_eq!(g.len(), 1); // group 2 dropped at count 0
+        assert!(!g.retract(9, 1));
+        assert!(!g.is_empty());
+    }
+}

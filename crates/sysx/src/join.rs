@@ -1,0 +1,141 @@
+//! Symmetric hash join with per-tuple window eviction.
+//!
+//! The canonical stream join (the paper's ref \[25\], Kang et al.,
+//! "Evaluating Window Joins over Unbounded Streams"): each side keeps a
+//! hash table over its live window; an arriving tuple probes the opposite
+//! table (emitting result pairs) and inserts into its own; an expiring
+//! tuple deletes from its table. Every operation is per tuple.
+
+use std::collections::HashMap;
+
+/// One stored tuple: join key plus payload value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JTuple {
+    /// Join key.
+    pub key: i64,
+    /// Payload (the aggregated attribute).
+    pub val: i64,
+}
+
+/// A symmetric hash join over two count-based windows.
+#[derive(Debug, Default)]
+pub struct SymmetricHashJoin {
+    left: HashMap<i64, Vec<i64>>,  // key -> payloads
+    right: HashMap<i64, Vec<i64>>,
+    left_len: usize,
+    right_len: usize,
+}
+
+impl SymmetricHashJoin {
+    /// Empty join state.
+    pub fn new() -> SymmetricHashJoin {
+        SymmetricHashJoin::default()
+    }
+
+    /// Live tuples on the left side.
+    pub fn left_len(&self) -> usize {
+        self.left_len
+    }
+
+    /// Live tuples on the right side.
+    pub fn right_len(&self) -> usize {
+        self.right_len
+    }
+
+    /// Insert a left tuple; returns the payloads of all matching right
+    /// tuples (the new join pairs' right values).
+    pub fn insert_left(&mut self, t: JTuple) -> Vec<i64> {
+        let matches = self.right.get(&t.key).cloned().unwrap_or_default();
+        self.left.entry(t.key).or_default().push(t.val);
+        self.left_len += 1;
+        matches
+    }
+
+    /// Insert a right tuple; returns the payloads of all matching left
+    /// tuples.
+    pub fn insert_right(&mut self, t: JTuple) -> Vec<i64> {
+        let matches = self.left.get(&t.key).cloned().unwrap_or_default();
+        self.right.entry(t.key).or_default().push(t.val);
+        self.right_len += 1;
+        matches
+    }
+
+    /// Evict a left tuple (it expired); returns the matching right
+    /// payloads whose join pairs disappear with it.
+    pub fn evict_left(&mut self, t: JTuple) -> Vec<i64> {
+        remove_one(&mut self.left, t);
+        self.left_len -= 1;
+        self.right.get(&t.key).cloned().unwrap_or_default()
+    }
+
+    /// Evict a right tuple; returns the matching left payloads.
+    pub fn evict_right(&mut self, t: JTuple) -> Vec<i64> {
+        remove_one(&mut self.right, t);
+        self.right_len -= 1;
+        self.left.get(&t.key).cloned().unwrap_or_default()
+    }
+}
+
+fn remove_one(side: &mut HashMap<i64, Vec<i64>>, t: JTuple) {
+    if let Some(v) = side.get_mut(&t.key) {
+        if let Some(pos) = v.iter().position(|&x| x == t.val) {
+            v.swap_remove(pos);
+        }
+        if v.is_empty() {
+            side.remove(&t.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(key: i64, val: i64) -> JTuple {
+        JTuple { key, val }
+    }
+
+    #[test]
+    fn probe_then_insert_symmetry() {
+        let mut j = SymmetricHashJoin::new();
+        assert!(j.insert_left(t(1, 10)).is_empty());
+        // Right tuple with key 1 matches the stored left tuple.
+        assert_eq!(j.insert_right(t(1, 99)), vec![10]);
+        // Another left with key 1 matches the stored right tuple.
+        assert_eq!(j.insert_left(t(1, 20)), vec![99]);
+        assert_eq!(j.left_len(), 2);
+        assert_eq!(j.right_len(), 1);
+    }
+
+    #[test]
+    fn no_match_on_unknown_key() {
+        let mut j = SymmetricHashJoin::new();
+        j.insert_left(t(1, 10));
+        assert!(j.insert_right(t(2, 20)).is_empty());
+    }
+
+    #[test]
+    fn eviction_removes_pairs() {
+        let mut j = SymmetricHashJoin::new();
+        j.insert_left(t(7, 1));
+        j.insert_right(t(7, 2));
+        // Evicting the left tuple reports the right payloads it joined.
+        assert_eq!(j.evict_left(t(7, 1)), vec![2]);
+        assert_eq!(j.left_len(), 0);
+        // New left insert no longer matches the evicted tuple.
+        assert_eq!(j.insert_left(t(7, 3)), vec![2]); // right side still live
+        assert_eq!(j.evict_right(t(7, 2)), vec![3]);
+        assert_eq!(j.right_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_payloads_evict_one_at_a_time() {
+        let mut j = SymmetricHashJoin::new();
+        j.insert_left(t(1, 5));
+        j.insert_left(t(1, 5));
+        assert_eq!(j.insert_right(t(1, 9)).len(), 2);
+        j.evict_left(t(1, 5));
+        assert_eq!(j.left_len(), 1);
+        assert_eq!(j.insert_right(t(1, 8)).len(), 1);
+    }
+}

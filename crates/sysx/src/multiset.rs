@@ -1,0 +1,115 @@
+//! A retractable multiset over `i64` with O(log n) min/max.
+//!
+//! Sliding `max`/`min` cannot be maintained with a single scalar — when the
+//! current extremum expires, the next one must be found. Specialized stream
+//! engines keep an ordered multiset of the window's values; this is that
+//! structure (a counted `BTreeMap`, the textbook choice).
+
+use std::collections::BTreeMap;
+
+/// Counted ordered multiset.
+#[derive(Debug, Default, Clone)]
+pub struct Multiset {
+    counts: BTreeMap<i64, usize>,
+    len: usize,
+}
+
+impl Multiset {
+    /// Empty multiset.
+    pub fn new() -> Multiset {
+        Multiset::default()
+    }
+
+    /// Number of elements (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one occurrence.
+    pub fn insert(&mut self, v: i64) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Remove one occurrence. Returns false (and changes nothing) when the
+    /// value is not present — a retraction bug in the caller.
+    pub fn remove(&mut self, v: i64) -> bool {
+        match self.counts.get_mut(&v) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(&v);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current maximum.
+    pub fn max(&self) -> Option<i64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Current minimum.
+    pub fn min(&self) -> Option<i64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Multiplicity of a value.
+    pub fn count(&self, v: i64) -> usize {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_minmax() {
+        let mut m = Multiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.max(), None);
+        m.insert(3);
+        m.insert(1);
+        m.insert(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.count(3), 2);
+        assert_eq!(m.max(), Some(3));
+        assert_eq!(m.min(), Some(1));
+        assert!(m.remove(3));
+        assert_eq!(m.max(), Some(3)); // one occurrence left
+        assert!(m.remove(3));
+        assert_eq!(m.max(), Some(1));
+        assert!(!m.remove(42)); // retraction of absent value reported
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_window_slide() {
+        // Simulates a sliding window: insert new, retract expired.
+        let mut m = Multiset::new();
+        let vals = [5, 9, 2, 9, 1, 7];
+        // window of 3
+        for i in 0..vals.len() {
+            m.insert(vals[i]);
+            if i >= 3 {
+                m.remove(vals[i - 3]);
+            }
+            if i >= 2 {
+                let lo = i.saturating_sub(2);
+                let expected = *vals[lo..=i].iter().max().unwrap();
+                assert_eq!(m.max(), Some(expected));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Time-based windows over bursty sensor traffic.
+//!
+//! A monitoring deployment watches a machine-room temperature feed. The
+//! feed is bursty: sometimes many readings per second, sometimes silence.
+//! Time-based windows (paper §3, *Time-based sliding windows*) handle this
+//! naturally: each basic window holds "as many tuples as arrived in the
+//! corresponding time interval", and empty intervals are skipped.
+//!
+//! ```text
+//! cargo run --example sensor_monitoring
+//! ```
+
+use datacell::prelude::*;
+
+fn main() -> Result<(), DataCellError> {
+    let mut engine = Engine::new();
+    engine.create_stream("temps", &[("room", DataType::Int), ("temp", DataType::Float)])?;
+
+    // Average temperature per room over the last minute, updated every
+    // 15 seconds.
+    let avg_q = engine.register_sql(
+        "SELECT room, avg(temp) FROM temps GROUP BY room \
+         WINDOW RANGE 60 SECONDS SLIDE 15 SECONDS",
+    )?;
+    // Alert stream: any reading above 90 degrees in the last 15 seconds.
+    let alert_q = engine.register_sql(
+        "SELECT room, temp FROM temps WHERE temp > 90.0 \
+         WINDOW RANGE 15 SECONDS SLIDE 15 SECONDS",
+    )?;
+
+    // Simulate one bursty minute + a quiet stretch. Timestamps are
+    // milliseconds on the engine's logical clock.
+    let bursts: &[(u64, Vec<(i64, f64)>)] = &[
+        (1_000, vec![(1, 71.0), (1, 72.5), (2, 68.0)]),
+        (9_000, vec![(2, 69.5)]),
+        (16_000, vec![(1, 74.0), (2, 93.5)]), // a spike in room 2
+        (31_000, vec![]),                     // silence
+        (52_000, vec![(1, 70.5), (1, 69.0), (2, 88.0)]),
+        (61_000, vec![(1, 70.0)]),
+        (76_000, vec![(2, 67.0)]),
+    ];
+    for (at, readings) in bursts {
+        let rooms: Vec<i64> = readings.iter().map(|r| r.0).collect();
+        let temps: Vec<f64> = readings.iter().map(|r| r.1).collect();
+        engine.append_at("temps", &[Column::Int(rooms), Column::Float(temps)], *at)?;
+        engine.run_until_idle()?;
+    }
+    // Close out the last windows by advancing the clock.
+    engine.advance_clock(90_000);
+    engine.run_until_idle()?;
+
+    println!("per-room rolling averages (window = 60s, slide = 15s):");
+    for (i, w) in engine.drain_results(avg_q)?.iter().enumerate() {
+        let t = 60 + i as u64 * 15;
+        for row in w.rows() {
+            println!("  t={t:>3}s room {} avg {:.2}", row[0], row[1]);
+        }
+    }
+
+    println!("\nalerts (readings > 90 in the last 15s):");
+    for w in engine.drain_results(alert_q)? {
+        for row in w.rows() {
+            println!("  room {} read {}", row[0], row[1]);
+        }
+    }
+    Ok(())
+}

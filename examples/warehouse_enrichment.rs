@@ -1,0 +1,65 @@
+//! Stream ⋈ table: the data-warehouse scenario that motivates the paper.
+//!
+//! "Data warehousing can greatly benefit from the integration of stream
+//! semantics, i.e., online analysis of incoming data and combination with
+//! existing data." (paper §1) — a single DataCell factory can read both
+//! baskets and persistent tables (Fig. 1), so a continuous query can join
+//! a live order stream against a stored product dimension.
+//!
+//! ```text
+//! cargo run --example warehouse_enrichment
+//! ```
+
+use datacell::kernel::Table;
+use datacell::prelude::*;
+
+fn main() -> Result<(), DataCellError> {
+    let mut engine = Engine::new();
+
+    // Persistent dimension table: product id -> unit margin (cents).
+    let mut products = Table::new(
+        "products",
+        &[("pid", DataType::Int), ("margin", DataType::Int)],
+    );
+    products.append(&[
+        Column::Int(vec![101, 102, 103, 104]),
+        Column::Int(vec![250, 1200, 80, 430]),
+    ])?;
+    engine.create_table(products)?;
+
+    // Live order stream: (product id, quantity).
+    engine.create_stream("orders", &[("pid", DataType::Int), ("qty", DataType::Int)])?;
+
+    // Continuous revenue-margin monitor: per window of 8 orders (slide 4),
+    // total margin of orders that matched the product dimension.
+    let q = engine.register_sql(
+        "SELECT sum(products.margin) FROM orders, products \
+         WHERE orders.pid = products.pid \
+         WINDOW SIZE 8 SLIDE 4",
+    )?;
+
+    // Orders arrive. Some reference unknown products (pid 999) and simply
+    // do not match the dimension join.
+    let batches: &[(Vec<i64>, Vec<i64>)] = &[
+        (vec![101, 102, 999, 103], vec![1, 2, 1, 5]),
+        (vec![104, 101, 102, 102], vec![1, 1, 3, 1]),
+        (vec![103, 103, 999, 104], vec![2, 2, 9, 1]),
+    ];
+    for (pids, qtys) in batches {
+        engine.append("orders", &[Column::Int(pids.clone()), Column::Int(qtys.clone())])?;
+        engine.run_until_idle()?;
+    }
+
+    println!("margin per window of 8 orders (sliding by 4):");
+    for (i, w) in engine.drain_results(q)?.iter().enumerate() {
+        for row in w.rows() {
+            println!("  window {i}: total margin {} cents", row[0]);
+        }
+    }
+
+    // The join against the static table is replicated per basic window by
+    // the rewriter — show the plan classification.
+    println!("\n(the stream-table join runs per basic window; only the two");
+    println!(" new basic windows' joins execute per slide, not the window's)");
+    Ok(())
+}

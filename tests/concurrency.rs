@@ -1,0 +1,93 @@
+//! Concurrency: threaded receptors feeding baskets while the engine
+//! schedules factories — the multi-process shape of the paper's Fig. 1
+//! (receptor processes + kernel) on threads.
+
+use datacell::basket::ReceptorHandle;
+use datacell::prelude::*;
+
+#[test]
+fn threaded_receptor_feeds_running_engine() {
+    let mut engine = Engine::new();
+    engine.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+    let q = engine
+        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 40 SLIDE 20")
+        .unwrap();
+
+    // Source thread produces 50 batches of 20 tuples.
+    let basket = engine.basket("s").unwrap();
+    let mut left = 50u64;
+    let handle = ReceptorHandle::spawn(basket, 8, move || {
+        if left == 0 {
+            return None;
+        }
+        left -= 1;
+        Some((
+            50 - left,
+            vec![Column::Int(vec![1; 20]), Column::Int(vec![2; 20])],
+        ))
+    });
+
+    // Scheduler loop runs concurrently with ingestion.
+    let mut results = Vec::new();
+    loop {
+        engine.run_until_idle().unwrap();
+        results.extend(engine.drain_results(q).unwrap());
+        if results.len() >= 49 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let delivered = handle.join().unwrap();
+    engine.run_until_idle().unwrap();
+    results.extend(engine.drain_results(q).unwrap());
+
+    assert_eq!(delivered, 1000);
+    // 1000 tuples, window 40 sliding by 20 -> 49 windows.
+    assert_eq!(results.len(), 49);
+    for w in &results {
+        assert_eq!(w.rows(), vec![vec![Value::Int(80)]]); // 40 × 2
+    }
+}
+
+#[test]
+fn two_threaded_receptors_feed_a_join() {
+    let mut engine = Engine::new();
+    engine.create_stream("a", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+    engine.create_stream("b", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+    let q = engine
+        .register_sql(
+            "SELECT count(a.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 16 SLIDE 8",
+        )
+        .unwrap();
+
+    let spawn_feeder = |basket, seed: i64| {
+        let mut left = 20i64;
+        ReceptorHandle::spawn(basket, 4, move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            let ks: Vec<i64> = (0..8).map(|j| (seed + left + j) % 4).collect();
+            let vs: Vec<i64> = (0..8).collect();
+            Some(((20 - left) as u64, vec![Column::Int(ks), Column::Int(vs)]))
+        })
+    };
+    let h1 = spawn_feeder(engine.basket("a").unwrap(), 0);
+    let h2 = spawn_feeder(engine.basket("b").unwrap(), 1);
+
+    let mut produced = 0;
+    loop {
+        engine.run_until_idle().unwrap();
+        produced += engine.drain_results(q).unwrap().len();
+        if produced >= 18 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(h1.join().unwrap(), 160);
+    assert_eq!(h2.join().unwrap(), 160);
+    engine.run_until_idle().unwrap();
+    produced += engine.drain_results(q).unwrap().len();
+    // 160 tuples per stream, |W|=16, |w|=8 -> 19 windows.
+    assert_eq!(produced, 19);
+}

@@ -1,0 +1,149 @@
+//! Cross-engine agreement: the tuple-at-a-time SystemX simulator and the
+//! DataCell engine must compute identical answers on identical workloads —
+//! otherwise the Fig. 9 performance comparison would be comparing
+//! different queries.
+
+use datacell::prelude::*;
+use proptest::prelude::*;
+use sysx::{QuerySpec, SysxEngine, SysxResult};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn q1_same_answers(
+        data in prop::collection::vec((0i64..10, 0i64..100), 24..120),
+        stepn in 1usize..5,
+        n in 2usize..4,
+        thr in 0i64..9,
+    ) {
+        let step = stepn * 2;
+        let size = step * n;
+        let xs: Vec<i64> = data.iter().map(|d| d.0).collect();
+        let ys: Vec<i64> = data.iter().map(|d| d.1).collect();
+
+        // DataCell.
+        let mut e = Engine::new();
+        e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+        let q = e
+            .register_sql(&format!(
+                "SELECT x1, sum(x2) FROM s WHERE x1 > {thr} GROUP BY x1 \
+                 WINDOW SIZE {size} SLIDE {step}"
+            ))
+            .unwrap();
+        e.append("s", &[Column::Int(xs.clone()), Column::Int(ys.clone())]).unwrap();
+        e.run_until_idle().unwrap();
+        let dc = e.drain_results(q).unwrap();
+
+        // SystemX.
+        let mut sx = SysxEngine::new(QuerySpec::FilterGroupSum { threshold: thr }, size, step);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            sx.push(x, y);
+        }
+        let sx_out = sx.drain_results();
+
+        prop_assert_eq!(dc.len(), sx_out.len());
+        for (w, (d, s)) in dc.iter().zip(&sx_out).enumerate() {
+            let mut d_rows: Vec<(i64, i64)> = d
+                .rows()
+                .iter()
+                .map(|r| match (&r[0], &r[1]) {
+                    (Value::Int(k), Value::Int(v)) => (*k, *v),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            d_rows.sort_unstable();
+            match s {
+                SysxResult::Groups(g) => prop_assert_eq!(&d_rows, g, "window {}", w),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn q2_same_answers(
+        left in prop::collection::vec((0i64..5, 0i64..100), 16..80),
+        right in prop::collection::vec((0i64..5, 0i64..100), 16..80),
+        stepn in 1usize..4,
+        n in 2usize..4,
+    ) {
+        let step = stepn * 2;
+        let size = step * n;
+        let cap = left.len().min(right.len());
+        let lk: Vec<i64> = left[..cap].iter().map(|d| d.0).collect();
+        let lv: Vec<i64> = left[..cap].iter().map(|d| d.1).collect();
+        let rk: Vec<i64> = right[..cap].iter().map(|d| d.0).collect();
+        let rv: Vec<i64> = right[..cap].iter().map(|d| d.1).collect();
+
+        // DataCell.
+        let mut e = Engine::new();
+        e.create_stream("a", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+        e.create_stream("b", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+        let q = e
+            .register_sql(&format!(
+                "SELECT max(a.v), avg(b.v) FROM a, b WHERE a.k = b.k \
+                 WINDOW SIZE {size} SLIDE {step}"
+            ))
+            .unwrap();
+        e.append("a", &[Column::Int(lk.clone()), Column::Int(lv.clone())]).unwrap();
+        e.append("b", &[Column::Int(rk.clone()), Column::Int(rv.clone())]).unwrap();
+        e.run_until_idle().unwrap();
+        let dc = e.drain_results(q).unwrap();
+
+        // SystemX.
+        let mut sx = SysxEngine::new(QuerySpec::JoinMaxAvg, size, step);
+        for i in 0..cap {
+            sx.push_left(lk[i], lv[i]);
+            sx.push_right(rk[i], rv[i]);
+        }
+        let sx_out = sx.drain_results();
+
+        prop_assert_eq!(dc.len(), sx_out.len());
+        for (w, (d, s)) in dc.iter().zip(&sx_out).enumerate() {
+            let SysxResult::Scalars(smax, savg) = s else { panic!("unexpected {s:?}") };
+            if d.is_empty() {
+                prop_assert!(smax.is_none(), "window {}: datacell empty, sysx {:?}", w, smax);
+            } else {
+                let row = &d.rows()[0];
+                let (Value::Int(dmax), Value::Float(davg)) = (&row[0], &row[1]) else {
+                    panic!("unexpected row {row:?}")
+                };
+                prop_assert_eq!(Some(*dmax as f64), *smax, "max, window {}", w);
+                let savg = savg.expect("non-empty window has an avg");
+                prop_assert!((davg - savg).abs() < 1e-9, "avg, window {}: {} vs {}", w, davg, savg);
+            }
+        }
+    }
+}
+
+#[test]
+fn q3_landmark_same_answers() {
+    let xs: Vec<i64> = (0..60).map(|i| (i * 13) % 40).collect();
+    let ys: Vec<i64> = (0..60).collect();
+    let (step, thr) = (10usize, 15i64);
+
+    let mut e = Engine::new();
+    e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+    let q = e
+        .register_sql(&format!(
+            "SELECT max(x1), sum(x2) FROM s WHERE x1 > {thr} WINDOW LANDMARK SLIDE {step}"
+        ))
+        .unwrap();
+    e.append("s", &[Column::Int(xs.clone()), Column::Int(ys.clone())]).unwrap();
+    e.run_until_idle().unwrap();
+    let dc = e.drain_results(q).unwrap();
+
+    let mut sx = SysxEngine::new(QuerySpec::LandmarkFilterMaxSum { threshold: thr }, usize::MAX >> 1, step);
+    for (&x, &y) in xs.iter().zip(&ys) {
+        sx.push(x, y);
+    }
+    let sx_out = sx.drain_results();
+    assert_eq!(dc.len(), sx_out.len());
+    for (d, s) in dc.iter().zip(&sx_out) {
+        let SysxResult::Scalars(smax, ssum) = s else { panic!() };
+        let row = &d.rows()[0];
+        let (Value::Int(dmax), Value::Int(dsum)) = (&row[0], &row[1]) else { panic!() };
+        assert_eq!(Some(*dmax as f64), *smax);
+        assert_eq!(Some(*dsum as f64), *ssum);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests on the column-store kernel: every bulk operator agrees
+//! with a naive row-at-a-time reference implementation, and algebraic
+//! identities the incremental rewriter relies on actually hold.
+
+use datacell::kernel::algebra::{self, AggKind, Predicate};
+use datacell::kernel::{Bat, Column, Value};
+use proptest::prelude::*;
+
+fn int_bat(vals: &[i64], hseq: u64) -> Bat {
+    Bat::new(hseq, Column::Int(vals.to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn select_agrees_with_naive(vals in prop::collection::vec(-100i64..100, 0..200), thr in -100i64..100, hseq in 0u64..1000) {
+        let b = int_bat(&vals, hseq);
+        let cands = algebra::select(&b, &Predicate::gt(thr)).unwrap();
+        let expect: Vec<u64> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > thr)
+            .map(|(i, _)| hseq + i as u64)
+            .collect();
+        prop_assert_eq!(cands.tail.as_oid().unwrap(), &expect[..]);
+    }
+
+    #[test]
+    fn select_then_fetch_roundtrips(vals in prop::collection::vec(-50i64..50, 1..100), thr in -50i64..50) {
+        // fetch(select(x, p), x) == filter(x, p): the select/fetch pair is
+        // exactly row-level filtering.
+        let b = int_bat(&vals, 7);
+        let cands = algebra::select(&b, &Predicate::gt(thr)).unwrap();
+        let fetched = algebra::fetch(&cands, &b).unwrap();
+        let expect: Vec<i64> = vals.iter().copied().filter(|&v| v > thr).collect();
+        prop_assert_eq!(fetched.tail.as_int().unwrap(), &expect[..]);
+    }
+
+    #[test]
+    fn split_concat_identity(vals in prop::collection::vec(-50i64..50, 1..120), parts in 1usize..8) {
+        // concat(split(x)) == x — the foundation of basic-window splitting.
+        let b = int_bat(&vals, 0);
+        let n = vals.len();
+        let chunk = n.div_ceil(parts);
+        let mut pieces = Vec::new();
+        let mut off = 0;
+        while off < n {
+            let len = chunk.min(n - off);
+            pieces.push(Bat::new(off as u64, b.tail.slice_owned(off, len)));
+            off += len;
+        }
+        let refs: Vec<&Bat> = pieces.iter().collect();
+        let merged = algebra::concat(&refs).unwrap();
+        prop_assert_eq!(merged.tail.as_int().unwrap(), &vals[..]);
+    }
+
+    #[test]
+    fn partial_aggregation_compensates(vals in prop::collection::vec(-100i64..100, 1..200), cut in 0usize..200) {
+        // sum(x) == sum(sum(x[..k]), sum(x[k..])) and likewise min/max —
+        // the scalar compensation rule.
+        let cut = cut.min(vals.len());
+        let (a, b) = vals.split_at(cut);
+        let whole = int_bat(&vals, 0);
+        let pa = int_bat(a, 0);
+        let pb = int_bat(b, 0);
+
+        let total = algebra::sum(&whole).unwrap();
+        let (sa, sb) = (algebra::sum(&pa).unwrap(), algebra::sum(&pb).unwrap());
+        let merged = match (sa, sb) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(total, merged);
+
+        let mins: Vec<Value> = [algebra::min(&pa).unwrap(), algebra::min(&pb).unwrap()]
+            .into_iter()
+            .flatten()
+            .collect();
+        let merged_min = mins.iter().cloned().min_by(|x, y| x.total_cmp(y));
+        prop_assert_eq!(algebra::min(&whole).unwrap(), merged_min);
+    }
+
+    #[test]
+    fn group_partition_law(keys in prop::collection::vec(0i64..6, 1..120), split in 1usize..119) {
+        // Grouped sums computed per part and re-merged equal whole-input
+        // grouped sums — Fig 3d's compensation, at kernel level.
+        let vals: Vec<i64> = keys.iter().map(|k| k * 3 + 1).collect();
+        let split = split.min(keys.len());
+
+        // Whole.
+        let kb = int_bat(&keys, 0);
+        let vb = int_bat(&vals, 0);
+        let g = algebra::group(&kb).unwrap();
+        let whole_keys = g.keys(&kb).unwrap();
+        let whole_sums = algebra::sum_grouped(&vb, &g).unwrap();
+        let mut expect: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (i, k) in whole_keys.iter_values().enumerate() {
+            if let (Value::Int(k), Some(Value::Int(s))) = (k, whole_sums.get(i)) {
+                expect.insert(k, s);
+            }
+        }
+
+        // Parts, merged via re-group.
+        let mut part_keys = Column::Int(vec![]);
+        let mut part_sums = Column::Int(vec![]);
+        for (ks, vs) in [(&keys[..split], &vals[..split]), (&keys[split..], &vals[split..])] {
+            if ks.is_empty() { continue; }
+            let kb = int_bat(ks, 0);
+            let vb = int_bat(vs, 0);
+            let g = algebra::group(&kb).unwrap();
+            part_keys.append(&g.keys(&kb).unwrap()).unwrap();
+            part_sums.append(&algebra::sum_grouped(&vb, &g).unwrap()).unwrap();
+        }
+        let g2 = algebra::group(&Bat::transient(part_keys.clone())).unwrap();
+        let merged_keys = g2.keys(&Bat::transient(part_keys)).unwrap();
+        let merged_sums = algebra::sum_grouped(&Bat::transient(part_sums), &g2).unwrap();
+        let mut got: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (i, k) in merged_keys.iter_values().enumerate() {
+            if let (Value::Int(k), Some(Value::Int(s))) = (k, merged_sums.get(i)) {
+                got.insert(k, s);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_agrees_with_nested_loops(
+        l in prop::collection::vec(0i64..8, 0..50),
+        r in prop::collection::vec(0i64..8, 0..50),
+    ) {
+        let lb = int_bat(&l, 0);
+        let rb = int_bat(&r, 100);
+        let (lo, ro) = algebra::hashjoin(&lb, &rb).unwrap();
+        let mut got: Vec<(u64, u64)> = lo
+            .tail
+            .as_oid()
+            .unwrap()
+            .iter()
+            .zip(ro.tail.as_oid().unwrap())
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        got.sort_unstable();
+        let mut expect = Vec::new();
+        for (i, &x) in l.iter().enumerate() {
+            for (j, &y) in r.iter().enumerate() {
+                if x == y {
+                    expect.push((i as u64, 100 + j as u64));
+                }
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn join_block_decomposition(
+        l in prop::collection::vec(0i64..5, 2..40),
+        r in prop::collection::vec(0i64..5, 2..40),
+    ) {
+        // |join(L, R)| == Σ |join(Li, Rj)| over any block partitioning —
+        // the n×n matrix replication invariant of Fig 3e.
+        let lb = int_bat(&l, 0);
+        let rb = int_bat(&r, 0);
+        let (lo, _) = algebra::hashjoin(&lb, &rb).unwrap();
+        let whole = lo.len();
+
+        let lmid = l.len() / 2;
+        let rmid = r.len() / 2;
+        let mut pieces = 0;
+        for (ls, lh) in [(&l[..lmid], 0u64), (&l[lmid..], lmid as u64)] {
+            for (rs, rh) in [(&r[..rmid], 0u64), (&r[rmid..], rmid as u64)] {
+                let (o, _) = algebra::hashjoin(&int_bat(ls, lh), &int_bat(rs, rh)).unwrap();
+                pieces += o.len();
+            }
+        }
+        prop_assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn distinct_of_concat_of_distincts(
+        a in prop::collection::vec(0i64..10, 0..60),
+        b in prop::collection::vec(0i64..10, 0..60),
+    ) {
+        // distinct(concat(distinct(a), distinct(b))) == distinct(concat(a, b))
+        // as sets — the distinct compensation rule.
+        let whole = {
+            let mut c = a.clone();
+            c.extend_from_slice(&b);
+            let d = algebra::distinct(&int_bat(&c, 0)).unwrap();
+            let mut v = d.tail.as_int().unwrap().to_vec();
+            v.sort_unstable();
+            v
+        };
+        let parts = {
+            let da = algebra::distinct(&int_bat(&a, 0)).unwrap();
+            let db = algebra::distinct(&int_bat(&b, 0)).unwrap();
+            let cc = algebra::concat(&[&da, &db]).unwrap();
+            let d = algebra::distinct(&cc).unwrap();
+            let mut v = d.tail.as_int().unwrap().to_vec();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn sort_is_sorted_and_permutation(vals in prop::collection::vec(-100i64..100, 0..100)) {
+        let b = int_bat(&vals, 0);
+        let s = algebra::sort(&b).unwrap();
+        let out = s.tail.as_int().unwrap();
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = vals.clone();
+        let mut bb = out.to_vec();
+        a.sort_unstable();
+        bb.sort_unstable();
+        prop_assert_eq!(a, bb);
+    }
+
+    #[test]
+    fn count_compensated_by_sum(vals in prop::collection::vec(-10i64..10, 0..100), cut in 0usize..100) {
+        let cut = cut.min(vals.len());
+        let whole = algebra::count(&int_bat(&vals, 0));
+        let a = algebra::count(&int_bat(&vals[..cut], 0));
+        let b = algebra::count(&int_bat(&vals[cut..], 0));
+        let merged = match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(whole, merged);
+        let _ = AggKind::Count; // rule documented in kernel::algebra
+    }
+}

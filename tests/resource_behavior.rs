@@ -1,0 +1,124 @@
+//! Resource behaviour: the paper's "Discarding Input" optimization (§3)
+//! and basket garbage collection under different query mixes.
+
+use datacell::core::{ExecMode, RegisterOptions};
+use datacell::prelude::*;
+
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+    e
+}
+
+#[test]
+fn incremental_discards_processed_input() {
+    // "once the intermediate results of the individual basic windows are
+    // created, the original input tuples are no longer required" — the
+    // basket must not accumulate the window; only unprocessed tail tuples
+    // may remain.
+    let mut e = engine();
+    let _q = e
+        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 64 SLIDE 8")
+        .unwrap();
+    for _ in 0..100 {
+        e.append("s", &[Column::Int(vec![1; 8]), Column::Int(vec![1; 8])]).unwrap();
+        e.run_until_idle().unwrap();
+        // After each fully processed batch the basket is empty: the
+        // factory holds per-basic-window intermediates, not raw input.
+        assert_eq!(e.basket_len("s").unwrap(), 0);
+    }
+}
+
+#[test]
+fn incremental_join_also_discards_input() {
+    // Even the n×n join keeps *intermediates* (the per-basic-window join
+    // inputs), never raw basket tuples.
+    let mut e = Engine::new();
+    e.create_stream("a", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+    e.create_stream("b", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
+    let _q = e
+        .register_sql(
+            "SELECT max(a.v), avg(b.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 32 SLIDE 8",
+        )
+        .unwrap();
+    for i in 0..50i64 {
+        let ks: Vec<i64> = (0..8).map(|j| (i + j) % 5).collect();
+        let vs: Vec<i64> = (0..8).collect();
+        e.append("a", &[Column::Int(ks.clone()), Column::Int(vs.clone())]).unwrap();
+        e.append("b", &[Column::Int(ks), Column::Int(vs)]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.basket_len("a").unwrap(), 0);
+        assert_eq!(e.basket_len("b").unwrap(), 0);
+    }
+}
+
+#[test]
+fn partial_batches_remain_until_consumed() {
+    let mut e = engine();
+    let _q = e
+        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 10 SLIDE 5")
+        .unwrap();
+    // 7 tuples: one basic window of 5 consumed, 2 left waiting.
+    e.append("s", &[Column::Int(vec![1; 7]), Column::Int(vec![1; 7])]).unwrap();
+    e.run_until_idle().unwrap();
+    assert_eq!(e.basket_len("s").unwrap(), 2);
+}
+
+#[test]
+fn reevaluation_buffers_internally_not_in_basket() {
+    // DataCellR needs the full window but buffers it inside the factory;
+    // the shared basket is still drained.
+    let mut e = engine();
+    let _q = e
+        .register_sql_with(
+            "SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 40 SLIDE 8",
+            RegisterOptions { mode: ExecMode::Reevaluation, chunker: None },
+        )
+        .unwrap();
+    for _ in 0..20 {
+        e.append("s", &[Column::Int(vec![1; 8]), Column::Int(vec![1; 8])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.basket_len("s").unwrap(), 0);
+    }
+}
+
+#[test]
+fn mixed_query_speeds_bound_the_basket_by_the_slowest() {
+    let mut e = engine();
+    let _fast = e
+        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 2")
+        .unwrap();
+    let _slow = e
+        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 4")
+        .unwrap();
+    // Append 101 tuples in batches of 7 (never aligned with either step).
+    for _ in 0..13 {
+        e.append("s", &[Column::Int(vec![1; 7]), Column::Int(vec![1; 7])]).unwrap();
+        e.run_until_idle().unwrap();
+        // Neither factory can be more than one step behind the appended
+        // data, so at most max(step) + batch tuples remain resident.
+        assert!(e.basket_len("s").unwrap() <= 4 + 7);
+    }
+}
+
+#[test]
+fn landmark_incremental_state_is_constant_size() {
+    // Landmark queries keep ONE cumulative intermediate per frontier var
+    // (paper §3): the basket must not grow even though the logical window
+    // does.
+    let mut e = engine();
+    let q = e
+        .register_sql("SELECT max(x1), sum(x2) FROM s WHERE x1 > 0 WINDOW LANDMARK SLIDE 16")
+        .unwrap();
+    for i in 0..200i64 {
+        let xs: Vec<i64> = (0..16).map(|j| i + j).collect();
+        e.append("s", &[Column::Int(xs.clone()), Column::Int(xs)]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.basket_len("s").unwrap(), 0);
+    }
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(out.len(), 200);
+    // Cumulative max keeps increasing.
+    let last = &out[199].rows()[0];
+    assert_eq!(last[0], Value::Int(214));
+}

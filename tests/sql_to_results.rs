@@ -1,0 +1,220 @@
+//! SQL-level acceptance tests: each supported clause, end to end, with
+//! hand-checked expected outputs.
+
+use datacell::prelude::*;
+
+fn engine3() -> Engine {
+    let mut e = Engine::new();
+    e.create_stream(
+        "s",
+        &[("k", DataType::Int), ("v", DataType::Int), ("w", DataType::Float)],
+    )
+    .unwrap();
+    e
+}
+
+fn feed(e: &mut Engine, ks: Vec<i64>, vs: Vec<i64>, ws: Vec<f64>) {
+    e.append("s", &[Column::Int(ks), Column::Int(vs), Column::Float(ws)]).unwrap();
+    e.run_until_idle().unwrap();
+}
+
+#[test]
+fn float_columns_filter_and_aggregate() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT min(w), max(w), avg(w) FROM s WHERE w >= 0.5 WINDOW SIZE 4 SLIDE 4")
+        .unwrap();
+    feed(&mut e, vec![1, 2, 3, 4], vec![0; 4], vec![0.25, 0.5, 1.5, 1.0]);
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(
+        out[0].rows(),
+        vec![vec![Value::Float(0.5), Value::Float(1.5), Value::Float(1.0)]]
+    );
+}
+
+#[test]
+fn between_predicate() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT count(k) FROM s WHERE k BETWEEN 2 AND 4 WINDOW SIZE 6 SLIDE 6")
+        .unwrap();
+    feed(&mut e, vec![1, 2, 3, 4, 5, 2], vec![0; 6], vec![0.0; 6]);
+    assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(4)]]);
+}
+
+#[test]
+fn not_equal_predicate() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT count(k) FROM s WHERE k <> 3 WINDOW SIZE 4 SLIDE 4")
+        .unwrap();
+    feed(&mut e, vec![3, 1, 3, 2], vec![0; 4], vec![0.0; 4]);
+    assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn conjunction_of_predicates() {
+    let mut e = engine3();
+    let q = e
+        .register_sql(
+            "SELECT sum(v) FROM s WHERE k > 1 AND v < 50 AND w >= 0.0 WINDOW SIZE 4 SLIDE 4",
+        )
+        .unwrap();
+    feed(&mut e, vec![1, 2, 3, 4], vec![10, 20, 99, 30], vec![0.5, 0.5, 0.5, -1.0]);
+    // k>1: rows 2,3,4; v<50 drops row 3; w>=0 drops row 4 -> only row 2.
+    assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(20)]]);
+}
+
+#[test]
+fn grouped_multiple_aggregates() {
+    let mut e = engine3();
+    let q = e
+        .register_sql(
+            "SELECT k, sum(v), count(v), min(v), max(v), avg(v) FROM s GROUP BY k \
+             WINDOW SIZE 6 SLIDE 6",
+        )
+        .unwrap();
+    feed(&mut e, vec![1, 1, 1, 2, 2, 2], vec![10, 20, 30, 5, 15, 25], vec![0.0; 6]);
+    let out = e.drain_results(q).unwrap();
+    let rows = out[0].sorted_rows();
+    assert_eq!(
+        rows[0],
+        vec![
+            Value::Int(1),
+            Value::Int(60),
+            Value::Int(3),
+            Value::Int(10),
+            Value::Int(30),
+            Value::Float(20.0)
+        ]
+    );
+    assert_eq!(
+        rows[1],
+        vec![
+            Value::Int(2),
+            Value::Int(45),
+            Value::Int(3),
+            Value::Int(5),
+            Value::Int(25),
+            Value::Float(15.0)
+        ]
+    );
+}
+
+#[test]
+fn aliased_aggregates_name_output_columns() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT sum(v) AS total, count(v) AS n FROM s WINDOW SIZE 2 SLIDE 2")
+        .unwrap();
+    feed(&mut e, vec![1, 2], vec![3, 4], vec![0.0; 2]);
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(out[0].names(), &["total".to_owned(), "n".to_owned()]);
+    assert_eq!(out[0].col("total").unwrap(), &Column::Int(vec![7]));
+}
+
+#[test]
+fn string_columns_project_group() {
+    let mut e = Engine::new();
+    e.create_stream("logs", &[("level", DataType::Str), ("code", DataType::Int)]).unwrap();
+    let q = e
+        .register_sql(
+            "SELECT level, count(code) FROM logs GROUP BY level WINDOW SIZE 4 SLIDE 4",
+        )
+        .unwrap();
+    e.append(
+        "logs",
+        &[
+            Column::Str(vec!["err".into(), "warn".into(), "err".into(), "info".into()]),
+            Column::Int(vec![1, 2, 3, 4]),
+        ],
+    )
+    .unwrap();
+    e.run_until_idle().unwrap();
+    let out = e.drain_results(q).unwrap();
+    let rows = out[0].sorted_rows();
+    assert_eq!(rows[0], vec![Value::from("err"), Value::Int(2)]);
+    assert_eq!(rows[1], vec![Value::from("info"), Value::Int(1)]);
+    assert_eq!(rows[2], vec![Value::from("warn"), Value::Int(1)]);
+}
+
+#[test]
+fn string_equality_filter() {
+    let mut e = Engine::new();
+    e.create_stream("logs", &[("level", DataType::Str), ("code", DataType::Int)]).unwrap();
+    let q = e
+        .register_sql("SELECT code FROM logs WHERE level = 'err' WINDOW SIZE 3 SLIDE 3")
+        .unwrap();
+    e.append(
+        "logs",
+        &[
+            Column::Str(vec!["err".into(), "ok".into(), "err".into()]),
+            Column::Int(vec![7, 8, 9]),
+        ],
+    )
+    .unwrap();
+    e.run_until_idle().unwrap();
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(out[0].rows(), vec![vec![Value::Int(7)], vec![Value::Int(9)]]);
+}
+
+#[test]
+fn order_by_ascending_default() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT k FROM s ORDER BY k WINDOW SIZE 4 SLIDE 4")
+        .unwrap();
+    feed(&mut e, vec![3, 1, 4, 2], vec![0; 4], vec![0.0; 4]);
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(
+        out[0].rows(),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Int(4)]]
+    );
+}
+
+#[test]
+fn projection_of_multiple_columns_stays_row_aligned() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT k, v, w FROM s WHERE v > 5 WINDOW SIZE 4 SLIDE 2")
+        .unwrap();
+    feed(&mut e, vec![1, 2, 3, 4], vec![10, 3, 20, 4], vec![0.1, 0.2, 0.3, 0.4]);
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(
+        out[0].rows(),
+        vec![
+            vec![Value::Int(1), Value::Int(10), Value::Float(0.1)],
+            vec![Value::Int(3), Value::Int(20), Value::Float(0.3)],
+        ]
+    );
+}
+
+#[test]
+fn count_star_over_filtered_stream() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT count(*) FROM s WHERE k > 1 WINDOW SIZE 3 SLIDE 3")
+        .unwrap();
+    feed(&mut e, vec![1, 2, 3], vec![0; 3], vec![0.0; 3]);
+    assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn time_landmark_query() {
+    let mut e = engine3();
+    let q = e
+        .register_sql("SELECT count(k) FROM s WINDOW LANDMARK SLIDE 10 MS")
+        .unwrap();
+    e.append_at("s", &[Column::Int(vec![1, 2]), Column::Int(vec![0, 0]), Column::Float(vec![0.0, 0.0])], 4)
+        .unwrap();
+    e.advance_clock(10);
+    e.run_until_idle().unwrap();
+    e.append_at("s", &[Column::Int(vec![3]), Column::Int(vec![0]), Column::Float(vec![0.0])], 14)
+        .unwrap();
+    e.advance_clock(20);
+    e.run_until_idle().unwrap();
+    let out = e.drain_results(q).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].rows(), vec![vec![Value::Int(2)]]);
+    assert_eq!(out[1].rows(), vec![vec![Value::Int(3)]]); // cumulative
+}
