@@ -99,10 +99,8 @@ mod tests {
 
     #[test]
     fn drain_multi_column_rows() {
-        let out = SharedBasket::new(Basket::new(
-            "out",
-            &[("k", DataType::Int), ("v", DataType::Float)],
-        ));
+        let out =
+            SharedBasket::new(Basket::new("out", &[("k", DataType::Int), ("v", DataType::Float)]));
         out.append(&[Column::Int(vec![1]), Column::Float(vec![0.5])], 0).unwrap();
         let mut e = CollectEmitter::new();
         e.drain(&out).unwrap();

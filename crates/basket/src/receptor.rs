@@ -141,14 +141,18 @@ impl CsvReceptor {
         for (f, t) in fields.iter().zip(&self.schema) {
             let f = f.trim();
             match t {
-                DataType::Int => ints.push(f.parse::<i64>().map_err(|e| format!("int `{f}`: {e}"))?),
+                DataType::Int => {
+                    ints.push(f.parse::<i64>().map_err(|e| format!("int `{f}`: {e}"))?)
+                }
                 DataType::Float => {
                     floats.push(f.parse::<f64>().map_err(|e| format!("float `{f}`: {e}"))?)
                 }
                 DataType::Bool => {
                     bools.push(f.parse::<bool>().map_err(|e| format!("bool `{f}`: {e}"))?)
                 }
-                DataType::Oid => ints.push(f.parse::<i64>().map_err(|e| format!("oid `{f}`: {e}"))?),
+                DataType::Oid => {
+                    ints.push(f.parse::<i64>().map_err(|e| format!("oid `{f}`: {e}"))?)
+                }
                 DataType::Str => {}
             }
         }
@@ -181,8 +185,10 @@ impl CsvReceptor {
     /// Move the pending batch into a basket, stamping all rows `now`.
     /// Returns the first assigned oid (or the basket end when empty).
     pub fn flush_into(&mut self, basket: &SharedBasket, now: Timestamp) -> crate::Result<Oid> {
-        let batch: Vec<Column> =
-            std::mem::replace(&mut self.pending, self.schema.iter().map(|t| Column::empty(*t)).collect());
+        let batch: Vec<Column> = std::mem::replace(
+            &mut self.pending,
+            self.schema.iter().map(|t| Column::empty(*t)).collect(),
+        );
         basket.append(&batch, now)
     }
 }

@@ -143,9 +143,8 @@ mod tests {
     fn dropping_handle_stops_source() {
         let basket = shared();
         // Infinite source; dropping the handle must terminate it.
-        let handle = ReceptorHandle::spawn(basket.clone(), 1, move || {
-            Some((0, vec![Column::Int(vec![7])]))
-        });
+        let handle =
+            ReceptorHandle::spawn(basket.clone(), 1, move || Some((0, vec![Column::Int(vec![7])])));
         // Let it make some progress, then drop.
         while basket.len() < 3 {
             std::thread::yield_now();

@@ -23,7 +23,12 @@ pub struct BasicWindow {
 impl BasicWindow {
     /// Assemble a basic window. Invariants (aligned lengths) are the
     /// caller's responsibility; [`crate::Basket::read_range`] guarantees them.
-    pub fn new(base_oid: Oid, cols: Vec<Column>, ts: Vec<Timestamp>, names: Vec<String>) -> BasicWindow {
+    pub fn new(
+        base_oid: Oid,
+        cols: Vec<Column>,
+        ts: Vec<Timestamp>,
+        names: Vec<String>,
+    ) -> BasicWindow {
         debug_assert!(cols.iter().all(|c| c.len() == ts.len()));
         BasicWindow { base_oid, cols, ts, names }
     }
@@ -116,9 +121,8 @@ impl BasicWindow {
     /// basic window in the m-chunk optimization). Windows must be contiguous
     /// in oid space.
     pub fn concat(parts: &[&BasicWindow]) -> crate::Result<BasicWindow> {
-        let first = parts
-            .first()
-            .ok_or_else(|| BasketError::Malformed("concat of zero windows".into()))?;
+        let first =
+            parts.first().ok_or_else(|| BasketError::Malformed("concat of zero windows".into()))?;
         let mut out = (*first).clone();
         for w in &parts[1..] {
             if w.base_oid != out.end_oid() {

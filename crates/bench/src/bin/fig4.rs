@@ -37,16 +37,10 @@ fn main() {
     print_table(&["window", "DataCellR", "DataCell"], &rows);
 
     // -- (b) multi-stream Q2 ---------------------------------------------
-    let (w2, s2) = if args.paper {
-        (102_400, 1_600)
-    } else {
-        (args.sized(51_200, 640), args.sized(800, 10))
-    };
+    let (w2, s2) =
+        if args.paper { (102_400, 1_600) } else { (args.sized(51_200, 640), args.sized(800, 10)) };
     let q2 = Q2Config { window: w2, step: s2, key_domain: 10_000, windows, seed: args.seed };
-    println!(
-        "\nFigure 4(b): Q2 response time per window  (|W|={w2}, |w|={s2}, n={})",
-        w2 / s2
-    );
+    println!("\nFigure 4(b): Q2 response time per window  (|W|={w2}, |w|={s2}, n={})", w2 / s2);
     let inc = run_q2(&Mode::DataCell, &q2);
     let re = run_q2(&Mode::DataCellR, &q2);
     let rows: Vec<Vec<String>> = (0..windows)

@@ -41,11 +41,8 @@ fn main() {
     print_table(&["selectivity", "DataCellR", "DataCell"], &rows);
 
     // -- (b) Q2 join selectivity ------------------------------------------
-    let (w2, s2) = if args.paper {
-        (102_400, 1_600)
-    } else {
-        (args.sized(51_200, 640), args.sized(800, 10))
-    };
+    let (w2, s2) =
+        if args.paper { (102_400, 1_600) } else { (args.sized(51_200, 640), args.sized(800, 10)) };
     println!("\nFigure 5(b): Q2, vary join selectivity  (|W|={w2}, |w|={s2})");
     let mut rows = Vec::new();
     // Join selectivity = 1/key_domain (probability a given pair matches).

@@ -24,7 +24,11 @@ fn main() {
     let sizes: Vec<usize> = if args.paper {
         vec![1_000_000, 10_000_000, 100_000_000]
     } else {
-        vec![args.sized(102_400, 51_200), args.sized(1_024_000, 102_400), args.sized(4_096_000, 204_800)]
+        vec![
+            args.sized(102_400, 51_200),
+            args.sized(1_024_000, 102_400),
+            args.sized(4_096_000, 204_800),
+        ]
     };
     println!("Figure 6(a): Q1, vary window size, n = 512 fixed, sel = 20%");
     let mut rows = Vec::new();

@@ -16,9 +16,7 @@ fn main() {
     } else {
         (args.sized(1_024_000, 16_384), args.sized(4_000, 64))
     };
-    println!(
-        "Figure 8: Q1 adaptive chunking  (|W|={w}, |w|={s}, doubling m every 5 slides)"
-    );
+    println!("Figure 8: Q1 adaptive chunking  (|W|={w}, |w|={s}, doubling m every 5 slides)");
 
     // Baselines for reference lines.
     let cfg = Q1Config { window: w, step: s, selectivity: 0.2, windows, seed: args.seed };
@@ -45,11 +43,9 @@ fn main() {
             continue;
         }
         let out = run_q1(&Mode::Chunked(m), &cfg);
-        let steady: std::time::Duration = out.per_window[1..]
-            .iter()
-            .map(|x| x.total)
-            .sum::<std::time::Duration>()
-            / (out.per_window.len().max(2) - 1) as u32;
+        let steady: std::time::Duration =
+            out.per_window[1..].iter().map(|x| x.total).sum::<std::time::Duration>()
+                / (out.per_window.len().max(2) - 1) as u32;
         rows.push(vec![m.to_string(), fmt_duration(steady)]);
     }
     print_table(&["m", "response"], &rows);

@@ -15,9 +15,7 @@ fn main() {
     let large: Vec<usize> = vec![25_600, 51_200, 76_800, 102_400];
 
     for (name, sizes) in [("(a) small windows", small), ("(b) big windows", large)] {
-        println!(
-            "Figure 9{name}: Q2 total time for {windows} windows, n = 64 basic windows"
-        );
+        println!("Figure 9{name}: Q2 total time for {windows} windows, n = 64 basic windows");
         let mut rows = Vec::new();
         for w in sizes {
             let w = if args.paper { w } else { args.sized(w, 640) };

@@ -2,9 +2,7 @@
 //! metrics — the shared machinery behind every figure harness.
 
 use crate::workload::{gen_join_stream, gen_q1_stream, selectivity_threshold};
-use datacell_core::{
-    AdaptiveChunker, Engine, ExecMode, QueryId, RegisterOptions, SlideMetrics,
-};
+use datacell_core::{AdaptiveChunker, Engine, ExecMode, QueryId, RegisterOptions, SlideMetrics};
 use datacell_kernel::DataType;
 use std::time::{Duration, Instant};
 use sysx::{QuerySpec, SysxEngine};

@@ -6,6 +6,7 @@
 //! scheduler, the scheduler fires them as windows fill, and window results
 //! accumulate per query until drained (the emitter side).
 
+use crate::adaptive::AdaptiveChunker;
 use crate::error::DataCellError;
 use crate::factory::incremental::IncrementalFactory;
 use crate::factory::reeval::ReevalFactory;
@@ -13,7 +14,6 @@ use crate::factory::StreamInput;
 use crate::metrics::SlideMetrics;
 use crate::rewrite::{rewrite, IncrementalPlan};
 use crate::scheduler::Scheduler;
-use crate::adaptive::AdaptiveChunker;
 use datacell_basket::{Basket, SharedBasket, Timestamp};
 use datacell_kernel::{Catalog, Column, DataType, Table};
 use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
@@ -75,8 +75,7 @@ impl Engine {
         if self.baskets.contains_key(name) {
             return Err(DataCellError::AlreadyExists(name.to_owned()));
         }
-        self.baskets
-            .insert(name.to_owned(), SharedBasket::new(Basket::new(name, schema)));
+        self.baskets.insert(name.to_owned(), SharedBasket::new(Basket::new(name, schema)));
         Ok(())
     }
 
@@ -210,16 +209,13 @@ impl Engine {
     fn resolve_sources(&self, plan: LogicalPlan) -> LogicalPlan {
         match plan {
             LogicalPlan::ScanStream { stream }
-                if !self.baskets.contains_key(&stream)
-                    && self.catalog.table(&stream).is_ok() =>
+                if !self.baskets.contains_key(&stream) && self.catalog.table(&stream).is_ok() =>
             {
                 LogicalPlan::ScanTable { table: stream }
             }
-            LogicalPlan::Filter { input, column, pred } => LogicalPlan::Filter {
-                input: Box::new(self.resolve_sources(*input)),
-                column,
-                pred,
-            },
+            LogicalPlan::Filter { input, column, pred } => {
+                LogicalPlan::Filter { input: Box::new(self.resolve_sources(*input)), column, pred }
+            }
             LogicalPlan::Join { left, right, left_on, right_on } => LogicalPlan::Join {
                 left: Box::new(self.resolve_sources(*left)),
                 right: Box::new(self.resolve_sources(*right)),
@@ -237,11 +233,9 @@ impl Engine {
             LogicalPlan::Distinct { input } => {
                 LogicalPlan::Distinct { input: Box::new(self.resolve_sources(*input)) }
             }
-            LogicalPlan::OrderBy { input, column, desc } => LogicalPlan::OrderBy {
-                input: Box::new(self.resolve_sources(*input)),
-                column,
-                desc,
-            },
+            LogicalPlan::OrderBy { input, column, desc } => {
+                LogicalPlan::OrderBy { input: Box::new(self.resolve_sources(*input)), column, desc }
+            }
             LogicalPlan::Limit { input, n } => {
                 LogicalPlan::Limit { input: Box::new(self.resolve_sources(*input)), n }
             }
@@ -294,10 +288,7 @@ impl Engine {
 
     /// Take all window results produced by a query since the last drain.
     pub fn drain_results(&mut self, q: QueryId) -> Result<Vec<ResultSet>, DataCellError> {
-        self.outputs
-            .get_mut(&q.0)
-            .map(std::mem::take)
-            .ok_or(DataCellError::UnknownQuery(q.0))
+        self.outputs.get_mut(&q.0).map(std::mem::take).ok_or(DataCellError::UnknownQuery(q.0))
     }
 
     /// Per-slide metrics of a query.
@@ -357,11 +348,13 @@ mod tests {
     #[test]
     fn end_to_end_sql_incremental() {
         let mut e = engine_with_stream();
-        let q = e
-            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 2")
-            .unwrap();
-        e.append("s", &[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])])
-            .unwrap();
+        let q =
+            e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 2").unwrap();
+        e.append(
+            "s",
+            &[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])],
+        )
+        .unwrap();
         e.run_until_idle().unwrap();
         let out = e.drain_results(q).unwrap();
         assert_eq!(out.len(), 2);
@@ -377,7 +370,9 @@ mod tests {
     fn incremental_and_reeval_agree() {
         let mut e = engine_with_stream();
         let qi = e
-            .register_sql("SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 6 SLIDE 2")
+            .register_sql(
+                "SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 6 SLIDE 2",
+            )
             .unwrap();
         let qr = e
             .register_sql_with(
@@ -401,12 +396,10 @@ mod tests {
     #[test]
     fn multiple_queries_share_basket_gc_respects_slowest() {
         let mut e = engine_with_stream();
-        let _q1 = e
-            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2")
-            .unwrap();
-        let _q2 = e
-            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 8 SLIDE 4")
-            .unwrap();
+        let _q1 =
+            e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2").unwrap();
+        let _q2 =
+            e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 8 SLIDE 4").unwrap();
         e.append("s", &[Column::Int(vec![1; 6]), Column::Int(vec![1; 6])]).unwrap();
         e.run_until_idle().unwrap();
         // q1 consumed 6 (3 windows of 2); q2 consumed 4 (one step of 4,
@@ -417,9 +410,8 @@ mod tests {
     #[test]
     fn deregistered_query_frees_gc() {
         let mut e = engine_with_stream();
-        let q1 = e
-            .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 100 SLIDE 100")
-            .unwrap();
+        let q1 =
+            e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 100 SLIDE 100").unwrap();
         e.append("s", &[Column::Int(vec![1; 5]), Column::Int(vec![1; 5])]).unwrap();
         e.run_until_idle().unwrap();
         assert_eq!(e.basket_len("s").unwrap(), 5); // q1 waits for 100
@@ -461,9 +453,7 @@ mod tests {
         dim.append(&[Column::Int(vec![1, 2]), Column::Int(vec![100, 200])]).unwrap();
         e.create_table(dim).unwrap();
         let q = e
-            .register_sql(
-                "SELECT sum(dim.w) FROM s, dim WHERE s.x1 = dim.k WINDOW SIZE 2 SLIDE 2",
-            )
+            .register_sql("SELECT sum(dim.w) FROM s, dim WHERE s.x1 = dim.k WINDOW SIZE 2 SLIDE 2")
             .unwrap();
         e.append("s", &[Column::Int(vec![1, 3, 2, 2]), Column::Int(vec![0; 4])]).unwrap();
         e.run_until_idle().unwrap();
@@ -476,9 +466,7 @@ mod tests {
     #[test]
     fn time_based_query_driven_by_clock() {
         let mut e = engine_with_stream();
-        let q = e
-            .register_sql("SELECT count(x1) FROM s WINDOW RANGE 20 MS SLIDE 10 MS")
-            .unwrap();
+        let q = e.register_sql("SELECT count(x1) FROM s WINDOW RANGE 20 MS SLIDE 10 MS").unwrap();
         e.append_at("s", &[Column::Int(vec![1, 2]), Column::Int(vec![0, 0])], 5).unwrap();
         e.append_at("s", &[Column::Int(vec![3]), Column::Int(vec![0])], 15).unwrap();
         e.run_until_idle().unwrap();
@@ -494,7 +482,9 @@ mod tests {
     fn explain_sql_shows_all_levels() {
         let e = engine_with_stream();
         let text = e
-            .explain_sql("SELECT x1, sum(x2) FROM s WHERE x1 > 10 GROUP BY x1 WINDOW SIZE 100 SLIDE 10")
+            .explain_sql(
+                "SELECT x1, sum(x2) FROM s WHERE x1 > 10 GROUP BY x1 WINDOW SIZE 100 SLIDE 10",
+            )
             .unwrap();
         assert!(text.contains("== logical plan =="));
         assert!(text.contains("basket.bind(s, x1)"));

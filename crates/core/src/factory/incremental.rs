@@ -143,8 +143,7 @@ impl IncrementalFactory {
                 && plan.matrix_pair.is_none();
             if !ok {
                 return Err(DataCellError::Unsupported(
-                    "chunked processing requires a single-stream count-based sliding window"
-                        .into(),
+                    "chunked processing requires a single-stream count-based sliding window".into(),
                 ));
             }
         }
@@ -179,9 +178,7 @@ impl IncrementalFactory {
         let cluster_members: Vec<VarId> = plan
             .clusters
             .iter()
-            .flat_map(|c| {
-                std::iter::once(c.keys_var).chain(c.agg_vars.iter().map(|(v, _)| *v))
-            })
+            .flat_map(|c| std::iter::once(c.keys_var).chain(c.agg_vars.iter().map(|(v, _)| *v)))
             .collect();
         let n = window.basic_windows();
         Ok(IncrementalFactory {
@@ -237,7 +234,11 @@ impl IncrementalFactory {
     /// Tuples needed for the next fire (step, or one chunk of it).
     fn needed(&self) -> Option<usize> {
         let step = self.step_count()?;
-        Some(if self.current_m > 1 { chunk_size(step, self.current_m, self.chunks_done) } else { step })
+        Some(if self.current_m > 1 {
+            chunk_size(step, self.current_m, self.chunks_done)
+        } else {
+            step
+        })
     }
 
     // -- evaluation helpers ------------------------------------------------
@@ -302,16 +303,16 @@ impl IncrementalFactory {
                         return Ok(v);
                     }
                     match plan.stages[a] {
-                        Stage::PerBw(k) if k == ls => self
-                            .rings
-                            .get(&a)
-                            .and_then(|r| r.get(i))
-                            .ok_or_else(|| PlanError::Internal(format!("ring X_{a}[{i}] missing"))),
-                        Stage::PerBw(k) if k == rs => self
-                            .rings
-                            .get(&a)
-                            .and_then(|r| r.get(j))
-                            .ok_or_else(|| PlanError::Internal(format!("ring X_{a}[{j}] missing"))),
+                        Stage::PerBw(k) if k == ls => {
+                            self.rings.get(&a).and_then(|r| r.get(i)).ok_or_else(|| {
+                                PlanError::Internal(format!("ring X_{a}[{i}] missing"))
+                            })
+                        }
+                        Stage::PerBw(k) if k == rs => {
+                            self.rings.get(&a).and_then(|r| r.get(j)).ok_or_else(|| {
+                                PlanError::Internal(format!("ring X_{a}[{j}] missing"))
+                            })
+                        }
                         _ => Err(PlanError::Internal(format!("cell arg X_{a} unresolvable"))),
                     }
                 })
@@ -375,9 +376,7 @@ impl IncrementalFactory {
             let args: Vec<&MalValue> = arg_ids
                 .iter()
                 .map(|&a| {
-                    env[a]
-                        .as_ref()
-                        .ok_or_else(|| PlanError::Internal(format!("merge X_{a} unset")))
+                    env[a].as_ref().ok_or_else(|| PlanError::Internal(format!("merge X_{a} unset")))
                 })
                 .collect::<Result<_, _>>()
                 .map_err(DataCellError::Plan)?;
@@ -402,11 +401,9 @@ impl IncrementalFactory {
     /// All cached parts of a frontier variable (ring slots or matrix cells).
     fn collect_parts(&self, v: VarId) -> Result<Vec<MalValue>, DataCellError> {
         match self.plan.stages[v] {
-            Stage::PerBw(_) => Ok(self
-                .rings
-                .get(&v)
-                .map(|r| r.iter().cloned().collect())
-                .unwrap_or_default()),
+            Stage::PerBw(_) => {
+                Ok(self.rings.get(&v).map(|r| r.iter().cloned().collect()).unwrap_or_default())
+            }
             Stage::Matrix => Ok(self
                 .matrix
                 .get(&v)
@@ -816,6 +813,7 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].rows(), vec![vec![Value::Int(5)]]); // x1>10: 20,30 -> 2+3
         assert_eq!(results[1].rows(), vec![vec![Value::Int(8)]]); // 30,40 -> 3+5
+
         // Metrics record both main and merge components.
         assert_eq!(f.metrics().len(), 2);
     }
@@ -910,14 +908,23 @@ mod tests {
         // Window 4, step 2 => n = 2 basic windows.
         // a: k=[1,2 | 3,4 | 5,6], v=[10,20 | 30,40 | 50,60]
         // b: k=[2,3 | 4,9 | 6,1], v=[5,6 | 7,8 | 9,1]
-        ba.append(&[Column::Int(vec![1, 2, 3, 4, 5, 6]), Column::Int(vec![10, 20, 30, 40, 50, 60])], 0)
-            .unwrap();
+        ba.append(
+            &[Column::Int(vec![1, 2, 3, 4, 5, 6]), Column::Int(vec![10, 20, 30, 40, 50, 60])],
+            0,
+        )
+        .unwrap();
         bb.append(&[Column::Int(vec![2, 3, 4, 9, 6, 1]), Column::Int(vec![5, 6, 7, 8, 9, 1])], 0)
             .unwrap();
         let inputs = vec![StreamInput::new("a", ba.clone()), StreamInput::new("b", bb.clone())];
-        let mut f =
-            IncrementalFactory::new("q2", inc, WindowSpec::CountSliding { size: 4, step: 2 }, inputs, HashMap::new(), None)
-                .unwrap();
+        let mut f = IncrementalFactory::new(
+            "q2",
+            inc,
+            WindowSpec::CountSliding { size: 4, step: 2 },
+            inputs,
+            HashMap::new(),
+            None,
+        )
+        .unwrap();
         let results = fire_all(&mut f);
         assert_eq!(results.len(), 2);
         // Window 1: a k=1..4 v=10..40; b k={2,3,4,9} v={5,6,7,8}.
@@ -1026,9 +1033,7 @@ mod tests {
 
     #[test]
     fn distinct_incremental() {
-        let plan = LogicalPlan::stream("s")
-            .project(vec![(col("s", "x1"), "a".into())])
-            .distinct();
+        let plan = LogicalPlan::stream("s").project(vec![(col("s", "x1"), "a".into())]).distinct();
         let b = basket2();
         b.append(&[Column::Int(vec![1, 1, 2, 1, 3, 3]), Column::Int(vec![0; 6])], 0).unwrap();
         let mut f = factory(plan, WindowSpec::CountSliding { size: 4, step: 2 }, &b, None);

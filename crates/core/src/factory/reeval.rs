@@ -184,10 +184,8 @@ mod tests {
     use datacell_plan::{compile, AggExpr, ColumnRef, LogicalPlan};
 
     fn make(plan: LogicalPlan, window: WindowSpec) -> (ReevalFactory, SharedBasket) {
-        let basket = SharedBasket::new(Basket::new(
-            "s",
-            &[("x1", DataType::Int), ("x2", DataType::Int)],
-        ));
+        let basket =
+            SharedBasket::new(Basket::new("s", &[("x1", DataType::Int), ("x2", DataType::Int)]));
         let mal = compile(&plan).unwrap();
         let inputs = vec![StreamInput::new("s", basket.clone())];
         let f = ReevalFactory::new("q", mal, window, inputs, HashMap::new()).unwrap();
@@ -205,7 +203,10 @@ mod tests {
         let (mut f, basket) = make(sum_plan(), WindowSpec::CountSliding { size: 4, step: 2 });
         // x1: 5,20 | 30,7 | 40,8 ; x2: 1..6
         basket
-            .append(&[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])], 0)
+            .append(
+                &[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])],
+                0,
+            )
             .unwrap();
         // advance 1: preface
         assert!(matches!(f.fire(0).unwrap(), FireOutcome::Progressed));
@@ -232,8 +233,7 @@ mod tests {
 
     #[test]
     fn landmark_reevaluation_grows() {
-        let (mut f, basket) =
-            make(sum_plan(), WindowSpec::CountLandmark { step: 2 });
+        let (mut f, basket) = make(sum_plan(), WindowSpec::CountLandmark { step: 2 });
         basket
             .append(&[Column::Int(vec![20, 5, 30, 7]), Column::Int(vec![1, 2, 3, 4])], 0)
             .unwrap();
@@ -254,7 +254,8 @@ mod tests {
 
     #[test]
     fn time_window_reevaluation() {
-        let (mut f, basket) = make(sum_plan(), WindowSpec::TimeSliding { size_ms: 20, step_ms: 10 });
+        let (mut f, basket) =
+            make(sum_plan(), WindowSpec::TimeSliding { size_ms: 20, step_ms: 10 });
         basket.append(&[Column::Int(vec![20]), Column::Int(vec![1])], 5).unwrap();
         basket.append(&[Column::Int(vec![30]), Column::Int(vec![2])], 15).unwrap();
         // Not ready until the clock passes the first boundary.
@@ -278,8 +279,7 @@ mod tests {
     #[test]
     fn input_arity_checked() {
         let plan = compile(
-            &LogicalPlan::stream("s")
-                .project(vec![(ColumnRef::new("s", "x1"), "a".into())]),
+            &LogicalPlan::stream("s").project(vec![(ColumnRef::new("s", "x1"), "a".into())]),
         )
         .unwrap();
         let err = ReevalFactory::new(

@@ -62,7 +62,10 @@ pub fn merge_rows(parts: &[MalValue]) -> Result<MalValue, DataCellError> {
 /// partials are absent the merged value is absent.
 pub fn merge_scalars(kind: AggKind, parts: &[MalValue]) -> Result<MalValue, DataCellError> {
     let comp = kind.compensation().ok_or_else(|| {
-        DataCellError::Unsupported(format!("{} partials have no compensation (expand first)", kind.sql()))
+        DataCellError::Unsupported(format!(
+            "{} partials have no compensation (expand first)",
+            kind.sql()
+        ))
     })?;
     let mut acc: Option<Value> = None;
     for p in parts {
@@ -270,11 +273,8 @@ mod tests {
 
     #[test]
     fn sorted_merge_resorts() {
-        let m = merge_var(
-            VarKind::SortedRows { desc: false },
-            &[bat(vec![1, 5]), bat(vec![2, 4])],
-        )
-        .unwrap();
+        let m = merge_var(VarKind::SortedRows { desc: false }, &[bat(vec![1, 5]), bat(vec![2, 4])])
+            .unwrap();
         assert_eq!(m.as_bat("t").unwrap().tail, Column::Int(vec![1, 2, 4, 5]));
         let m = merge_var(VarKind::SortedRows { desc: true }, &[bat(vec![1, 5]), bat(vec![2, 4])])
             .unwrap();

@@ -137,11 +137,7 @@ impl IncrementalPlan {
 
     /// Frontier variables living in the join matrix.
     pub fn matrix_ring_vars(&self) -> Vec<VarId> {
-        self.frontier
-            .iter()
-            .copied()
-            .filter(|&v| self.stages[v] == Stage::Matrix)
-            .collect()
+        self.frontier.iter().copied().filter(|&v| self.stages[v] == Stage::Matrix).collect()
     }
 
     /// Render the incremental plan: the MAL program annotated with stages —
@@ -187,9 +183,18 @@ pub fn expand_avg(plan: &MalPlan) -> MalPlan {
                 let s = nvars;
                 let c = nvars + 1;
                 nvars += 2;
-                instrs.push(Instr { dests: vec![s], op: MalOp::ScalarAgg { kind: AggKind::Sum, vals: *vals } });
-                instrs.push(Instr { dests: vec![c], op: MalOp::ScalarAgg { kind: AggKind::Count, vals: *vals } });
-                instrs.push(Instr { dests: ins.dests.clone(), op: MalOp::DivScalar { num: s, den: c } });
+                instrs.push(Instr {
+                    dests: vec![s],
+                    op: MalOp::ScalarAgg { kind: AggKind::Sum, vals: *vals },
+                });
+                instrs.push(Instr {
+                    dests: vec![c],
+                    op: MalOp::ScalarAgg { kind: AggKind::Count, vals: *vals },
+                });
+                instrs.push(Instr {
+                    dests: ins.dests.clone(),
+                    op: MalOp::DivScalar { num: s, den: c },
+                });
             }
             MalOp::GroupedAgg { kind: AggKind::Avg, vals, groups } => {
                 let s = nvars;
@@ -321,11 +326,8 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
                     _ => {}
                 }
             }
-            let members: Vec<VarId> = keys_var
-                .iter()
-                .copied()
-                .chain(agg_vars.iter().map(|(v, _)| *v))
-                .collect();
+            let members: Vec<VarId> =
+                keys_var.iter().copied().chain(agg_vars.iter().map(|(v, _)| *v)).collect();
             let any_frontier = members.iter().any(|v| frontier.contains(v));
             if !any_frontier {
                 continue;
@@ -401,10 +403,8 @@ fn classify(
     let flow = combined_flow(op, &arg_stages, matrix_pair)?;
 
     // Ops that never replicate: run at merge over merged inputs.
-    let never_replicates = matches!(
-        op,
-        MalOp::SortPerm { .. } | MalOp::Slice { .. } | MalOp::DivScalar { .. }
-    );
+    let never_replicates =
+        matches!(op, MalOp::SortPerm { .. } | MalOp::Slice { .. } | MalOp::DivScalar { .. });
 
     // An op consuming partial values cannot be replicated — partials must
     // be merged first (replicating would aggregate aggregates).
@@ -507,8 +507,8 @@ fn merge_kind(_op: &MalOp) -> VarKind {
 mod tests {
     use super::*;
     use datacell_kernel::algebra::Predicate;
-    use datacell_plan::{compile, ColumnRef, LogicalPlan};
     use datacell_plan::AggExpr;
+    use datacell_plan::{compile, ColumnRef, LogicalPlan};
 
     fn col(s: &str, a: &str) -> ColumnRef {
         ColumnRef::new(s, a)
@@ -540,9 +540,10 @@ mod tests {
 
     /// Fig 3d: select a1, max(a2) from stream where a1 < v1 group by a1
     fn fig3d() -> MalPlan {
-        let p = LogicalPlan::stream("s")
-            .filter(col("s", "a1"), Predicate::lt(10))
-            .aggregate(Some(col("s", "a1")), vec![AggExpr::new(AggKind::Max, col("s", "a2"), "max_a2")]);
+        let p = LogicalPlan::stream("s").filter(col("s", "a1"), Predicate::lt(10)).aggregate(
+            Some(col("s", "a1")),
+            vec![AggExpr::new(AggKind::Max, col("s", "a2"), "max_a2")],
+        );
         compile(&p).unwrap()
     }
 
@@ -609,9 +610,8 @@ mod tests {
         assert_eq!(inc.matrix_pair, Some((0, 1)));
         assert!(!inc.matrix_instrs.is_empty());
         // The max over the join is a per-cell partial scalar.
-        let max_var = inc.frontier.iter().find(|&&v| {
-            inc.kinds[v] == VarKind::PartialScalar(AggKind::Max)
-        });
+        let max_var =
+            inc.frontier.iter().find(|&&v| inc.kinds[v] == VarKind::PartialScalar(AggKind::Max));
         assert!(max_var.is_some());
         assert_eq!(inc.stages[*max_var.unwrap()], Stage::Matrix);
         // Join inputs (select/fetch results per stream) are ring-cached.
@@ -624,10 +624,8 @@ mod tests {
     #[test]
     fn avg_expansion_rewrites_scalar_and_grouped() {
         let mal = fig3c();
-        let has_avg = mal
-            .instrs
-            .iter()
-            .any(|i| matches!(i.op, MalOp::ScalarAgg { kind: AggKind::Avg, .. }));
+        let has_avg =
+            mal.instrs.iter().any(|i| matches!(i.op, MalOp::ScalarAgg { kind: AggKind::Avg, .. }));
         assert!(has_avg);
         let expanded = expand_avg(&mal);
         expanded.validate().unwrap();
@@ -682,13 +680,10 @@ mod tests {
         assert!(inc.matrix_pair.is_none());
         assert!(inc.matrix_instrs.is_empty());
         assert!(!inc.static_instrs.is_empty()); // the table bind
+
         // Join replicated per basic window.
-        let join_idx = inc
-            .mal
-            .instrs
-            .iter()
-            .position(|i| matches!(i.op, MalOp::Join { .. }))
-            .unwrap();
+        let join_idx =
+            inc.mal.instrs.iter().position(|i| matches!(i.op, MalOp::Join { .. })).unwrap();
         assert!(inc.perbw_instrs[0].contains(&join_idx));
     }
 

@@ -61,27 +61,17 @@ impl Scheduler {
 
     /// Access a factory.
     pub fn factory(&self, id: FactoryId) -> Result<&dyn Factory, DataCellError> {
-        self.factories
-            .get(id)
-            .and_then(|f| f.as_deref())
-            .ok_or(DataCellError::UnknownQuery(id))
+        self.factories.get(id).and_then(|f| f.as_deref()).ok_or(DataCellError::UnknownQuery(id))
     }
 
     /// Mutable access to a factory.
     pub fn factory_mut(&mut self, id: FactoryId) -> Result<&mut Box<dyn Factory>, DataCellError> {
-        self.factories
-            .get_mut(id)
-            .and_then(|f| f.as_mut())
-            .ok_or(DataCellError::UnknownQuery(id))
+        self.factories.get_mut(id).and_then(|f| f.as_mut()).ok_or(DataCellError::UnknownQuery(id))
     }
 
     /// Ids of all live factories.
     pub fn ids(&self) -> Vec<FactoryId> {
-        self.factories
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|_| i))
-            .collect()
+        self.factories.iter().enumerate().filter_map(|(i, f)| f.as_ref().map(|_| i)).collect()
     }
 
     /// Is any factory enabled?
@@ -124,11 +114,7 @@ impl Scheduler {
     /// Minimum consumed position across factories for a stream (`None`
     /// when no live factory reads the stream) — the basket expiry bound.
     pub fn min_consumed(&self, stream: &str) -> Option<u64> {
-        self.factories
-            .iter()
-            .flatten()
-            .filter_map(|f| f.consumed_upto(stream))
-            .min()
+        self.factories.iter().flatten().filter_map(|f| f.consumed_upto(stream)).min()
     }
 }
 
@@ -166,11 +152,8 @@ mod tests {
         fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
             self.fired += 1;
             self.consumed += 1;
-            let rs = ResultSet::new(
-                vec!["n".into()],
-                vec![Column::Int(vec![self.fired as i64])],
-            )
-            .unwrap();
+            let rs = ResultSet::new(vec!["n".into()], vec![Column::Int(vec![self.fired as i64])])
+                .unwrap();
             Ok(FireOutcome::Produced { result: rs, metrics: SlideMetrics::default() })
         }
 

@@ -65,7 +65,11 @@ pub fn sum(b: &Bat) -> Result<Value> {
     match &b.tail {
         Column::Int(v) => Ok(Value::Int(v.iter().sum())),
         Column::Float(v) => Ok(Value::Float(v.iter().sum())),
-        c => Err(KernelError::TypeMismatch { op: "sum", expected: crate::DataType::Float, found: c.data_type() }),
+        c => Err(KernelError::TypeMismatch {
+            op: "sum",
+            expected: crate::DataType::Float,
+            found: c.data_type(),
+        }),
     }
 }
 
@@ -80,7 +84,11 @@ pub fn min(b: &Bat) -> Result<Option<Value>> {
         Column::Int(v) => Ok(v.iter().min().map(|&x| Value::Int(x))),
         Column::Float(v) => Ok(v.iter().copied().reduce(f64::min).map(Value::Float)),
         Column::Str(v) => Ok(v.iter().min().map(|x| Value::Str(x.clone()))),
-        c => Err(KernelError::TypeMismatch { op: "min", expected: crate::DataType::Float, found: c.data_type() }),
+        c => Err(KernelError::TypeMismatch {
+            op: "min",
+            expected: crate::DataType::Float,
+            found: c.data_type(),
+        }),
     }
 }
 
@@ -90,7 +98,11 @@ pub fn max(b: &Bat) -> Result<Option<Value>> {
         Column::Int(v) => Ok(v.iter().max().map(|&x| Value::Int(x))),
         Column::Float(v) => Ok(v.iter().copied().reduce(f64::max).map(Value::Float)),
         Column::Str(v) => Ok(v.iter().max().map(|x| Value::Str(x.clone()))),
-        c => Err(KernelError::TypeMismatch { op: "max", expected: crate::DataType::Float, found: c.data_type() }),
+        c => Err(KernelError::TypeMismatch {
+            op: "max",
+            expected: crate::DataType::Float,
+            found: c.data_type(),
+        }),
     }
 }
 
@@ -106,7 +118,11 @@ pub fn avg(b: &Bat) -> Result<Option<Value>> {
 /// Per-group sum: `out[g] = Σ vals[i] where groups.ids[i] == g`.
 pub fn sum_grouped(vals: &Bat, groups: &Groups) -> Result<Column> {
     if vals.len() != groups.ids.len() {
-        return Err(KernelError::LengthMismatch { op: "sum_grouped", left: vals.len(), right: groups.ids.len() });
+        return Err(KernelError::LengthMismatch {
+            op: "sum_grouped",
+            left: vals.len(),
+            right: groups.ids.len(),
+        });
     }
     match &vals.tail {
         Column::Int(v) => {

@@ -22,9 +22,8 @@ pub fn concat(parts: &[&Bat]) -> Result<Bat> {
 
 /// Column-level concatenation.
 pub fn concat_columns(parts: &[&Column]) -> Result<Column> {
-    let first = parts
-        .first()
-        .ok_or_else(|| KernelError::Unsupported("concat of zero parts".into()))?;
+    let first =
+        parts.first().ok_or_else(|| KernelError::Unsupported("concat of zero parts".into()))?;
     let total: usize = parts.iter().map(|c| c.len()).sum();
     let mut out = Column::with_capacity(first.data_type(), total);
     for part in parts {
@@ -76,9 +75,6 @@ mod tests {
     fn concat_columns_strings() {
         let a = Column::Str(vec!["x".into()]);
         let b = Column::Str(vec!["y".into()]);
-        assert_eq!(
-            concat_columns(&[&a, &b]).unwrap(),
-            Column::Str(vec!["x".into(), "y".into()])
-        );
+        assert_eq!(concat_columns(&[&a, &b]).unwrap(), Column::Str(vec!["x".into(), "y".into()]));
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::column::Column;
 use crate::error::KernelError;
-use crate::{Bat, Result};
 use crate::hash::FastMap;
+use crate::{Bat, Result};
 
 /// Result of grouping one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,62 +126,26 @@ pub fn group_derive(prev: &Groups, keys: &Bat) -> Result<Groups> {
     let mut ids = Vec::with_capacity(n);
     let mut extents = Vec::new();
     // Composite key: (previous group id, new key); dispatch once on type.
+    // One arm per column type; `$key` maps an element to its hashable form.
+    macro_rules! derive_arm {
+        ($v:expr, $kty:ty, $key:expr) => {{
+            let mut seen: FastMap<(u32, $kty), u32> = FastMap::default();
+            for (i, (&pid, k)) in prev.ids.iter().zip($v.iter()).enumerate() {
+                let next = extents.len() as u32;
+                let gid = *seen.entry((pid, $key(k))).or_insert_with(|| {
+                    extents.push(i as u32);
+                    next
+                });
+                ids.push(gid);
+            }
+        }};
+    }
     match &keys.tail {
-        Column::Int(v) => {
-            let mut seen: FastMap<(u32, i64), u32> = FastMap::default();
-            for i in 0..n {
-                let next = extents.len() as u32;
-                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
-                    extents.push(i as u32);
-                    next
-                });
-                ids.push(gid);
-            }
-        }
-        Column::Str(v) => {
-            let mut seen: FastMap<(u32, &str), u32> = FastMap::default();
-            for i in 0..n {
-                let next = extents.len() as u32;
-                let gid = *seen.entry((prev.ids[i], v[i].as_str())).or_insert_with(|| {
-                    extents.push(i as u32);
-                    next
-                });
-                ids.push(gid);
-            }
-        }
-        Column::Bool(v) => {
-            let mut seen: FastMap<(u32, bool), u32> = FastMap::default();
-            for i in 0..n {
-                let next = extents.len() as u32;
-                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
-                    extents.push(i as u32);
-                    next
-                });
-                ids.push(gid);
-            }
-        }
-        Column::Oid(v) => {
-            let mut seen: FastMap<(u32, u64), u32> = FastMap::default();
-            for i in 0..n {
-                let next = extents.len() as u32;
-                let gid = *seen.entry((prev.ids[i], v[i])).or_insert_with(|| {
-                    extents.push(i as u32);
-                    next
-                });
-                ids.push(gid);
-            }
-        }
-        Column::Float(v) => {
-            let mut seen: FastMap<(u32, u64), u32> = FastMap::default();
-            for i in 0..n {
-                let next = extents.len() as u32;
-                let gid = *seen.entry((prev.ids[i], v[i].to_bits())).or_insert_with(|| {
-                    extents.push(i as u32);
-                    next
-                });
-                ids.push(gid);
-            }
-        }
+        Column::Int(v) => derive_arm!(v, i64, |k: &i64| *k),
+        Column::Str(v) => derive_arm!(v, &str, String::as_str),
+        Column::Bool(v) => derive_arm!(v, bool, |k: &bool| *k),
+        Column::Oid(v) => derive_arm!(v, u64, |k: &u64| *k),
+        Column::Float(v) => derive_arm!(v, u64, |k: &f64| k.to_bits()),
     }
     Ok(Groups { ids, extents })
 }
@@ -250,10 +214,7 @@ mod tests {
         assert_eq!(g2.ngroups(), 3);
         // Keys of both columns are recoverable through the extents.
         assert_eq!(g2.keys(&a).unwrap(), Column::Int(vec![1, 1, 2]));
-        assert_eq!(
-            g2.keys(&b).unwrap(),
-            Column::Str(vec!["x".into(), "y".into(), "x".into()])
-        );
+        assert_eq!(g2.keys(&b).unwrap(), Column::Str(vec!["x".into(), "y".into(), "x".into()]));
     }
 
     #[test]

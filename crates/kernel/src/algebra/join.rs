@@ -8,8 +8,8 @@
 
 use crate::column::Column;
 use crate::error::KernelError;
-use crate::{Bat, Oid, Result};
 use crate::hash::{fast_map_with_capacity, FastMap};
+use crate::{Bat, Oid, Result};
 
 /// Hash join `l.tail == r.tail`; returns aligned `(left_oids, right_oids)`.
 ///
@@ -46,14 +46,14 @@ pub fn hashjoin(l: &Bat, r: &Bat) -> Result<(Bat, Bat)> {
 /// the *last* build position with that key, plus a `next` chain array —
 /// zero allocations per distinct key, which matters because the DataCell
 /// join matrix calls this once per basic-window pair.
-fn join_build_probe(build: &Bat, probe: &Bat, _build_is_left: bool) -> Result<(Vec<Oid>, Vec<Oid>)> {
+fn join_build_probe(
+    build: &Bat,
+    probe: &Bat,
+    _build_is_left: bool,
+) -> Result<(Vec<Oid>, Vec<Oid>)> {
     match (&build.tail, &probe.tail) {
-        (Column::Int(b), Column::Int(p)) => {
-            Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
-        }
-        (Column::Oid(b), Column::Oid(p)) => {
-            Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
-        }
+        (Column::Int(b), Column::Int(p)) => Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k)),
+        (Column::Oid(b), Column::Oid(p)) => Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k)),
         (Column::Bool(b), Column::Bool(p)) => {
             Ok(chained_join(b, p, build.hseq, probe.hseq, |&k| k))
         }

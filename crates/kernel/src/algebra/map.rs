@@ -68,9 +68,9 @@ pub fn map_arith(l: &Bat, r: &Bat, op: ArithOp) -> Result<Bat> {
         (Column::Int(a), Column::Int(b)) if op != ArithOp::Div => {
             Column::Int(a.iter().zip(b).map(|(&x, &y)| op.apply_i64(x, y)).collect())
         }
-        (Column::Int(a), Column::Int(b)) => {
-            Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x as f64, y as f64)).collect())
-        }
+        (Column::Int(a), Column::Int(b)) => Column::Float(
+            a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x as f64, y as f64)).collect(),
+        ),
         (Column::Float(a), Column::Float(b)) => {
             Column::Float(a.iter().zip(b).map(|(&x, &y)| op.apply_f64(x, y)).collect())
         }

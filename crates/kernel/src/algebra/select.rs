@@ -135,7 +135,8 @@ impl Predicate {
             Predicate::Range { lo, hi, lo_inc, hi_inc } => {
                 let lo_op = if *lo_inc { CmpOp::Ge } else { CmpOp::Gt };
                 let hi_op = if *hi_inc { CmpOp::Le } else { CmpOp::Lt };
-                Predicate::Cmp(lo_op, lo.clone()).matches(v) && Predicate::Cmp(hi_op, hi.clone()).matches(v)
+                Predicate::Cmp(lo_op, lo.clone()).matches(v)
+                    && Predicate::Cmp(hi_op, hi.clone()).matches(v)
             }
         }
     }
@@ -316,7 +317,8 @@ mod tests {
     #[test]
     fn select_exclusive_range() {
         let b = int_bat(0, vec![1, 2, 3, 4]);
-        let p = Predicate::Range { lo: Value::Int(1), hi: Value::Int(4), lo_inc: false, hi_inc: false };
+        let p =
+            Predicate::Range { lo: Value::Int(1), hi: Value::Int(4), lo_inc: false, hi_inc: false };
         let c = select(&b, &p).unwrap();
         assert_eq!(c.tail, Column::Oid(vec![1, 2]));
     }

@@ -55,7 +55,10 @@ impl Table {
 
     /// The BAT of one attribute (hseq 0: tables are never windowed).
     pub fn bat(&self, col: &str) -> Result<Bat> {
-        let c = self.cols.get(col).ok_or_else(|| KernelError::NotFound(format!("{}.{}", self.name, col)))?;
+        let c = self
+            .cols
+            .get(col)
+            .ok_or_else(|| KernelError::NotFound(format!("{}.{}", self.name, col)))?;
         Ok(Bat::new(0, c.clone()))
     }
 
@@ -76,7 +79,11 @@ impl Table {
         let n = batch.first().map_or(0, |c| c.len());
         for c in batch {
             if c.len() != n {
-                return Err(KernelError::LengthMismatch { op: "table append", left: c.len(), right: n });
+                return Err(KernelError::LengthMismatch {
+                    op: "table append",
+                    left: c.len(),
+                    right: n,
+                });
             }
         }
         for (name, col) in self.order.iter().zip(batch) {
@@ -141,11 +148,8 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new("sensors", &[("id", DataType::Int), ("loc", DataType::Str)]);
-        t.append(&[
-            Column::Int(vec![1, 2]),
-            Column::Str(vec!["hall".into(), "lab".into()]),
-        ])
-        .unwrap();
+        t.append(&[Column::Int(vec![1, 2]), Column::Str(vec!["hall".into(), "lab".into()])])
+            .unwrap();
         t
     }
 
@@ -170,21 +174,15 @@ mod tests {
     fn append_validates_arity_and_alignment() {
         let mut t = sample();
         assert!(t.append(&[Column::Int(vec![3])]).is_err()); // arity
-        assert!(t
-            .append(&[Column::Int(vec![3]), Column::Str(vec![])])
-            .is_err()); // alignment
-        assert!(t
-            .append(&[Column::Int(vec![3]), Column::Str(vec!["x".into()])])
-            .is_ok());
+        assert!(t.append(&[Column::Int(vec![3]), Column::Str(vec![])]).is_err()); // alignment
+        assert!(t.append(&[Column::Int(vec![3]), Column::Str(vec!["x".into()])]).is_ok());
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn append_type_mismatch() {
         let mut t = sample();
-        assert!(t
-            .append(&[Column::Float(vec![1.0]), Column::Str(vec!["x".into()])])
-            .is_err());
+        assert!(t.append(&[Column::Float(vec![1.0]), Column::Str(vec!["x".into()])]).is_err());
     }
 
     #[test]

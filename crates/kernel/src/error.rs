@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn display_type_mismatch() {
-        let e = KernelError::TypeMismatch { op: "select", expected: DataType::Int, found: DataType::Float };
+        let e = KernelError::TypeMismatch {
+            op: "select",
+            expected: DataType::Int,
+            found: DataType::Float,
+        };
         assert_eq!(e.to_string(), "select: type mismatch (expected int, found float)");
     }
 

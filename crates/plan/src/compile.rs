@@ -15,7 +15,8 @@ use std::collections::HashMap;
 
 /// Compile a logical plan into a MAL program.
 pub fn compile(plan: &LogicalPlan) -> crate::Result<MalPlan> {
-    let mut c = Compiler { b: MalBuilder::new(), binds: HashMap::new(), fetch_cache: HashMap::new() };
+    let mut c =
+        Compiler { b: MalBuilder::new(), binds: HashMap::new(), fetch_cache: HashMap::new() };
     let scope = c.compile_rel(plan)?;
     let (names, vars) = match scope.output {
         Output::Columns(cols) => {
@@ -323,9 +324,10 @@ mod tests {
     #[test]
     fn q1_compiles_and_runs() {
         // Q1: SELECT x1, sum(x2) FROM s WHERE x1 > 10 GROUP BY x1
-        let p = LogicalPlan::stream("s")
-            .filter(col("s", "x1"), Predicate::gt(10))
-            .aggregate(Some(col("s", "x1")), vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "sum_x2")]);
+        let p = LogicalPlan::stream("s").filter(col("s", "x1"), Predicate::gt(10)).aggregate(
+            Some(col("s", "x1")),
+            vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "sum_x2")],
+        );
         let mal = compile(&p).unwrap();
         mal.validate().unwrap();
         assert_eq!(mal.result_names, vec!["x1".to_owned(), "sum_x2".to_owned()]);
@@ -448,15 +450,13 @@ mod tests {
     #[test]
     fn fetch_cache_avoids_duplicate_instructions() {
         // x1 used twice under same candidates: only one fetch emitted.
-        let p = LogicalPlan::stream("s")
-            .filter(col("s", "x1"), Predicate::gt(0))
-            .aggregate(
-                None,
-                vec![
-                    AggExpr::new(AggKind::Min, col("s", "x1"), "lo"),
-                    AggExpr::new(AggKind::Max, col("s", "x1"), "hi"),
-                ],
-            );
+        let p = LogicalPlan::stream("s").filter(col("s", "x1"), Predicate::gt(0)).aggregate(
+            None,
+            vec![
+                AggExpr::new(AggKind::Min, col("s", "x1"), "lo"),
+                AggExpr::new(AggKind::Max, col("s", "x1"), "hi"),
+            ],
+        );
         let mal = compile(&p).unwrap();
         let fetches = mal.instrs.iter().filter(|i| matches!(i.op, MalOp::Fetch { .. })).count();
         assert_eq!(fetches, 1);

@@ -14,9 +14,9 @@ use crate::result::ResultSet;
 use crate::PlanError;
 use datacell_basket::BasicWindow;
 use datacell_kernel::algebra::{self, AggKind, ArithOp};
-use datacell_kernel::{Bat, Catalog, Column, Table};
 #[cfg(test)]
 use datacell_kernel::Value;
+use datacell_kernel::{Bat, Catalog, Column, Table};
 use std::collections::HashMap;
 
 /// Execution context: where `basket.bind` and `sql.bind` find their data.
@@ -105,7 +105,9 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
         MalOp::GroupedAgg { kind, vals, groups: _ } => {
             // args order: [vals?, groups]
             let (vals_bat, groups) = match vals {
-                Some(_) => (Some(args[0].as_bat("grouped agg vals")?), args[1].as_groups("grouped agg")?),
+                Some(_) => {
+                    (Some(args[0].as_bat("grouped agg vals")?), args[1].as_groups("grouped agg")?)
+                }
                 None => (None, args[0].as_groups("grouped agg")?),
             };
             let col = match kind {
@@ -132,10 +134,8 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
             if parts.is_empty() {
                 return Err(PlanError::Internal("concat of zero parts".into()));
             }
-            let bats: Vec<&Bat> = args
-                .iter()
-                .map(|v| v.as_bat("concat part"))
-                .collect::<crate::Result<_>>()?;
+            let bats: Vec<&Bat> =
+                args.iter().map(|v| v.as_bat("concat part")).collect::<crate::Result<_>>()?;
             vec![MalValue::Bat(algebra::concat(&bats)?)]
         }
         MalOp::MapArith { op, .. } => {
@@ -313,8 +313,10 @@ mod tests {
         let m = b.emit(MalOp::ScalarAgg { kind: AggKind::Max, vals: v });
         let plan = b.finish(vec!["max".into()], vec![m]);
 
-        let w1 = BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
-        let w2 = BasicWindow::new(0, vec![Column::Int(vec![2, 3, 4])], vec![0; 3], vec!["x1".into()]);
+        let w1 =
+            BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
+        let w2 =
+            BasicWindow::new(0, vec![Column::Int(vec![2, 3, 4])], vec![0; 3], vec!["x1".into()]);
         let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2);
         let rs = execute(&plan, &ctx).unwrap();
         assert_eq!(rs.rows(), vec![vec![Value::Int(3)]]);
@@ -335,7 +337,8 @@ mod tests {
         let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
         let a = b.emit(MalOp::ScalarAgg { kind: AggKind::Avg, vals: x });
         let plan = b.finish(vec!["a".into()], vec![a]);
-        let w = BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
+        let w =
+            BasicWindow::new(0, vec![Column::Int(vec![1, 2, 3])], vec![0; 3], vec!["x1".into()]);
         let ctx = WindowCtx::new().with_stream("s", &w);
         assert_eq!(execute(&plan, &ctx).unwrap().rows(), vec![vec![Value::Float(2.0)]]);
 
@@ -379,7 +382,8 @@ mod tests {
         let srt = b.emit(MalOp::Sort { input: x, desc: true });
         let top = b.emit(MalOp::Slice { input: srt, n: 2 });
         let plan = b.finish(vec!["x".into()], vec![top]);
-        let w = BasicWindow::new(0, vec![Column::Int(vec![5, 9, 1])], vec![0; 3], vec!["x1".into()]);
+        let w =
+            BasicWindow::new(0, vec![Column::Int(vec![5, 9, 1])], vec![0; 3], vec!["x1".into()]);
         let ctx = WindowCtx::new().with_stream("s", &w);
         let rs = execute(&plan, &ctx).unwrap();
         assert_eq!(rs.rows(), vec![vec![Value::Int(9)], vec![Value::Int(5)]]);

@@ -188,7 +188,10 @@ impl LogicalPlan {
                     })
                     .collect();
                 match group_by {
-                    Some(g) => out.push_str(&format!("{pad}aggregate [{}] group by {g}\n", aggs_s.join(", "))),
+                    Some(g) => out.push_str(&format!(
+                        "{pad}aggregate [{}] group by {g}\n",
+                        aggs_s.join(", ")
+                    )),
                     None => out.push_str(&format!("{pad}aggregate [{}]\n", aggs_s.join(", "))),
                 }
                 input.fmt_tree(out, depth + 1);
@@ -204,7 +207,10 @@ impl LogicalPlan {
                 input.fmt_tree(out, depth + 1);
             }
             LogicalPlan::OrderBy { input, column, desc } => {
-                out.push_str(&format!("{pad}order by {column}{}\n", if *desc { " desc" } else { "" }));
+                out.push_str(&format!(
+                    "{pad}order by {column}{}\n",
+                    if *desc { " desc" } else { "" }
+                ));
                 input.fmt_tree(out, depth + 1);
             }
             LogicalPlan::Limit { input, n } => {
@@ -286,15 +292,17 @@ mod tests {
 
     #[test]
     fn tables_are_not_streams() {
-        let p = LogicalPlan::stream("s").join(LogicalPlan::table("t"), col("s", "k"), col("t", "k"));
+        let p =
+            LogicalPlan::stream("s").join(LogicalPlan::table("t"), col("s", "k"), col("t", "k"));
         assert_eq!(p.streams(), vec!["s".to_owned()]);
     }
 
     #[test]
     fn explain_renders_tree() {
-        let p = LogicalPlan::stream("s")
-            .filter(col("s", "x1"), Predicate::gt(10))
-            .aggregate(Some(col("s", "x1")), vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "s2")]);
+        let p = LogicalPlan::stream("s").filter(col("s", "x1"), Predicate::gt(10)).aggregate(
+            Some(col("s", "x1")),
+            vec![AggExpr::new(AggKind::Sum, col("s", "x2"), "s2")],
+        );
         let e = p.explain();
         assert!(e.contains("aggregate [sum(s.x2) as s2] group by s.x1"));
         assert!(e.contains("filter s.x1"));

@@ -38,7 +38,9 @@ impl MalValue {
     pub fn as_bat(&self, what: &str) -> crate::Result<&Bat> {
         match self {
             MalValue::Bat(b) => Ok(b),
-            other => Err(crate::PlanError::Internal(format!("{what}: expected BAT, got {other:?}"))),
+            other => {
+                Err(crate::PlanError::Internal(format!("{what}: expected BAT, got {other:?}")))
+            }
         }
     }
 
@@ -339,7 +341,9 @@ impl MalPlan {
             }
             for &d in &ins.dests {
                 if d >= self.nvars {
-                    return Err(crate::PlanError::Internal(format!("instr {i} writes X_{d} >= nvars")));
+                    return Err(crate::PlanError::Internal(format!(
+                        "instr {i} writes X_{d} >= nvars"
+                    )));
                 }
                 if written[d] {
                     return Err(crate::PlanError::Internal(format!("X_{d} written twice")));
@@ -406,7 +410,13 @@ impl MalBuilder {
 
     /// Finish the program.
     pub fn finish(self, result_names: Vec<String>, result_vars: Vec<VarId>) -> MalPlan {
-        MalPlan { instrs: self.instrs, result_names, result_vars, nvars: self.nvars, streams: self.streams }
+        MalPlan {
+            instrs: self.instrs,
+            result_names,
+            result_vars,
+            nvars: self.nvars,
+            streams: self.streams,
+        }
     }
 }
 
@@ -471,8 +481,14 @@ mod tests {
     fn validate_catches_double_write() {
         let p = MalPlan {
             instrs: vec![
-                Instr { dests: vec![0], op: MalOp::BindStream { stream: "s".into(), attr: "x".into() } },
-                Instr { dests: vec![0], op: MalOp::BindStream { stream: "s".into(), attr: "y".into() } },
+                Instr {
+                    dests: vec![0],
+                    op: MalOp::BindStream { stream: "s".into(), attr: "x".into() },
+                },
+                Instr {
+                    dests: vec![0],
+                    op: MalOp::BindStream { stream: "s".into(), attr: "y".into() },
+                },
             ],
             result_names: vec![],
             result_vars: vec![],

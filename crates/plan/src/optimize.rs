@@ -98,11 +98,7 @@ fn pass(plan: LogicalPlan) -> (LogicalPlan, bool) {
                     // Swap: run the (cheaper, usually more selective)
                     // equality filter first.
                     let swapped = LogicalPlan::Filter {
-                        input: Box::new(LogicalPlan::Filter {
-                            input: inner_input,
-                            column,
-                            pred,
-                        }),
+                        input: Box::new(LogicalPlan::Filter { input: inner_input, column, pred }),
                         column: inner_col,
                         pred: inner_pred,
                     };
@@ -113,10 +109,7 @@ fn pass(plan: LogicalPlan) -> (LogicalPlan, bool) {
                         column: inner_col,
                         pred: inner_pred,
                     });
-                    (
-                        LogicalPlan::Filter { input: Box::new(inner), column, pred },
-                        changed,
-                    )
+                    (LogicalPlan::Filter { input: Box::new(inner), column, pred }, changed)
                 }
             }
             other => {

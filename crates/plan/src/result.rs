@@ -226,11 +226,7 @@ mod tests {
 
     #[test]
     fn col_lookup_and_sorted_rows() {
-        let rs = ResultSet::new(
-            vec!["a".into()],
-            vec![Column::Int(vec![3, 1, 2])],
-        )
-        .unwrap();
+        let rs = ResultSet::new(vec!["a".into()], vec![Column::Int(vec![3, 1, 2])]).unwrap();
         assert_eq!(rs.col("a").unwrap().len(), 3);
         assert!(rs.col("zz").is_err());
         assert_eq!(

@@ -128,7 +128,8 @@ mod tests {
         assert!(WindowSpec::CountSliding { size: 100, step: 0 }.validate().is_err());
         assert!(WindowSpec::CountSliding { size: 0, step: 1 }.validate().is_err());
         assert!(WindowSpec::CountSliding { size: 100, step: 30 }.validate().is_err()); // no divide
-        assert!(WindowSpec::CountSliding { size: 10, step: 100 }.validate().is_err()); // step > size
+        assert!(WindowSpec::CountSliding { size: 10, step: 100 }.validate().is_err());
+        // step > size
     }
 
     #[test]

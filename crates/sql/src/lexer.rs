@@ -99,7 +99,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     let d = bytes[j] as char;
                     if d.is_ascii_digit() {
                         j += 1;
-                    } else if d == '.' && !is_float && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    } else if d == '.'
+                        && !is_float
+                        && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                    {
                         is_float = true;
                         j += 1;
                     } else if (d == 'e' || d == 'E')

@@ -173,22 +173,17 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as usize),
-                other => return Err(SqlError::new(format!("expected limit count, found {other:?}"))),
+                other => {
+                    return Err(SqlError::new(format!("expected limit count, found {other:?}")))
+                }
             }
         } else {
             None
         };
         let window = if self.eat_kw("window") { Some(self.window_clause()?) } else { None };
 
-        let plan = shape_plan(ShapeInput {
-            items,
-            distinct,
-            sources,
-            preds,
-            group_by,
-            order_by,
-            limit,
-        })?;
+        let plan =
+            shape_plan(ShapeInput { items, distinct, sources, preds, group_by, order_by, limit })?;
         Ok(ContinuousQuery { plan, window })
     }
 
@@ -216,7 +211,10 @@ impl Parser {
                     self.pos += 2; // name (
                     let col = if self.eat_sym("*") {
                         if kind != AggKind::Count {
-                            return Err(SqlError::new(format!("{}(*) is not supported", kind.sql())));
+                            return Err(SqlError::new(format!(
+                                "{}(*) is not supported",
+                                kind.sql()
+                            )));
                         }
                         None
                     } else {
@@ -451,12 +449,16 @@ fn shape_plan(input: ShapeInput) -> Result<LogicalPlan, SqlError> {
                 SqlError::new("two-source queries need a join condition (a.x = b.y) in WHERE")
             })?;
             // Orient the condition: left side must belong to source 0.
-            let (l_on, r_on) = if l_on.source == sources[0].name { (l_on, r_on) } else { (r_on, l_on) };
+            let (l_on, r_on) =
+                if l_on.source == sources[0].name { (l_on, r_on) } else { (r_on, l_on) };
             if l_on.source != sources[0].name || r_on.source != sources[1].name {
                 return Err(SqlError::new("join condition must reference both sources"));
             }
-            LogicalPlan::stream(sources[0].name.clone())
-                .join(LogicalPlan::stream(sources[1].name.clone()), l_on, r_on)
+            LogicalPlan::stream(sources[0].name.clone()).join(
+                LogicalPlan::stream(sources[1].name.clone()),
+                l_on,
+                r_on,
+            )
         }
         _ => unreachable!("source_list capped at two"),
     };
@@ -584,19 +586,15 @@ mod tests {
 
     #[test]
     fn q3_landmark_parses() {
-        let q = parse(
-            "SELECT max(x1), sum(x2) FROM stream WHERE x1 > 5 WINDOW LANDMARK SLIDE 1000",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT max(x1), sum(x2) FROM stream WHERE x1 > 5 WINDOW LANDMARK SLIDE 1000")
+                .unwrap();
         assert_eq!(q.window, Some(WindowSpec::CountLandmark { step: 1000 }));
     }
 
     #[test]
     fn time_window_parses() {
-        let q = parse(
-            "SELECT avg(x1) FROM s WINDOW RANGE 1 HOURS SLIDE 10 MINUTES",
-        )
-        .unwrap();
+        let q = parse("SELECT avg(x1) FROM s WINDOW RANGE 1 HOURS SLIDE 10 MINUTES").unwrap();
         assert_eq!(
             q.window,
             Some(WindowSpec::TimeSliding { size_ms: 3_600_000, step_ms: 600_000 })
@@ -611,10 +609,9 @@ mod tests {
 
     #[test]
     fn projection_with_alias_and_order() {
-        let q = parse(
-            "SELECT a AS first, b FROM s WHERE a BETWEEN 1 AND 5 ORDER BY a DESC LIMIT 3",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT a AS first, b FROM s WHERE a BETWEEN 1 AND 5 ORDER BY a DESC LIMIT 3")
+                .unwrap();
         let e = q.plan.explain();
         assert!(e.starts_with("limit 3"));
         assert!(e.contains("order by s.a desc"));

@@ -10,7 +10,7 @@
 
 use crate::aggregate::{GroupedSumState, RetractableAgg};
 use crate::join::{JTuple, SymmetricHashJoin};
-use crate::pipeline::{Event, EvTuple, FilterOp, Operator, Pipeline, WindowManager};
+use crate::pipeline::{EvTuple, Event, FilterOp, Operator, Pipeline, WindowManager};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -79,11 +79,19 @@ impl Operator for JoinOp {
                 let jt = JTuple { key: t.a, val: t.b };
                 if t.stream == 0 {
                     for r in self.join.evict_left(jt) {
-                        out.push_back(Box::new(Event::Retract(EvTuple { stream: 0, a: t.b, b: r })));
+                        out.push_back(Box::new(Event::Retract(EvTuple {
+                            stream: 0,
+                            a: t.b,
+                            b: r,
+                        })));
                     }
                 } else {
                     for l in self.join.evict_right(jt) {
-                        out.push_back(Box::new(Event::Retract(EvTuple { stream: 0, a: l, b: t.b })));
+                        out.push_back(Box::new(Event::Retract(EvTuple {
+                            stream: 0,
+                            a: l,
+                            b: t.b,
+                        })));
                     }
                 }
             }
@@ -145,10 +153,9 @@ impl Operator for AggSink {
             Event::Flush => {
                 let result = match self.kind {
                     SinkKind::GroupSum => SysxResult::Groups(self.groups.rows()),
-                    SinkKind::MaxAvg => SysxResult::Scalars(
-                        self.agg_a.max().map(|v| v as f64),
-                        self.agg_b.avg(),
-                    ),
+                    SinkKind::MaxAvg => {
+                        SysxResult::Scalars(self.agg_a.max().map(|v| v as f64), self.agg_b.avg())
+                    }
                     SinkKind::MaxSum => SysxResult::Scalars(
                         self.agg_a.max().map(|v| v as f64),
                         self.agg_b.sum().map(|v| v as f64),
@@ -314,7 +321,8 @@ mod tests {
 
     #[test]
     fn q3_landmark_accumulates() {
-        let mut e = SysxEngine::new(QuerySpec::LandmarkFilterMaxSum { threshold: 0 }, usize::MAX >> 1, 2);
+        let mut e =
+            SysxEngine::new(QuerySpec::LandmarkFilterMaxSum { threshold: 0 }, usize::MAX >> 1, 2);
         e.push(3, 10);
         e.push(-1, 99); // filtered out
         e.push(9, 20);

@@ -20,7 +20,7 @@ pub struct JTuple {
 /// A symmetric hash join over two count-based windows.
 #[derive(Debug, Default)]
 pub struct SymmetricHashJoin {
-    left: HashMap<i64, Vec<i64>>,  // key -> payloads
+    left: HashMap<i64, Vec<i64>>, // key -> payloads
     right: HashMap<i64, Vec<i64>>,
     left_len: usize,
     right_len: usize,

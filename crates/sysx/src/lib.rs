@@ -32,4 +32,4 @@ pub use aggregate::{GroupedSumState, RetractableAgg};
 pub use engine::{QuerySpec, SysxEngine, SysxResult};
 pub use join::SymmetricHashJoin;
 pub use multiset::Multiset;
-pub use pipeline::{Event, EvTuple, FilterOp, Operator, Pipeline, WindowManager};
+pub use pipeline::{EvTuple, Event, FilterOp, Operator, Pipeline, WindowManager};

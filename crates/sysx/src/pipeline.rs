@@ -219,10 +219,8 @@ mod tests {
 
     #[test]
     fn pipeline_routes_events_through_all_operators() {
-        let mut p = Pipeline::new(vec![
-            Box::new(Counter { seen: 0 }),
-            Box::new(Counter { seen: 0 }),
-        ]);
+        let mut p =
+            Pipeline::new(vec![Box::new(Counter { seen: 0 }), Box::new(Counter { seen: 0 })]);
         p.push(Event::Insert(t(0, 1, 2)));
         p.push(Event::Flush);
         let out = p.take_output();

@@ -15,10 +15,7 @@ use datacell::prelude::*;
 
 fn main() -> Result<(), DataCellError> {
     let mut engine = Engine::new();
-    engine.create_stream(
-        "reports",
-        &[("segment", DataType::Int), ("speed", DataType::Int)],
-    )?;
+    engine.create_stream("reports", &[("segment", DataType::Int), ("speed", DataType::Int)])?;
 
     // Per-segment average speed over the last 40 reports, every 20.
     let avg_speed = engine.register_sql(

@@ -18,12 +18,10 @@ fn main() -> Result<(), DataCellError> {
     engine.create_stream("ticks", &[("sym", DataType::Int), ("price", DataType::Int)])?;
 
     // Three standing queries with different windows over the same stream.
-    let fast = engine.register_sql(
-        "SELECT sym, max(price) FROM ticks GROUP BY sym WINDOW SIZE 4 SLIDE 2",
-    )?;
-    let slow = engine.register_sql(
-        "SELECT sym, avg(price) FROM ticks GROUP BY sym WINDOW SIZE 12 SLIDE 6",
-    )?;
+    let fast = engine
+        .register_sql("SELECT sym, max(price) FROM ticks GROUP BY sym WINDOW SIZE 4 SLIDE 2")?;
+    let slow = engine
+        .register_sql("SELECT sym, avg(price) FROM ticks GROUP BY sym WINDOW SIZE 12 SLIDE 6")?;
     // The same query as `fast` but with re-evaluation, to compare outputs.
     let fast_r = engine.register_sql_with(
         "SELECT sym, max(price) FROM ticks GROUP BY sym WINDOW SIZE 4 SLIDE 2",

@@ -26,17 +26,11 @@ fn main() -> Result<(), DataCellError> {
     //    scheduler fires the query whenever a window completes.
     engine.append(
         "readings",
-        &[
-            Column::Int(vec![1, 2, 1, 2, 1, 2]),
-            Column::Int(vec![195, 210, 220, 199, 230, 240]),
-        ],
+        &[Column::Int(vec![1, 2, 1, 2, 1, 2]), Column::Int(vec![195, 210, 220, 199, 230, 240])],
     )?;
     engine.run_until_idle()?;
 
-    engine.append(
-        "readings",
-        &[Column::Int(vec![1, 1, 2]), Column::Int(vec![250, 260, 180])],
-    )?;
+    engine.append("readings", &[Column::Int(vec![1, 1, 2]), Column::Int(vec![250, 260, 180])])?;
     engine.run_until_idle()?;
 
     // 4. Drain the produced window results.

@@ -17,14 +17,9 @@ fn main() -> Result<(), DataCellError> {
     let mut engine = Engine::new();
 
     // Persistent dimension table: product id -> unit margin (cents).
-    let mut products = Table::new(
-        "products",
-        &[("pid", DataType::Int), ("margin", DataType::Int)],
-    );
-    products.append(&[
-        Column::Int(vec![101, 102, 103, 104]),
-        Column::Int(vec![250, 1200, 80, 430]),
-    ])?;
+    let mut products = Table::new("products", &[("pid", DataType::Int), ("margin", DataType::Int)]);
+    products
+        .append(&[Column::Int(vec![101, 102, 103, 104]), Column::Int(vec![250, 1200, 80, 430])])?;
     engine.create_table(products)?;
 
     // Live order stream: (product id, quantity).

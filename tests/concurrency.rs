@@ -9,9 +9,8 @@ use datacell::prelude::*;
 fn threaded_receptor_feeds_running_engine() {
     let mut engine = Engine::new();
     engine.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
-    let q = engine
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 40 SLIDE 20")
-        .unwrap();
+    let q =
+        engine.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 40 SLIDE 20").unwrap();
 
     // Source thread produces 50 batches of 20 tuples.
     let basket = engine.basket("s").unwrap();
@@ -21,10 +20,7 @@ fn threaded_receptor_feeds_running_engine() {
             return None;
         }
         left -= 1;
-        Some((
-            50 - left,
-            vec![Column::Int(vec![1; 20]), Column::Int(vec![2; 20])],
-        ))
+        Some((50 - left, vec![Column::Int(vec![1; 20]), Column::Int(vec![2; 20])]))
     });
 
     // Scheduler loop runs concurrently with ingestion.
@@ -55,9 +51,7 @@ fn two_threaded_receptors_feed_a_join() {
     engine.create_stream("a", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
     engine.create_stream("b", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
     let q = engine
-        .register_sql(
-            "SELECT count(a.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 16 SLIDE 8",
-        )
+        .register_sql("SELECT count(a.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 16 SLIDE 8")
         .unwrap();
 
     let spawn_feeder = |basket, seed: i64| {

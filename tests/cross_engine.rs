@@ -133,7 +133,8 @@ fn q3_landmark_same_answers() {
     e.run_until_idle().unwrap();
     let dc = e.drain_results(q).unwrap();
 
-    let mut sx = SysxEngine::new(QuerySpec::LandmarkFilterMaxSum { threshold: thr }, usize::MAX >> 1, step);
+    let mut sx =
+        SysxEngine::new(QuerySpec::LandmarkFilterMaxSum { threshold: thr }, usize::MAX >> 1, step);
     for (&x, &y) in xs.iter().zip(&ys) {
         sx.push(x, y);
     }

@@ -28,9 +28,7 @@ fn malformed_csv_rows_are_contained() {
 #[test]
 fn starved_stream_never_fires() {
     let mut e = engine();
-    let q = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 100 SLIDE 50")
-        .unwrap();
+    let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 100 SLIDE 50").unwrap();
     // Not enough tuples for even one basic window.
     e.append("s", &[Column::Int(vec![1; 49]), Column::Int(vec![1; 49])]).unwrap();
     e.run_until_idle().unwrap();
@@ -80,8 +78,8 @@ fn bursty_arrivals_equal_steady_arrivals() {
 fn window_spec_validation_errors() {
     let mut e = engine();
     for bad in [
-        "SELECT sum(x2) FROM s WINDOW SIZE 10 SLIDE 3",  // step doesn't divide
-        "SELECT sum(x2) FROM s WINDOW SIZE 5 SLIDE 10",  // step > size
+        "SELECT sum(x2) FROM s WINDOW SIZE 10 SLIDE 3", // step doesn't divide
+        "SELECT sum(x2) FROM s WINDOW SIZE 5 SLIDE 10", // step > size
     ] {
         assert!(e.register_sql(bad).is_err(), "{bad} should be rejected");
     }
@@ -101,9 +99,7 @@ fn basket_range_errors_are_typed() {
 #[test]
 fn unknown_query_operations_fail_cleanly() {
     let mut e = engine();
-    let q = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 1")
-        .unwrap();
+    let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 1").unwrap();
     e.deregister(q).unwrap();
     assert!(e.drain_results(q).is_err());
     assert!(e.metrics(q).is_err());
@@ -163,9 +159,7 @@ fn engine_clock_is_monotonic() {
 #[test]
 fn zero_size_batches_are_noops() {
     let mut e = engine();
-    let q = e
-        .register_sql("SELECT count(x1) FROM s WINDOW SIZE 2 SLIDE 2")
-        .unwrap();
+    let q = e.register_sql("SELECT count(x1) FROM s WINDOW SIZE 2 SLIDE 2").unwrap();
     e.append("s", &[Column::Int(vec![]), Column::Int(vec![])]).unwrap();
     e.run_until_idle().unwrap();
     assert!(e.drain_results(q).unwrap().is_empty());
@@ -177,11 +171,7 @@ fn schema_violation_on_append() {
     // Wrong arity.
     assert!(e.append("s", &[Column::Int(vec![1])]).is_err());
     // Wrong type.
-    assert!(e
-        .append("s", &[Column::Float(vec![1.0]), Column::Int(vec![1])])
-        .is_err());
+    assert!(e.append("s", &[Column::Float(vec![1.0]), Column::Int(vec![1])]).is_err());
     // Misaligned columns.
-    assert!(e
-        .append("s", &[Column::Int(vec![1, 2]), Column::Int(vec![1])])
-        .is_err());
+    assert!(e.append("s", &[Column::Int(vec![1, 2]), Column::Int(vec![1])]).is_err());
 }

@@ -113,12 +113,14 @@ fn fig3_explains_match_expected_structure() {
     assert!(inc.frontier.iter().all(|&v| inc.kinds[v] == VarKind::Rows));
 
     // (b): a partial sum crosses the frontier.
-    let q = datacell::sql::parse("SELECT sum(a1) FROM s WHERE a1 < 10 WINDOW SIZE 4 SLIDE 2").unwrap();
+    let q =
+        datacell::sql::parse("SELECT sum(a1) FROM s WHERE a1 < 10 WINDOW SIZE 4 SLIDE 2").unwrap();
     let inc = rewrite(&compile(&q.plan).unwrap()).unwrap();
     assert!(inc.frontier.iter().any(|&v| inc.kinds[v] == VarKind::PartialScalar(AggKind::Sum)));
 
     // (c): avg expanded to sum + count flows + a merge-stage division.
-    let q = datacell::sql::parse("SELECT avg(a1) FROM s WHERE a1 < 10 WINDOW SIZE 4 SLIDE 2").unwrap();
+    let q =
+        datacell::sql::parse("SELECT avg(a1) FROM s WHERE a1 < 10 WINDOW SIZE 4 SLIDE 2").unwrap();
     let inc = rewrite(&compile(&q.plan).unwrap()).unwrap();
     let kinds: Vec<VarKind> = inc.frontier.iter().map(|&v| inc.kinds[v]).collect();
     assert!(kinds.contains(&VarKind::PartialScalar(AggKind::Sum)));

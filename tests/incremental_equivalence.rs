@@ -22,9 +22,8 @@ fn assert_equivalent(
     for (name, _) in streams {
         e.create_stream(name, schema).unwrap();
     }
-    let qi = e
-        .register_sql_with(sql, RegisterOptions { mode: ExecMode::Incremental, chunker })
-        .unwrap();
+    let qi =
+        e.register_sql_with(sql, RegisterOptions { mode: ExecMode::Incremental, chunker }).unwrap();
     let qr = e
         .register_sql_with(sql, RegisterOptions { mode: ExecMode::Reevaluation, chunker: None })
         .unwrap();

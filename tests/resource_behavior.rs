@@ -17,9 +17,7 @@ fn incremental_discards_processed_input() {
     // basket must not accumulate the window; only unprocessed tail tuples
     // may remain.
     let mut e = engine();
-    let _q = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 64 SLIDE 8")
-        .unwrap();
+    let _q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 64 SLIDE 8").unwrap();
     for _ in 0..100 {
         e.append("s", &[Column::Int(vec![1; 8]), Column::Int(vec![1; 8])]).unwrap();
         e.run_until_idle().unwrap();
@@ -37,9 +35,7 @@ fn incremental_join_also_discards_input() {
     e.create_stream("a", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
     e.create_stream("b", &[("k", DataType::Int), ("v", DataType::Int)]).unwrap();
     let _q = e
-        .register_sql(
-            "SELECT max(a.v), avg(b.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 32 SLIDE 8",
-        )
+        .register_sql("SELECT max(a.v), avg(b.v) FROM a, b WHERE a.k = b.k WINDOW SIZE 32 SLIDE 8")
         .unwrap();
     for i in 0..50i64 {
         let ks: Vec<i64> = (0..8).map(|j| (i + j) % 5).collect();
@@ -55,9 +51,7 @@ fn incremental_join_also_discards_input() {
 #[test]
 fn partial_batches_remain_until_consumed() {
     let mut e = engine();
-    let _q = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 10 SLIDE 5")
-        .unwrap();
+    let _q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 10 SLIDE 5").unwrap();
     // 7 tuples: one basic window of 5 consumed, 2 left waiting.
     e.append("s", &[Column::Int(vec![1; 7]), Column::Int(vec![1; 7])]).unwrap();
     e.run_until_idle().unwrap();
@@ -85,12 +79,8 @@ fn reevaluation_buffers_internally_not_in_basket() {
 #[test]
 fn mixed_query_speeds_bound_the_basket_by_the_slowest() {
     let mut e = engine();
-    let _fast = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 2")
-        .unwrap();
-    let _slow = e
-        .register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 4")
-        .unwrap();
+    let _fast = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 2").unwrap();
+    let _slow = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 4").unwrap();
     // Append 101 tuples in batches of 7 (never aligned with either step).
     for _ in 0..13 {
         e.append("s", &[Column::Int(vec![1; 7]), Column::Int(vec![1; 7])]).unwrap();

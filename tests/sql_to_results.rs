@@ -5,11 +5,8 @@ use datacell::prelude::*;
 
 fn engine3() -> Engine {
     let mut e = Engine::new();
-    e.create_stream(
-        "s",
-        &[("k", DataType::Int), ("v", DataType::Int), ("w", DataType::Float)],
-    )
-    .unwrap();
+    e.create_stream("s", &[("k", DataType::Int), ("v", DataType::Int), ("w", DataType::Float)])
+        .unwrap();
     e
 }
 
@@ -26,10 +23,7 @@ fn float_columns_filter_and_aggregate() {
         .unwrap();
     feed(&mut e, vec![1, 2, 3, 4], vec![0; 4], vec![0.25, 0.5, 1.5, 1.0]);
     let out = e.drain_results(q).unwrap();
-    assert_eq!(
-        out[0].rows(),
-        vec![vec![Value::Float(0.5), Value::Float(1.5), Value::Float(1.0)]]
-    );
+    assert_eq!(out[0].rows(), vec![vec![Value::Float(0.5), Value::Float(1.5), Value::Float(1.0)]]);
 }
 
 #[test]
@@ -45,9 +39,7 @@ fn between_predicate() {
 #[test]
 fn not_equal_predicate() {
     let mut e = engine3();
-    let q = e
-        .register_sql("SELECT count(k) FROM s WHERE k <> 3 WINDOW SIZE 4 SLIDE 4")
-        .unwrap();
+    let q = e.register_sql("SELECT count(k) FROM s WHERE k <> 3 WINDOW SIZE 4 SLIDE 4").unwrap();
     feed(&mut e, vec![3, 1, 3, 2], vec![0; 4], vec![0.0; 4]);
     assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(2)]]);
 }
@@ -118,9 +110,7 @@ fn string_columns_project_group() {
     let mut e = Engine::new();
     e.create_stream("logs", &[("level", DataType::Str), ("code", DataType::Int)]).unwrap();
     let q = e
-        .register_sql(
-            "SELECT level, count(code) FROM logs GROUP BY level WINDOW SIZE 4 SLIDE 4",
-        )
+        .register_sql("SELECT level, count(code) FROM logs GROUP BY level WINDOW SIZE 4 SLIDE 4")
         .unwrap();
     e.append(
         "logs",
@@ -142,15 +132,11 @@ fn string_columns_project_group() {
 fn string_equality_filter() {
     let mut e = Engine::new();
     e.create_stream("logs", &[("level", DataType::Str), ("code", DataType::Int)]).unwrap();
-    let q = e
-        .register_sql("SELECT code FROM logs WHERE level = 'err' WINDOW SIZE 3 SLIDE 3")
-        .unwrap();
+    let q =
+        e.register_sql("SELECT code FROM logs WHERE level = 'err' WINDOW SIZE 3 SLIDE 3").unwrap();
     e.append(
         "logs",
-        &[
-            Column::Str(vec!["err".into(), "ok".into(), "err".into()]),
-            Column::Int(vec![7, 8, 9]),
-        ],
+        &[Column::Str(vec!["err".into(), "ok".into(), "err".into()]), Column::Int(vec![7, 8, 9])],
     )
     .unwrap();
     e.run_until_idle().unwrap();
@@ -161,9 +147,7 @@ fn string_equality_filter() {
 #[test]
 fn order_by_ascending_default() {
     let mut e = engine3();
-    let q = e
-        .register_sql("SELECT k FROM s ORDER BY k WINDOW SIZE 4 SLIDE 4")
-        .unwrap();
+    let q = e.register_sql("SELECT k FROM s ORDER BY k WINDOW SIZE 4 SLIDE 4").unwrap();
     feed(&mut e, vec![3, 1, 4, 2], vec![0; 4], vec![0.0; 4]);
     let out = e.drain_results(q).unwrap();
     assert_eq!(
@@ -175,9 +159,7 @@ fn order_by_ascending_default() {
 #[test]
 fn projection_of_multiple_columns_stays_row_aligned() {
     let mut e = engine3();
-    let q = e
-        .register_sql("SELECT k, v, w FROM s WHERE v > 5 WINDOW SIZE 4 SLIDE 2")
-        .unwrap();
+    let q = e.register_sql("SELECT k, v, w FROM s WHERE v > 5 WINDOW SIZE 4 SLIDE 2").unwrap();
     feed(&mut e, vec![1, 2, 3, 4], vec![10, 3, 20, 4], vec![0.1, 0.2, 0.3, 0.4]);
     let out = e.drain_results(q).unwrap();
     assert_eq!(
@@ -192,9 +174,7 @@ fn projection_of_multiple_columns_stays_row_aligned() {
 #[test]
 fn count_star_over_filtered_stream() {
     let mut e = engine3();
-    let q = e
-        .register_sql("SELECT count(*) FROM s WHERE k > 1 WINDOW SIZE 3 SLIDE 3")
-        .unwrap();
+    let q = e.register_sql("SELECT count(*) FROM s WHERE k > 1 WINDOW SIZE 3 SLIDE 3").unwrap();
     feed(&mut e, vec![1, 2, 3], vec![0; 3], vec![0.0; 3]);
     assert_eq!(e.drain_results(q).unwrap()[0].rows(), vec![vec![Value::Int(2)]]);
 }
@@ -202,11 +182,13 @@ fn count_star_over_filtered_stream() {
 #[test]
 fn time_landmark_query() {
     let mut e = engine3();
-    let q = e
-        .register_sql("SELECT count(k) FROM s WINDOW LANDMARK SLIDE 10 MS")
-        .unwrap();
-    e.append_at("s", &[Column::Int(vec![1, 2]), Column::Int(vec![0, 0]), Column::Float(vec![0.0, 0.0])], 4)
-        .unwrap();
+    let q = e.register_sql("SELECT count(k) FROM s WINDOW LANDMARK SLIDE 10 MS").unwrap();
+    e.append_at(
+        "s",
+        &[Column::Int(vec![1, 2]), Column::Int(vec![0, 0]), Column::Float(vec![0.0, 0.0])],
+        4,
+    )
+    .unwrap();
     e.advance_clock(10);
     e.run_until_idle().unwrap();
     e.append_at("s", &[Column::Int(vec![3]), Column::Int(vec![0]), Column::Float(vec![0.0])], 14)

@@ -1,0 +1,61 @@
+//! Workspace smoke test: the README / `src/lib.rs` quick-start scenario,
+//! end-to-end through the facade crate. If this fails, the front page of
+//! the project is lying.
+
+use datacell::prelude::*;
+
+#[test]
+fn quick_start_scenario_end_to_end() {
+    // An engine with one input stream carrying two int attributes.
+    let mut engine = Engine::new();
+    engine.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+
+    // Continuous query: per sliding window of 4 tuples, step 2:
+    //   SELECT sum(x2) FROM s WHERE x1 > 10
+    let q =
+        engine.register_sql("SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 2").unwrap();
+
+    // Feed tuples; the scheduler fires factories as windows fill.
+    engine
+        .append("s", &[Column::Int(vec![5, 20, 30, 7, 40, 8]), Column::Int(vec![1, 2, 3, 4, 5, 6])])
+        .unwrap();
+    engine.run_until_idle().unwrap();
+
+    // Two complete windows -> two results.
+    let out = engine.drain_results(q).unwrap();
+    assert_eq!(out.len(), 2, "windows [1..4] and [3..6] must both have fired");
+
+    // Window 1 covers tuples 1..=4: x1 > 10 keeps (20,2), (30,3) -> sum 5.
+    // Window 2 covers tuples 3..=6: x1 > 10 keeps (30,3), (40,5) -> sum 8.
+    let sums: Vec<Value> = out
+        .iter()
+        .map(|rs| {
+            let rows = rs.rows();
+            assert_eq!(rows.len(), 1, "scalar aggregate yields one row");
+            rows[0][0].clone()
+        })
+        .collect();
+    assert_eq!(sums, vec![Value::Int(5), Value::Int(8)]);
+
+    // Drained means drained: a second drain yields nothing.
+    assert!(engine.drain_results(q).unwrap().is_empty());
+}
+
+#[test]
+fn quick_start_results_survive_more_appends() {
+    // Same scenario, but appending in two batches across the window
+    // boundary: results must be identical to the single-append run.
+    let mut engine = Engine::new();
+    engine.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+    let q =
+        engine.register_sql("SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 2").unwrap();
+
+    engine.append("s", &[Column::Int(vec![5, 20, 30]), Column::Int(vec![1, 2, 3])]).unwrap();
+    engine.run_until_idle().unwrap();
+    engine.append("s", &[Column::Int(vec![7, 40, 8]), Column::Int(vec![4, 5, 6])]).unwrap();
+    engine.run_until_idle().unwrap();
+
+    let out = engine.drain_results(q).unwrap();
+    let sums: Vec<Value> = out.iter().map(|rs| rs.rows()[0][0].clone()).collect();
+    assert_eq!(sums, vec![Value::Int(5), Value::Int(8)]);
+}

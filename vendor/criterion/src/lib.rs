@@ -1,0 +1,210 @@
+//! Offline shim for the `criterion` crate: the subset DataCell's benches
+//! use (`Criterion`, benchmark groups, `BenchmarkId`, `criterion_group!` /
+//! `criterion_main!`), with real wall-clock measurement but none of the
+//! statistics, plotting, or baseline machinery.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal API-compatible stand-ins (see `vendor/README.md`).
+//! Each benchmark is warmed up once, then timed over enough iterations to
+//! fill a small measurement budget; the mean is printed per benchmark id.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_budget: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_budget: Duration::from_millis(200), default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_one(&id.into(), self.measurement_budget, sample_size, |b| f(b));
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, self.criterion.measurement_budget, samples, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        run_one(&full, self.criterion.measurement_budget, samples, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("bench"),
+        }
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the routine.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: one untimed run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for `samples` timed runs within the budget.
+        let per_sample = self.budget / self.samples.max(1) as u32;
+        let iters_per_sample = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += iters_per_sample;
+            if total > self.budget {
+                break;
+            }
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / iters.max(1) as f64);
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(id: &str, budget: Duration, samples: usize, f: F) {
+    let mut b = Bencher { budget, samples, mean_ns: None };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) => println!("{id:<60} {}", format_ns(ns)),
+        None => println!("{id:<60} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:>10.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:>10.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:>10.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!(name, fn_a, fn_b, ..)` — a function running each bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b, ..)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c =
+            Criterion { measurement_budget: Duration::from_millis(5), default_sample_size: 3 };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_with_input(BenchmarkId::new("f", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

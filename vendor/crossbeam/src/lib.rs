@@ -1,0 +1,192 @@
+//! Offline shim for the `crossbeam` crate: the `channel` subset DataCell
+//! uses (`bounded`, `Sender`, `Receiver`, a two-arm `select!`), backed by
+//! `std::sync::mpsc`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal API-compatible stand-ins (see `vendor/README.md`).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(pub(crate) mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(pub(crate) mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The message could not be sent because the channel is disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Errors from [`Sender::try_send`].
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    /// Errors from [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Create a bounded channel with capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is accepted or the channel disconnects.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Two-arm `select!` over one send and one recv operation, in crossbeam's
+    /// syntax. Implemented by polling both endpoints; the chosen arm's body
+    /// runs *outside* the polling loop so `break`/`continue`/`return` inside
+    /// a body target the caller's control flow, as with real crossbeam.
+    #[macro_export]
+    macro_rules! select {
+        (send($tx:expr, $val:expr) -> $sres:pat => $sbody:block recv($rx:expr) -> $rres:pat => $rbody:expr $(,)?) => {
+            $crate::select!(send($tx, $val) -> $sres => $sbody, recv($rx) -> $rres => $rbody)
+        };
+        (send($tx:expr, $val:expr) -> $sres:pat => $sbody:expr, recv($rx:expr) -> $rres:pat => $rbody:expr $(,)?) => {{
+            enum __SelectArm<S, R> {
+                Send(S),
+                Recv(R),
+            }
+            let mut __pending = Some($val);
+            let __arm = loop {
+                match $rx.try_recv() {
+                    Ok(__v) => break __SelectArm::Recv(Ok(__v)),
+                    Err($crate::channel::TryRecvError::Disconnected) => {
+                        break __SelectArm::Recv(Err($crate::channel::RecvError))
+                    }
+                    Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $tx.try_send(__pending.take().expect("value still pending")) {
+                    Ok(()) => break __SelectArm::Send(Ok(())),
+                    Err($crate::channel::TrySendError::Disconnected(__v)) => {
+                        break __SelectArm::Send(Err($crate::channel::SendError(__v)))
+                    }
+                    Err($crate::channel::TrySendError::Full(__v)) => {
+                        __pending = Some(__v);
+                        ::std::thread::sleep(::std::time::Duration::from_micros(100));
+                    }
+                }
+            };
+            match __arm {
+                __SelectArm::Send($sres) => $sbody,
+                __SelectArm::Recv($rres) => $rbody,
+            }
+        }};
+    }
+
+    // Let `crossbeam::channel::select!` paths resolve, matching the real crate.
+    pub use crate::select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError, TryRecvError};
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn select_prefers_ready_recv() {
+        let (tx, rx) = bounded::<i32>(0); // rendezvous: send never ready
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        stop_tx.send(()).unwrap();
+        let stopped;
+        crate::channel::select! {
+            send(tx, 1) -> _res => { panic!("send arm must not fire") },
+            recv(stop_rx) -> _ => stopped = true,
+        }
+        assert!(stopped);
+        drop(rx);
+    }
+
+    #[test]
+    fn select_send_fires_when_capacity_free() {
+        let (tx, rx) = bounded::<i32>(1);
+        let (_stop_tx, stop_rx) = bounded::<()>(1);
+        let sent;
+        crate::channel::select! {
+            send(tx, 7) -> res => {
+                assert!(res.is_ok());
+                sent = true;
+            }
+            recv(stop_rx) -> _ => panic!("recv arm must not fire"),
+        }
+        assert!(sent);
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn select_body_break_targets_caller_loop() {
+        let (tx, rx) = bounded::<i32>(1);
+        let (_stop_tx, stop_rx) = bounded::<()>(1);
+        let mut rounds = 0;
+        while rounds < 10 {
+            rounds += 1;
+            crate::channel::select! {
+                send(tx, rounds) -> res => {
+                    if res.is_err() {
+                        break;
+                    }
+                }
+                recv(stop_rx) -> _ => break,
+            }
+            let _ = rx.try_recv();
+            if rounds == 3 {
+                break;
+            }
+        }
+        assert_eq!(rounds, 3);
+    }
+}
