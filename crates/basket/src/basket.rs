@@ -324,6 +324,21 @@ impl SharedBasket {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Oid of the first resident tuple (the expiry front).
+    pub fn base_oid(&self) -> Oid {
+        self.with(|b| b.base_oid())
+    }
+
+    /// One past the newest oid — the total number of tuples ever appended.
+    /// Monotonically non-decreasing, so schedulers can poll it as a cheap
+    /// growth signal: `end_oid() > mark` means the place gained tokens
+    /// since `mark` was taken, and a reader that saw `end_oid() == e` is
+    /// guaranteed every oid below `e` is either readable or already
+    /// consumed past (never silently skipped).
+    pub fn end_oid(&self) -> Oid {
+        self.with(|b| b.end_oid())
+    }
 }
 
 #[cfg(test)]

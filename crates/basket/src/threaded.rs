@@ -140,6 +140,93 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_consumers_at_different_speeds_never_lose_unconsumed_oids() {
+        // Two consumer threads drain one shared basket at different
+        // speeds while a receptor feeds it and a GC thread repeatedly
+        // expires up to the *minimum* consumed position — the engine's
+        // expiry rule. No consumer may ever observe RangeUnavailable for
+        // an oid it has not consumed.
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        const TOTAL: u64 = 600;
+        let basket = shared();
+        let cursors = [Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0))];
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut left = TOTAL;
+        let feeder = ReceptorHandle::spawn(basket.clone(), 4, move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            Some((TOTAL - left, vec![Column::Int(vec![(TOTAL - left) as i64])]))
+        });
+
+        let consumers: Vec<_> = [1usize, 7]
+            .into_iter()
+            .zip(&cursors)
+            .map(|(step, cursor)| {
+                let basket = basket.clone();
+                let cursor = Arc::clone(cursor);
+                std::thread::spawn(move || {
+                    let mut sum = 0i64;
+                    loop {
+                        let from = cursor.load(Ordering::Acquire);
+                        if from >= TOTAL {
+                            return sum;
+                        }
+                        let take = step.min((TOTAL - from) as usize);
+                        let got = basket.with(|b| {
+                            if b.available_from(from) < take {
+                                return None;
+                            }
+                            Some(b.read_range(from, take).expect(
+                                "unconsumed oids must stay resident for the slowest reader",
+                            ))
+                        });
+                        match got {
+                            Some(w) => {
+                                sum += w.col(0).unwrap().as_int().unwrap().iter().sum::<i64>();
+                                cursor.store(from + take as u64, Ordering::Release);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // GC thread: expire everything below the slowest cursor, as the
+        // engine does between scheduler drains.
+        let gc = {
+            let basket = basket.clone();
+            let cursors = [Arc::clone(&cursors[0]), Arc::clone(&cursors[1])];
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let min = cursors.iter().map(|c| c.load(Ordering::Acquire)).min().unwrap();
+                    basket.with(|b| b.expire_upto(min));
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        assert_eq!(feeder.join().unwrap() as u64, TOTAL);
+        let expected: i64 = (1..=TOTAL as i64).sum();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), expected);
+        }
+        done.store(true, Ordering::Release);
+        gc.join().unwrap();
+        // Both consumers finished: everything is expirable.
+        basket.with(|b| b.expire_upto(TOTAL));
+        assert!(basket.is_empty());
+        assert_eq!(basket.end_oid(), TOTAL);
+        assert_eq!(basket.base_oid(), TOTAL);
+    }
+
+    #[test]
     fn dropping_handle_stops_source() {
         let basket = shared();
         // Infinite source; dropping the handle must terminate it.

@@ -7,7 +7,10 @@
 //! * `--paper`    — shorthand for the paper's full sizes (`--scale 1` on
 //!   the paper's parameters; default harness parameters are pre-reduced);
 //! * `--windows n` — override the number of measured windows;
-//! * `--seed n`   — RNG seed.
+//! * `--seed n`   — RNG seed;
+//! * `--fire-cost-us n` — simulated per-fire blocking latency in µs
+//!   (`scheduler_scale` only: models receptor/emitter hops so scheduler
+//!   overlap is measurable even on a single core).
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -20,11 +23,13 @@ pub struct Args {
     pub windows: Option<usize>,
     /// RNG seed.
     pub seed: u64,
+    /// Override for the simulated per-fire latency (µs).
+    pub fire_cost_us: Option<u64>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 1.0, paper: false, windows: None, seed: 42 }
+        Args { scale: 1.0, paper: false, windows: None, seed: 42, fire_cost_us: None }
     }
 }
 
@@ -60,6 +65,13 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs a number"));
                 }
+                "--fire-cost-us" => {
+                    args.fire_cost_us = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--fire-cost-us needs microseconds")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -77,7 +89,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: fig* [--scale f] [--paper] [--windows n] [--seed n]");
+    eprintln!("usage: fig* [--scale f] [--paper] [--windows n] [--seed n] [--fire-cost-us n]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -100,11 +112,22 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let a = parse(&["--scale", "0.5", "--paper", "--windows", "7", "--seed", "9"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--paper",
+            "--windows",
+            "7",
+            "--seed",
+            "9",
+            "--fire-cost-us",
+            "150",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert!(a.paper);
         assert_eq!(a.windows, Some(7));
         assert_eq!(a.seed, 9);
+        assert_eq!(a.fire_cost_us, Some(150));
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //!
 //! Workload generators and per-figure harnesses reproducing the paper's
 //! evaluation (§4). Binaries `fig4` … `fig10` each regenerate one figure's
-//! series; the Criterion benches in `benches/` cover the same workloads at
-//! reduced sizes for regression tracking.
+//! series; `scheduler_scale` measures the parallel Petri-net scheduler
+//! (throughput vs. worker count on a multi-query workload, CPU-bound and
+//! blocking-fire variants — see [`run_scheduler_scale`]); the Criterion
+//! benches in `benches/` cover the same workloads at reduced sizes for
+//! regression tracking.
 //!
 //! Absolute numbers differ from the paper (different hardware, different
 //! substrate); the targets are the *shapes*: who wins, by what factor, and
@@ -16,7 +19,8 @@ pub mod workload;
 
 pub use args::Args;
 pub use runner::{
-    run_q1, run_q2, run_q3_landmark, run_sysx_q2, Mode, Q1Config, Q2Config, Q3Config, RunOutcome,
+    run_q1, run_q2, run_q3_landmark, run_scheduler_scale, run_sysx_q2, Mode, Q1Config, Q2Config,
+    Q3Config, RunOutcome, ScaleConfig, ScaleOutcome,
 };
 pub use table::{fmt_duration, print_table};
 pub use workload::{csv_for_stream, gen_join_stream, gen_q1_stream, selectivity_threshold};

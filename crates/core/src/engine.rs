@@ -10,10 +10,10 @@ use crate::adaptive::AdaptiveChunker;
 use crate::error::DataCellError;
 use crate::factory::incremental::IncrementalFactory;
 use crate::factory::reeval::ReevalFactory;
-use crate::factory::StreamInput;
+use crate::factory::{Factory, StreamInput};
 use crate::metrics::SlideMetrics;
 use crate::rewrite::{rewrite, IncrementalPlan};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{workers_from_env, ParallelScheduler};
 use datacell_basket::{Basket, SharedBasket, Timestamp};
 use datacell_kernel::{Catalog, Column, DataType, Table};
 use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
@@ -49,19 +49,52 @@ impl Default for RegisterOptions {
 }
 
 /// The engine: baskets + catalog + scheduler + per-query outputs.
-#[derive(Default)]
 pub struct Engine {
     baskets: HashMap<String, SharedBasket>,
     catalog: Catalog,
-    scheduler: Scheduler,
+    scheduler: ParallelScheduler,
     outputs: HashMap<usize, Vec<ResultSet>>,
     clock: Timestamp,
 }
 
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
 impl Engine {
-    /// A fresh engine.
+    /// A fresh engine. The scheduler worker count defaults to 1
+    /// (sequential, deterministic) unless the `DATACELL_WORKERS`
+    /// environment variable overrides it; [`Engine::set_workers`] always
+    /// wins over both.
     pub fn new() -> Engine {
-        Engine::default()
+        Engine::with_workers(workers_from_env())
+    }
+
+    /// A fresh engine with an explicit scheduler worker count (min 1).
+    /// One worker runs the sequential Petri-net scheduler unchanged;
+    /// more workers fire independent factories concurrently.
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine {
+            baskets: HashMap::new(),
+            catalog: Catalog::default(),
+            scheduler: ParallelScheduler::new(workers),
+            outputs: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Scheduler worker threads currently configured.
+    pub fn workers(&self) -> usize {
+        self.scheduler.workers()
+    }
+
+    /// Change the scheduler worker count (min 1); takes effect on the
+    /// next [`Engine::run_until_idle`]. Determinism-sensitive callers
+    /// (tests, result-diffing harnesses) should pin this to 1.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.scheduler.set_workers(workers);
     }
 
     // -- streams and tables ------------------------------------------------
@@ -105,13 +138,24 @@ impl Engine {
 
     /// Append a batch of columns to a stream, stamped with the current
     /// engine clock.
+    ///
+    /// **Clock rule** (shared with [`Engine::append_at`]): every append
+    /// stamps its tuples with one arrival timestamp and then advances the
+    /// engine clock to that stamp if — and only if — the stamp is ahead;
+    /// the clock never moves backwards. Here the stamp *is* the current
+    /// clock, so this is `append_at(stream, batch, self.clock())`.
     pub fn append(&mut self, stream: &str, batch: &[Column]) -> Result<(), DataCellError> {
-        let b = self.basket(stream)?;
-        b.append(batch, self.clock)?;
-        Ok(())
+        self.append_at(stream, batch, self.clock)
     }
 
-    /// Append with an explicit arrival timestamp (also advances the clock).
+    /// Append with an explicit arrival timestamp.
+    ///
+    /// **Clock rule** (shared with [`Engine::append`]): the batch is
+    /// stamped `at`, and the engine clock advances to `at` when `at` is
+    /// ahead of it; a stamp at or behind the clock leaves the clock
+    /// untouched (it never regresses). Note the *basket* separately
+    /// requires non-decreasing stamps per stream, so back-dated appends
+    /// only succeed on streams whose newest tuple is older than `at`.
     pub fn append_at(
         &mut self,
         stream: &str,
@@ -189,17 +233,31 @@ impl Engine {
         }
         let tables = self.table_snapshot(&mal)?;
         let label = format!("q{}", self.outputs.len());
-        let id = match opts.mode {
+        let factory: Box<dyn Factory> = match opts.mode {
             ExecMode::Incremental => {
                 let inc: IncrementalPlan = rewrite(&mal)?;
-                let f = IncrementalFactory::new(label, inc, window, inputs, tables, opts.chunker)?;
-                self.scheduler.register(Box::new(f))
+                Box::new(IncrementalFactory::new(label, inc, window, inputs, tables, opts.chunker)?)
             }
             ExecMode::Reevaluation => {
-                let f = ReevalFactory::new(label, mal, window, inputs, tables)?;
-                self.scheduler.register(Box::new(f))
+                Box::new(ReevalFactory::new(label, mal, window, inputs, tables)?)
             }
         };
+        self.register_factory(factory)
+    }
+
+    /// Register a hand-built [`Factory`] — custom operators beyond what
+    /// the SQL front-end can express (bench harnesses, user-defined
+    /// transitions). Every input stream it names must be registered; the
+    /// factory joins the Petri net like any SQL-derived query and its
+    /// results are drained through [`Engine::drain_results`].
+    pub fn register_factory(&mut self, f: Box<dyn Factory>) -> Result<QueryId, DataCellError> {
+        for s in f.input_streams() {
+            if !self.baskets.contains_key(&s) {
+                return Err(DataCellError::UnknownStream(s));
+            }
+        }
+        let baskets = &self.baskets;
+        let id = self.scheduler.register(f, |s| baskets.get(s).cloned());
         self.outputs.insert(id, Vec::new());
         Ok(QueryId(id))
     }
@@ -267,7 +325,15 @@ impl Engine {
     // -- execution ---------------------------------------------------------
 
     /// Run the scheduler until no factory is enabled; results accumulate
-    /// per query. Expired basket prefixes are garbage collected.
+    /// per query. Expired basket prefixes are garbage collected after the
+    /// drain, when every factory's consumption cursor is settled.
+    ///
+    /// With one worker (the default) this is the sequential round-robin
+    /// Petri-net loop; with more ([`Engine::set_workers`] /
+    /// `DATACELL_WORKERS`) independent factories fire concurrently on the
+    /// scheduler's worker pool. Per-query result order is identical either
+    /// way; only cross-query interleaving (invisible through
+    /// [`Engine::drain_results`]) differs.
     pub fn run_until_idle(&mut self) -> Result<(), DataCellError> {
         let emissions = self.scheduler.run_until_idle(self.clock)?;
         for e in emissions {
@@ -421,6 +487,150 @@ mod tests {
         // (Streams without readers keep data until a reader registers.)
         assert_eq!(e.basket_len("s").unwrap(), 5);
         assert!(e.drain_results(q1).is_err());
+    }
+
+    #[test]
+    fn clock_rule_is_uniform_across_append_variants() {
+        // Regression: `append` and `append_at` follow one rule — stamp,
+        // then advance the clock to the stamp iff it is ahead.
+        let mut e = Engine::new();
+        e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+        e.create_stream("t", &[("y", DataType::Int)]).unwrap();
+        let one = [Column::Int(vec![1]), Column::Int(vec![1])];
+        assert_eq!(e.clock(), 0);
+        e.append("s", &one).unwrap(); // stamp 0 == clock: no movement
+        assert_eq!(e.clock(), 0);
+        e.append_at("s", &one, 50).unwrap(); // stamp ahead: clock follows
+        assert_eq!(e.clock(), 50);
+        e.append("s", &one).unwrap(); // stamps the advanced clock (50)
+        assert_eq!(e.clock(), 50);
+        assert_eq!(e.basket("s").unwrap().with(|b| b.latest_ts()), Some(50));
+        // Back-dated stamp on another stream: accepted, clock untouched.
+        e.append_at("t", &[Column::Int(vec![2])], 10).unwrap();
+        assert_eq!(e.clock(), 50);
+        assert_eq!(e.basket("t").unwrap().with(|b| b.latest_ts()), Some(10));
+        // Equal stamp: also no movement.
+        e.append_at("s", &one, 50).unwrap();
+        assert_eq!(e.clock(), 50);
+    }
+
+    #[test]
+    fn worker_count_api_and_parallel_results_match_sequential() {
+        let run = |workers: usize| {
+            let mut e = Engine::with_workers(workers);
+            assert_eq!(e.workers(), workers.max(1));
+            e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+            let qs: Vec<QueryId> = (1..=4)
+                .map(|k| {
+                    e.register_sql(&format!(
+                        "SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE {} SLIDE {}",
+                        4 * k,
+                        2 * k
+                    ))
+                    .unwrap()
+                })
+                .collect();
+            e.append("s", &[Column::Int(vec![1; 64]), Column::Int(vec![1; 64])]).unwrap();
+            e.run_until_idle().unwrap();
+            qs.into_iter()
+                .map(|q| e.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        let seq = run(1);
+        for workers in [2, 4] {
+            assert_eq!(run(workers), seq, "workers={workers} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn set_workers_switches_between_drains() {
+        let mut e = engine_with_stream();
+        let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2").unwrap();
+        e.append("s", &[Column::Int(vec![1; 4]), Column::Int(vec![1; 4])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.drain_results(q).unwrap().len(), 2);
+        e.set_workers(3);
+        assert_eq!(e.workers(), 3);
+        e.append("s", &[Column::Int(vec![1; 4]), Column::Int(vec![1; 4])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.drain_results(q).unwrap().len(), 2);
+        e.set_workers(0); // clamps to sequential
+        assert_eq!(e.workers(), 1);
+    }
+
+    #[test]
+    fn register_factory_validates_streams() {
+        use crate::factory::FireOutcome;
+        use crate::metrics::SlideMetrics;
+
+        struct CountFactory {
+            input: StreamInput,
+            metrics: Vec<SlideMetrics>,
+        }
+        impl crate::factory::Factory for CountFactory {
+            fn label(&self) -> &str {
+                "count"
+            }
+            fn ready(&self, _clock: Timestamp) -> bool {
+                self.input.available() >= 2
+            }
+            fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
+                let w = self.input.take(2)?;
+                let result =
+                    ResultSet::new(vec!["n".into()], vec![Column::Int(vec![w.len() as i64])])
+                        .unwrap();
+                Ok(FireOutcome::Produced { result, metrics: SlideMetrics::default() })
+            }
+            fn consumed_upto(&self, stream: &str) -> Option<datacell_kernel::Oid> {
+                (stream == self.input.name).then_some(self.input.consumed)
+            }
+            fn input_streams(&self) -> Vec<String> {
+                vec![self.input.name.clone()]
+            }
+            fn metrics(&self) -> &[SlideMetrics] {
+                &self.metrics
+            }
+        }
+
+        let mut e = engine_with_stream();
+        let basket = e.basket("s").unwrap();
+        let q = e
+            .register_factory(Box::new(CountFactory {
+                input: StreamInput::new("s", basket),
+                metrics: vec![],
+            }))
+            .unwrap();
+        e.append("s", &[Column::Int(vec![1; 5]), Column::Int(vec![1; 5])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.drain_results(q).unwrap().len(), 2);
+        // GC honours the custom factory's cursor (consumed 4 of 5).
+        assert_eq!(e.basket_len("s").unwrap(), 1);
+
+        struct GhostFactory;
+        impl crate::factory::Factory for GhostFactory {
+            fn label(&self) -> &str {
+                "ghost"
+            }
+            fn ready(&self, _clock: Timestamp) -> bool {
+                false
+            }
+            fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
+                Ok(FireOutcome::NotReady)
+            }
+            fn consumed_upto(&self, _stream: &str) -> Option<datacell_kernel::Oid> {
+                None
+            }
+            fn input_streams(&self) -> Vec<String> {
+                vec!["ghost".into()]
+            }
+            fn metrics(&self) -> &[SlideMetrics] {
+                &[]
+            }
+        }
+        assert!(matches!(
+            e.register_factory(Box::new(GhostFactory)),
+            Err(DataCellError::UnknownStream(_))
+        ));
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub enum FireOutcome {
 }
 
 /// A standing continuous query plan.
+///
+/// `Send` is load-bearing: the parallel Petri-net scheduler moves a
+/// factory (as its owned box) onto a worker thread for each dispatch, so
+/// every piece of factory state must be transferable across threads. A
+/// factory is only ever *owned* by one thread at a time — implementations
+/// need no internal locking beyond what [`SharedBasket`] already provides
+/// for the baskets they read.
 pub trait Factory: Send {
     /// Human-readable name (for scheduler introspection).
     fn label(&self) -> &str;
@@ -76,8 +83,9 @@ pub struct StreamInput {
 }
 
 impl StreamInput {
-    /// Wrap a basket starting at its current end (factories registered
-    /// mid-stream only see future tuples) or at 0 for fresh baskets.
+    /// Wrap a basket starting at its first *resident* tuple (`base_oid`):
+    /// a factory registered mid-stream sees the not-yet-expired backlog
+    /// but never already-expired prefixes; on a fresh basket that is 0.
     pub fn new(name: impl Into<String>, basket: SharedBasket) -> StreamInput {
         let consumed = basket.with(|b| b.base_oid());
         StreamInput { name: name.into(), basket, consumed }

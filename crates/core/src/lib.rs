@@ -17,7 +17,9 @@
 //!   [`factory::reeval::ReevalFactory`] (Algorithm 1, the DataCellR
 //!   baseline);
 //! * [`adaptive`] — the self-adapting m-chunk controller (§3, Fig. 8);
-//! * [`scheduler`] — the Petri-net scheduler (§2);
+//! * [`scheduler`] — the Petri-net scheduler (§2): the sequential
+//!   round-robin loop plus [`scheduler::parallel::ParallelScheduler`], a
+//!   worker-pool executor firing independent transitions concurrently;
 //! * [`engine`] — the facade tying baskets, catalog, factories, scheduler
 //!   and result delivery together (Fig. 1).
 
@@ -38,7 +40,10 @@ pub use factory::reeval::ReevalFactory;
 pub use factory::{Factory, FireOutcome, StreamInput};
 pub use metrics::{summarize, MetricsSummary, SlideMetrics};
 pub use rewrite::{rewrite, Cluster, IncrementalPlan, Stage, VarKind};
-pub use scheduler::{Emission, FactoryId, Scheduler};
+pub use scheduler::{
+    parse_workers, workers_from_env, Emission, FactoryId, ParallelScheduler, Scheduler,
+};
 
-// Re-export the window spec from the plan layer so users have one import.
-pub use datacell_plan::WindowSpec;
+// Re-export the window spec and result type from the plan layer so users
+// (and custom-factory authors) have one import.
+pub use datacell_plan::{ResultSet, WindowSpec};

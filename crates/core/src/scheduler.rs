@@ -11,6 +11,10 @@
 //! boundary). The scheduler fires enabled factories round-robin until
 //! quiescence, so many standing queries interleave fairly on one thread.
 
+pub mod parallel;
+
+pub use parallel::{parse_workers, workers_from_env, ParallelScheduler};
+
 use crate::error::DataCellError;
 use crate::factory::{Factory, FireOutcome};
 use datacell_basket::Timestamp;
@@ -115,6 +119,18 @@ impl Scheduler {
     /// when no live factory reads the stream) — the basket expiry bound.
     pub fn min_consumed(&self, stream: &str) -> Option<u64> {
         self.factories.iter().flatten().filter_map(|f| f.consumed_upto(stream)).min()
+    }
+
+    /// Move a factory out of its slot so a worker thread can own it while
+    /// firing (see [`parallel::ParallelScheduler`]). The slot stays
+    /// reserved — `register` cannot reuse the id — until `restore_slot`.
+    pub(crate) fn take_slot(&mut self, id: FactoryId) -> Option<Box<dyn Factory>> {
+        self.factories.get_mut(id).and_then(Option::take)
+    }
+
+    /// Return a factory taken with [`Scheduler::take_slot`].
+    pub(crate) fn restore_slot(&mut self, id: FactoryId, f: Box<dyn Factory>) {
+        self.factories[id] = Some(f);
     }
 }
 

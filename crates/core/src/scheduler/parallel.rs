@@ -1,0 +1,866 @@
+//! Multi-threaded Petri-net execution: a worker pool firing independent
+//! transitions concurrently.
+//!
+//! The paper's Fig. 1 runs receptors, factories and emitters as separate
+//! processes; [`super::Scheduler`] collapses that onto one thread. The
+//! [`ParallelScheduler`] restores the parallelism for the factory layer: it
+//! keeps the sequential scheduler as its factory registry (so one-worker
+//! execution is *literally* the sequential code path, byte-identical
+//! results included) and adds
+//!
+//! * a **dependency map** from input streams (places) to the factories
+//!   reading them (transitions) — the Petri-net edges. It seeds the work
+//!   queue when a basket grows and bounds the basket-expiry scan in
+//!   [`ParallelScheduler::min_consumed`] to actual readers;
+//! * a **work queue** of enabled factories. A factory travels to a worker
+//!   as an owned `Box<dyn Factory>` moved out of its registry slot, so a
+//!   transition can never fire on two threads at once — mutual exclusion
+//!   by ownership instead of locks;
+//! * a persistent **worker pool** (`DATACELL_WORKERS` / engine API). Each
+//!   worker fires its factory until the firing condition fails, streaming
+//!   window results back over a reply channel, then returns the factory;
+//! * **quiescence detection**: the drain counts factories in flight and,
+//!   every time the count hits zero, rescans for transitions enabled in
+//!   the meantime (receptor threads append concurrently); only an empty
+//!   rescan ends the drain — the same fixpoint the sequential
+//!   `run_until_idle` reaches.
+//!
+//! Factories sharing a basket still see consistent oid-ordered reads: all
+//! basket access goes through the [`SharedBasket`] mutex, each factory
+//! owns its private consumption cursor, and tuples are only expired
+//! between drains (`&mut self` on the drain excludes `min_consumed`
+//! callers at compile time), so a slower concurrent consumer can never
+//! lose an unconsumed oid to garbage collection.
+
+use super::{Emission, FactoryId, Scheduler};
+use crate::error::DataCellError;
+use crate::factory::{Factory, FireOutcome};
+use datacell_basket::{SharedBasket, Timestamp};
+use datacell_kernel::Oid;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Parse a `DATACELL_WORKERS`-style override: a positive worker count.
+/// Returns `None` for unset, empty, non-numeric or zero values.
+pub fn parse_workers(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Worker count from the `DATACELL_WORKERS` environment variable, falling
+/// back to 1 (sequential) when unset or invalid.
+pub fn workers_from_env() -> usize {
+    parse_workers(std::env::var("DATACELL_WORKERS").ok().as_deref()).unwrap_or(1)
+}
+
+/// A transition dispatched to a worker: the factory is moved out of its
+/// registry slot for the duration, which is what makes firing exclusive.
+struct Job {
+    id: FactoryId,
+    factory: Box<dyn Factory>,
+    clock: Timestamp,
+}
+
+/// What workers send back to the draining thread.
+enum Reply {
+    /// A window result (streamed as produced, before the factory returns).
+    Emission(Emission),
+    /// The factory comes home; `progressed` reports whether any fire call
+    /// consumed input or produced output (drives the requeue decision).
+    Done {
+        id: FactoryId,
+        factory: Box<dyn Factory>,
+        progressed: bool,
+        error: Option<DataCellError>,
+    },
+}
+
+/// The shared work queue: pending jobs plus a shutdown flag, under one
+/// mutex so workers can sleep on the condvar until either changes.
+#[derive(Default)]
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl WorkQueue {
+    fn push(&self, job: Job) {
+        self.state.lock().expect("queue lock").jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Block until a job is available or shutdown is signalled.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.state.lock().expect("queue lock");
+        loop {
+            if g.shutdown {
+                return None;
+            }
+            if let Some(j) = g.jobs.pop_front() {
+                return Some(j);
+            }
+            g = self.ready.wait(g).expect("queue lock");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("queue lock").shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Persistent worker threads popping the shared queue. Lives across drains
+/// so thread spawn cost is paid once per engine, not per scheduling round.
+struct WorkerPool {
+    queue: Arc<WorkQueue>,
+    reply_rx: mpsc::Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> WorkerPool {
+        let queue = Arc::new(WorkQueue::default());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let handles = (0..size)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                let tx = reply_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("datacell-worker-{i}"))
+                    .spawn(move || worker_loop(&q, &tx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { queue, reply_rx, handles }
+    }
+
+    fn size(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker: pop a factory, fire it until its firing condition fails,
+/// stream emissions, hand the factory back. Emissions of one factory are
+/// produced by exactly one worker per dispatch, so per-query result order
+/// is preserved even though cross-query interleaving is nondeterministic.
+///
+/// A panicking factory must not kill the worker before it reports back —
+/// the drain counts on one `Done` per dispatch for quiescence, so a lost
+/// reply would deadlock `run_until_idle`. Panics are caught and surfaced
+/// as drain errors (the sequential path propagates them instead; either
+/// way the caller finds out).
+fn worker_loop(queue: &WorkQueue, replies: &mpsc::Sender<Reply>) {
+    while let Some(Job { id, mut factory, clock }) = queue.pop() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fire_to_quiescence(id, &mut factory, clock, replies)
+        }));
+        let (progressed, error) = match outcome {
+            Ok(Ok(res)) => res,
+            Ok(Err(SchedulerGone)) => return,
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                (false, Some(DataCellError::Unsupported(format!("factory {id} panicked: {msg}"))))
+            }
+        };
+        if replies.send(Reply::Done { id, factory, progressed, error }).is_err() {
+            return;
+        }
+    }
+}
+
+/// The drain side of the reply channel hung up; stop the worker.
+struct SchedulerGone;
+
+/// Fire `factory` until its firing condition fails, streaming produced
+/// windows. Returns `(progressed, first_error)`.
+fn fire_to_quiescence(
+    id: FactoryId,
+    factory: &mut Box<dyn Factory>,
+    clock: Timestamp,
+    replies: &mpsc::Sender<Reply>,
+) -> Result<(bool, Option<DataCellError>), SchedulerGone> {
+    let mut progressed = false;
+    while factory.ready(clock) {
+        match factory.fire(clock) {
+            Ok(FireOutcome::Produced { result, .. }) => {
+                progressed = true;
+                if replies
+                    .send(Reply::Emission(Emission { factory: id, result, at: clock }))
+                    .is_err()
+                {
+                    return Err(SchedulerGone);
+                }
+            }
+            Ok(FireOutcome::Progressed) => progressed = true,
+            Ok(FireOutcome::NotReady) => break,
+            Err(e) => return Ok((progressed, Some(e))),
+        }
+    }
+    Ok((progressed, None))
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// A Petri-net scheduler that fires independent transitions on a pool of
+/// worker threads. Wraps the sequential [`Scheduler`] as its registry;
+/// with `workers == 1` every drain runs the sequential code path
+/// unchanged, so determinism-sensitive callers pin one worker.
+pub struct ParallelScheduler {
+    inner: Scheduler,
+    /// Petri-net edges: stream (place) → ids of factories reading it.
+    deps: HashMap<String, Vec<FactoryId>>,
+    /// Basket handle per input stream, polled for growth between scans.
+    baskets: HashMap<String, SharedBasket>,
+    /// `end_oid` observed at the last candidate scan; a basket whose end
+    /// moved past its mark wakes its readers via `deps`.
+    marks: HashMap<String, Oid>,
+    /// Factories registered since the last drain (always scanned once).
+    fresh: Vec<FactoryId>,
+    /// Clock of the last scan; a clock change re-enables time-based
+    /// transitions, so it forces a full readiness scan.
+    last_clock: Option<Timestamp>,
+    workers: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl Default for ParallelScheduler {
+    fn default() -> Self {
+        ParallelScheduler::new(1)
+    }
+}
+
+impl ParallelScheduler {
+    /// An empty scheduler with the given worker count (min 1).
+    pub fn new(workers: usize) -> ParallelScheduler {
+        ParallelScheduler {
+            inner: Scheduler::new(),
+            deps: HashMap::new(),
+            baskets: HashMap::new(),
+            marks: HashMap::new(),
+            fresh: Vec::new(),
+            last_clock: None,
+            workers: workers.max(1),
+            pool: None,
+        }
+    }
+
+    /// Current worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Change the worker count; takes effect on the next drain (the pool
+    /// is rebuilt lazily).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Register a factory, recording its Petri-net input edges.
+    /// `basket_of` resolves each of the factory's input streams to its
+    /// shared basket (the engine passes its basket registry).
+    pub fn register(
+        &mut self,
+        f: Box<dyn Factory>,
+        mut basket_of: impl FnMut(&str) -> Option<SharedBasket>,
+    ) -> FactoryId {
+        let streams = f.input_streams();
+        let id = self.inner.register(f);
+        for s in streams {
+            if let Some(b) = basket_of(&s) {
+                // Mark at the current end so only *future* growth fires
+                // the stream's wake-up edge. The factory's own cursor may
+                // start below the mark (resident backlog at `base_oid`);
+                // the `fresh` list guarantees the one readiness check that
+                // dispatches it, and the dispatch drains to quiescence.
+                self.marks.entry(s.clone()).or_insert_with(|| b.end_oid());
+                self.baskets.entry(s.clone()).or_insert(b);
+            }
+            self.deps.entry(s).or_default().push(id);
+        }
+        self.fresh.push(id);
+        id
+    }
+
+    /// Remove a factory and its dependency edges.
+    pub fn deregister(&mut self, id: FactoryId) -> Result<(), DataCellError> {
+        self.inner.deregister(id)?;
+        self.deps.retain(|_, readers| {
+            readers.retain(|&r| r != id);
+            !readers.is_empty()
+        });
+        self.baskets.retain(|s, _| self.deps.contains_key(s));
+        self.marks.retain(|s, _| self.deps.contains_key(s));
+        self.fresh.retain(|&r| r != id);
+        Ok(())
+    }
+
+    /// Access a factory.
+    pub fn factory(&self, id: FactoryId) -> Result<&dyn Factory, DataCellError> {
+        self.inner.factory(id)
+    }
+
+    /// Mutable access to a factory.
+    pub fn factory_mut(&mut self, id: FactoryId) -> Result<&mut Box<dyn Factory>, DataCellError> {
+        self.inner.factory_mut(id)
+    }
+
+    /// Ids of all live factories.
+    pub fn ids(&self) -> Vec<FactoryId> {
+        self.inner.ids()
+    }
+
+    /// Is any factory enabled?
+    pub fn any_ready(&self, clock: Timestamp) -> bool {
+        self.inner.any_ready(clock)
+    }
+
+    /// Ids of the factories reading `stream` (the Petri-net edge set).
+    pub fn readers(&self, stream: &str) -> &[FactoryId] {
+        self.deps.get(stream).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Minimum consumed position across the factories that read `stream`
+    /// (`None` when no live factory reads it) — the basket expiry bound.
+    ///
+    /// Race-free by construction: the borrow checker excludes calls while
+    /// a drain (`&mut self`) has factories out on worker threads, so the
+    /// bound always reflects fully-settled cursors and can never expire a
+    /// tuple a mid-fire consumer still needs. The dependency map keeps the
+    /// scan to actual readers instead of every registered factory.
+    pub fn min_consumed(&self, stream: &str) -> Option<Oid> {
+        let readers = self.deps.get(stream)?;
+        readers
+            .iter()
+            .filter_map(|&id| self.inner.factory(id).ok().and_then(|f| f.consumed_upto(stream)))
+            .min()
+    }
+
+    /// Run until no factory is enabled, firing independent transitions on
+    /// the worker pool. With one worker this *is* the sequential
+    /// scheduler's `run_until_idle` — identical code path and results.
+    pub fn run_until_idle(&mut self, clock: Timestamp) -> Result<Vec<Emission>, DataCellError> {
+        if self.workers <= 1 {
+            // A pool left over from a >1-worker phase would otherwise park
+            // its threads for the scheduler's lifetime.
+            self.pool = None;
+            // Keep growth marks coherent for a later switch to >1 workers:
+            // snapshot *before* draining, so anything the drain leaves
+            // unprocessed (or that arrives during it) stays past a mark.
+            self.refresh_marks(clock);
+            return self.inner.run_until_idle(clock).inspect_err(|_| self.reset_scan_state());
+        }
+        self.run_pooled(clock)
+    }
+
+    /// Forget all scan bookkeeping after an aborted drain so the next
+    /// drain rechecks every transition from scratch (an abort leaves
+    /// enabled factories behind that no growth mark would rediscover).
+    fn reset_scan_state(&mut self) {
+        self.marks.clear();
+        self.last_clock = None;
+        self.fresh = self.inner.ids();
+    }
+
+    /// Advance all growth marks to the current basket ends and record the
+    /// scan clock. Everything at or past a mark will be rechecked.
+    fn refresh_marks(&mut self, clock: Timestamp) {
+        for (s, b) in &self.baskets {
+            self.marks.insert(s.clone(), b.end_oid());
+        }
+        self.last_clock = Some(clock);
+        self.fresh.clear();
+    }
+
+    /// Transitions to (re)check for readiness: fresh registrations, the
+    /// readers of every basket that grew past its mark and — when the
+    /// clock moved — every factory (time-based firing conditions).
+    fn scan_candidates(&mut self, clock: Timestamp) -> Vec<FactoryId> {
+        let mut cand: BTreeSet<FactoryId> = self.fresh.drain(..).collect();
+        if self.last_clock != Some(clock) {
+            cand.extend(self.inner.ids());
+            self.refresh_marks(clock);
+        } else {
+            for (s, b) in &self.baskets {
+                let end = b.end_oid();
+                // `marks` is kept key-synchronized with `baskets` by
+                // register/deregister, so no allocating entry() fallback
+                // on this per-dispatch path.
+                let mark = self.marks.get_mut(s).expect("mark exists for every basket");
+                if end > *mark {
+                    *mark = end;
+                    if let Some(readers) = self.deps.get(s) {
+                        cand.extend(readers.iter().copied());
+                    }
+                }
+            }
+        }
+        cand.into_iter()
+            .filter(|&id| self.inner.factory(id).map(|f| f.ready(clock)).unwrap_or(false))
+            .collect()
+    }
+
+    /// The parallel drain: dispatch enabled transitions, collect replies,
+    /// requeue transitions that stayed enabled, and declare quiescence
+    /// only after an empty rescan with nothing in flight.
+    fn run_pooled(&mut self, clock: Timestamp) -> Result<Vec<Emission>, DataCellError> {
+        if self.pool.as_ref().map(WorkerPool::size) != Some(self.workers) {
+            self.pool = None; // drop (joins old threads) before respawning
+            self.pool = Some(WorkerPool::new(self.workers));
+        }
+
+        let mut emissions = Vec::new();
+        let mut outstanding = 0usize;
+        let mut first_err: Option<DataCellError> = None;
+
+        loop {
+            if outstanding == 0 {
+                if first_err.is_some() {
+                    break;
+                }
+                // Quiescence candidate: rescan to catch transitions a
+                // concurrent receptor enabled since the last scan.
+                outstanding += self.dispatch_candidates(clock);
+                if outstanding == 0 {
+                    break; // fixpoint: nothing enabled, nothing in flight
+                }
+            }
+            let reply = self.pool.as_ref().expect("pool exists").reply_rx.recv();
+            match reply {
+                Ok(Reply::Emission(e)) => emissions.push(e),
+                Ok(Reply::Done { id, factory, progressed, error }) => {
+                    outstanding -= 1;
+                    // Re-check before the slot swallows the box: a
+                    // receptor may have refilled the basket mid-fire.
+                    let rearm = error.is_none() && progressed && factory.ready(clock);
+                    self.inner.restore_slot(id, factory);
+                    if let Some(e) = error {
+                        first_err.get_or_insert(e);
+                    } else if first_err.is_none() {
+                        if rearm {
+                            let factory = self.inner.take_slot(id).expect("just restored");
+                            self.pool.as_ref().expect("pool exists").queue.push(Job {
+                                id,
+                                factory,
+                                clock,
+                            });
+                            outstanding += 1;
+                        }
+                        // Also wake transitions enabled mid-drain: without
+                        // this, one busy factory rearming forever would
+                        // keep `outstanding > 0` and starve every factory
+                        // a receptor enabled after the initial scan, while
+                        // the other workers sit idle. (In-flight factories
+                        // whose streams grew are covered by the rearm
+                        // check above, so consuming their growth marks
+                        // here loses nothing.)
+                        outstanding += self.dispatch_candidates(clock);
+                    }
+                }
+                Err(_) => {
+                    first_err.get_or_insert(DataCellError::Unsupported(
+                        "scheduler worker pool disconnected".into(),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if let Some(e) = first_err {
+            self.reset_scan_state();
+            return Err(e);
+        }
+        Ok(emissions)
+    }
+
+    /// Scan for enabled transitions and push every one whose factory is
+    /// in its slot (not already in flight) onto the work queue. Returns
+    /// how many jobs were dispatched.
+    fn dispatch_candidates(&mut self, clock: Timestamp) -> usize {
+        let mut dispatched = 0;
+        for id in self.scan_candidates(clock) {
+            if let Some(factory) = self.inner.take_slot(id) {
+                self.pool.as_ref().expect("pool exists").queue.push(Job { id, factory, clock });
+                dispatched += 1;
+            }
+        }
+        dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::StreamInput;
+    use crate::metrics::SlideMetrics;
+    use datacell_basket::Basket;
+    use datacell_kernel::{Column, DataType};
+    use datacell_plan::ResultSet;
+
+    fn shared(name: &str) -> SharedBasket {
+        SharedBasket::new(Basket::new(name, &[("x", DataType::Int)]))
+    }
+
+    /// A factory that consumes `step`-sized batches from one stream and
+    /// emits their sum — enough behaviour to exercise scheduling.
+    struct SumFactory {
+        label: String,
+        input: StreamInput,
+        step: usize,
+        metrics: Vec<SlideMetrics>,
+    }
+
+    impl SumFactory {
+        fn new(label: &str, basket: SharedBasket, step: usize) -> SumFactory {
+            SumFactory {
+                label: label.into(),
+                input: StreamInput::new(label, basket),
+                step,
+                metrics: vec![],
+            }
+        }
+    }
+
+    impl Factory for SumFactory {
+        fn label(&self) -> &str {
+            &self.label
+        }
+
+        fn ready(&self, _clock: Timestamp) -> bool {
+            self.input.available() >= self.step
+        }
+
+        fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
+            let w = self.input.take(self.step)?;
+            let sum: i64 = w.col(0).unwrap().as_int().unwrap().iter().sum();
+            let result = ResultSet::new(vec!["sum".into()], vec![Column::Int(vec![sum])]).unwrap();
+            Ok(FireOutcome::Produced { result, metrics: SlideMetrics::default() })
+        }
+
+        fn consumed_upto(&self, stream: &str) -> Option<Oid> {
+            (stream == self.input.name).then_some(self.input.consumed)
+        }
+
+        fn input_streams(&self) -> Vec<String> {
+            vec![self.input.name.clone()]
+        }
+
+        fn metrics(&self) -> &[SlideMetrics] {
+            &self.metrics
+        }
+    }
+
+    /// A factory whose fire always fails (error-path testing).
+    struct FailingFactory {
+        input: StreamInput,
+    }
+
+    impl Factory for FailingFactory {
+        fn label(&self) -> &str {
+            "fail"
+        }
+
+        fn ready(&self, _clock: Timestamp) -> bool {
+            self.input.available() > 0
+        }
+
+        fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
+            Err(DataCellError::Unsupported("boom".into()))
+        }
+
+        fn consumed_upto(&self, stream: &str) -> Option<Oid> {
+            (stream == self.input.name).then_some(self.input.consumed)
+        }
+
+        fn input_streams(&self) -> Vec<String> {
+            vec![self.input.name.clone()]
+        }
+
+        fn metrics(&self) -> &[SlideMetrics] {
+            &[]
+        }
+    }
+
+    fn ints(n: usize, v: i64) -> Vec<Column> {
+        vec![Column::Int(vec![v; n])]
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_counts() {
+        assert_eq!(parse_workers(None), None);
+        assert_eq!(parse_workers(Some("")), None);
+        assert_eq!(parse_workers(Some("zero")), None);
+        assert_eq!(parse_workers(Some("0")), None);
+        assert_eq!(parse_workers(Some("1")), Some(1));
+        assert_eq!(parse_workers(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn pooled_drain_matches_sequential_results() {
+        // Same workload through 1 worker (sequential path) and 4 workers;
+        // per-factory emissions must be identical.
+        let run = |workers: usize| {
+            let mut s = ParallelScheduler::new(workers);
+            let baskets: Vec<SharedBasket> = (0..3).map(|i| shared(&format!("s{i}"))).collect();
+            let mut ids = Vec::new();
+            for (i, b) in baskets.iter().enumerate() {
+                let f = SumFactory::new(&format!("s{i}"), b.clone(), 2);
+                let bc = b.clone();
+                ids.push(s.register(Box::new(f), |_| Some(bc.clone())));
+            }
+            for (i, b) in baskets.iter().enumerate() {
+                b.append(&ints(6, i as i64 + 1), 0).unwrap();
+            }
+            let emissions = s.run_until_idle(0).unwrap();
+            let mut per: HashMap<FactoryId, Vec<Vec<Vec<datacell_kernel::Value>>>> = HashMap::new();
+            for e in emissions {
+                per.entry(e.factory).or_default().push(e.result.rows());
+            }
+            assert!(!s.any_ready(0));
+            (ids, per)
+        };
+        let (ids1, seq) = run(1);
+        let (ids4, par) = run(4);
+        assert_eq!(ids1, ids4);
+        for id in ids1 {
+            assert_eq!(seq.get(&id), par.get(&id), "factory {id} diverged");
+            assert_eq!(seq[&id].len(), 3); // 6 tuples / step 2
+        }
+    }
+
+    #[test]
+    fn growth_marks_wake_only_readers_and_requeue_drains_backlog() {
+        let mut s = ParallelScheduler::new(2);
+        let a = shared("a");
+        let b = shared("b");
+        let (ac, bc) = (a.clone(), b.clone());
+        let fa =
+            s.register(Box::new(SumFactory::new("a", a.clone(), 1)), move |_| Some(ac.clone()));
+        let fb =
+            s.register(Box::new(SumFactory::new("b", b.clone(), 1)), move |_| Some(bc.clone()));
+        assert_eq!(s.readers("a"), &[fa]);
+        assert_eq!(s.readers("b"), &[fb]);
+
+        a.append(&ints(4, 1), 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 4);
+        assert!(e.iter().all(|e| e.factory == fa));
+
+        // Quiescent; now only b grows — only fb fires.
+        b.append(&ints(2, 7), 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(e.iter().all(|e| e.factory == fb));
+
+        // Nothing new: immediate quiescence.
+        assert!(s.run_until_idle(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn min_consumed_uses_dependency_edges() {
+        let mut s = ParallelScheduler::new(2);
+        let b = shared("s");
+        let (b1, b2) = (b.clone(), b.clone());
+        let fast =
+            s.register(Box::new(SumFactory::new("s", b.clone(), 1)), move |_| Some(b1.clone()));
+        let _slow =
+            s.register(Box::new(SumFactory::new("s", b.clone(), 4)), move |_| Some(b2.clone()));
+        b.append(&ints(6, 1), 0).unwrap();
+        s.run_until_idle(0).unwrap();
+        // fast consumed 6; slow consumed 4 (one step, 2 left over).
+        assert_eq!(s.min_consumed("s"), Some(4));
+        assert_eq!(s.min_consumed("ghost"), None);
+        s.deregister(fast).unwrap();
+        assert_eq!(s.min_consumed("s"), Some(4));
+        assert_eq!(s.readers("s").len(), 1);
+    }
+
+    #[test]
+    fn factory_error_aborts_drain_and_recovers() {
+        let mut s = ParallelScheduler::new(2);
+        let good = shared("g");
+        let bad = shared("x");
+        let (gc, xc) = (good.clone(), bad.clone());
+        let fg =
+            s.register(Box::new(SumFactory::new("g", good.clone(), 1)), move |_| Some(gc.clone()));
+        let fx = s.register(
+            Box::new(FailingFactory { input: StreamInput::new("x", bad.clone()) }),
+            move |_| Some(xc.clone()),
+        );
+        good.append(&ints(2, 1), 0).unwrap();
+        bad.append(&ints(1, 1), 0).unwrap();
+        let err = s.run_until_idle(0).unwrap_err();
+        assert!(matches!(err, DataCellError::Unsupported(_)));
+        // Both factories are back in their slots and the scheduler is
+        // usable. As on the sequential error path, emissions produced
+        // before the abort are discarded but their input stays consumed:
+        assert!(s.factory(fg).is_ok());
+        assert_eq!(s.min_consumed("g"), Some(2));
+        // Dropping the failing transition lets fresh input drain normally.
+        s.deregister(fx).unwrap();
+        good.append(&ints(1, 2), 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].factory, fg);
+    }
+
+    /// A factory that panics on fire (worker panic-safety testing).
+    struct PanickingFactory {
+        input: StreamInput,
+    }
+
+    impl Factory for PanickingFactory {
+        fn label(&self) -> &str {
+            "panic"
+        }
+
+        fn ready(&self, _clock: Timestamp) -> bool {
+            self.input.available() > 0
+        }
+
+        fn fire(&mut self, _clock: Timestamp) -> Result<FireOutcome, DataCellError> {
+            panic!("factory exploded");
+        }
+
+        fn consumed_upto(&self, stream: &str) -> Option<Oid> {
+            (stream == self.input.name).then_some(self.input.consumed)
+        }
+
+        fn input_streams(&self) -> Vec<String> {
+            vec![self.input.name.clone()]
+        }
+
+        fn metrics(&self) -> &[SlideMetrics] {
+            &[]
+        }
+    }
+
+    #[test]
+    fn panicking_factory_surfaces_as_error_not_deadlock() {
+        let mut s = ParallelScheduler::new(2);
+        let b = shared("x");
+        let bc = b.clone();
+        let id = s.register(
+            Box::new(PanickingFactory { input: StreamInput::new("x", b.clone()) }),
+            move |_| Some(bc.clone()),
+        );
+        b.append(&ints(1, 1), 0).unwrap();
+        let err = s.run_until_idle(0).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "got: {err}");
+        // The factory's slot is intact and the pool still drains others.
+        assert!(s.factory(id).is_ok());
+        s.deregister(id).unwrap();
+        let g = shared("g");
+        let gc = g.clone();
+        let ok =
+            s.register(Box::new(SumFactory::new("g", g.clone(), 1)), move |_| Some(gc.clone()));
+        g.append(&ints(2, 3), 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(e.iter().all(|e| e.factory == ok));
+    }
+
+    #[test]
+    fn sequential_error_does_not_strand_backlog_after_worker_switch() {
+        // workers=1 drain errors; the surviving factory's backlog must
+        // still be rediscovered by the next (now pooled) drain even with
+        // no new appends and an unchanged clock.
+        let mut s = ParallelScheduler::new(1);
+        let good = shared("g");
+        let bad = shared("x");
+        let (gc, xc) = (good.clone(), bad.clone());
+        // The failing factory gets the lower id so the sequential round
+        // aborts before ever firing the good one.
+        let fx = s.register(
+            Box::new(FailingFactory { input: StreamInput::new("x", bad.clone()) }),
+            move |_| Some(xc.clone()),
+        );
+        let fg =
+            s.register(Box::new(SumFactory::new("g", good.clone(), 2)), move |_| Some(gc.clone()));
+        good.append(&ints(2, 1), 0).unwrap();
+        bad.append(&ints(1, 1), 0).unwrap();
+        assert!(s.run_until_idle(0).is_err());
+        // fg is still enabled but its stream sits exactly at its growth
+        // mark; only the error-path bookkeeping reset rediscovers it.
+        s.deregister(fx).unwrap();
+        s.set_workers(2);
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].factory, fg);
+    }
+
+    #[test]
+    fn worker_count_is_switchable_between_drains() {
+        let mut s = ParallelScheduler::new(1);
+        let b = shared("s");
+        let bc = b.clone();
+        let id =
+            s.register(Box::new(SumFactory::new("s", b.clone(), 1)), move |_| Some(bc.clone()));
+        b.append(&ints(3, 1), 0).unwrap();
+        assert_eq!(s.run_until_idle(0).unwrap().len(), 3);
+        s.set_workers(3);
+        assert_eq!(s.workers(), 3);
+        b.append(&ints(5, 1), 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        assert_eq!(e.len(), 5);
+        assert!(e.iter().all(|e| e.factory == id));
+        s.set_workers(0); // clamped
+        assert_eq!(s.workers(), 1);
+        b.append(&ints(1, 1), 0).unwrap();
+        assert_eq!(s.run_until_idle(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_basket_consumers_fire_concurrently_without_loss() {
+        // Two transitions on one place at different speeds, four workers:
+        // every oid must be summed exactly once per factory.
+        let mut s = ParallelScheduler::new(4);
+        let b = shared("s");
+        let (b1, b2) = (b.clone(), b.clone());
+        let f1 =
+            s.register(Box::new(SumFactory::new("s", b.clone(), 1)), move |_| Some(b1.clone()));
+        let f2 =
+            s.register(Box::new(SumFactory::new("s", b.clone(), 5)), move |_| Some(b2.clone()));
+        for _ in 0..8 {
+            b.append(&[Column::Int((0..5).collect())], 0).unwrap();
+            s.run_until_idle(0).unwrap();
+            // Between drains the expiry bound is settled and safe.
+            let upto = s.min_consumed("s").unwrap();
+            b.with(|bk| bk.expire_upto(upto));
+        }
+        b.append(&[Column::Int((0..5).collect())], 0).unwrap();
+        let e = s.run_until_idle(0).unwrap();
+        let sum = |id: FactoryId| -> i64 {
+            e.iter()
+                .filter(|e| e.factory == id)
+                .map(|e| e.result.rows()[0][0].as_i64().unwrap())
+                .sum()
+        };
+        // Last drain: f1 sums 5 fresh tuples (0+1+2+3+4), f2 one window.
+        assert_eq!(sum(f1), 10);
+        assert_eq!(sum(f2), 10);
+    }
+}

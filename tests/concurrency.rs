@@ -1,6 +1,10 @@
 //! Concurrency: threaded receptors feeding baskets while the engine
 //! schedules factories — the multi-process shape of the paper's Fig. 1
 //! (receptor processes + kernel) on threads.
+//!
+//! This file runs under the CI worker matrix (`DATACELL_WORKERS=1,2,4`):
+//! `Engine::new()` picks the worker count up from the environment, so the
+//! same assertions exercise the sequential scheduler and the worker pool.
 
 use datacell::basket::ReceptorHandle;
 use datacell::prelude::*;
@@ -84,4 +88,65 @@ fn two_threaded_receptors_feed_a_join() {
     produced += engine.drain_results(q).unwrap().len();
     // 160 tuples per stream, |W|=16, |w|=8 -> 19 windows.
     assert_eq!(produced, 19);
+}
+
+#[test]
+fn receptor_fleet_feeds_worker_pool() {
+    // Fig. 1 at full fan-out: four receptor threads feed four streams
+    // while the worker pool fires four independent standing queries.
+    let mut engine = Engine::with_workers(4);
+    let mut queries = Vec::new();
+    for i in 0..4 {
+        let s = format!("s{i}");
+        engine.create_stream(&s, &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+        let q = engine
+            .register_sql(&format!("SELECT sum(x2) FROM {s} WHERE x1 > 0 WINDOW SIZE 20 SLIDE 10"))
+            .unwrap();
+        queries.push(q);
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let basket = engine.basket(&format!("s{i}")).unwrap();
+            let mut left = 30u64;
+            ReceptorHandle::spawn(basket, 4, move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                Some((30 - left, vec![Column::Int(vec![1; 10]), Column::Int(vec![3; 10])]))
+            })
+        })
+        .collect();
+
+    // 300 tuples per stream, |W|=20, |w|=10 -> 29 windows per query.
+    let mut per_query = vec![Vec::new(); 4];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        engine.run_until_idle().unwrap();
+        for (q, out) in queries.iter().zip(&mut per_query) {
+            out.extend(engine.drain_results(*q).unwrap());
+        }
+        if per_query.iter().all(|o| o.len() >= 29) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled: {:?} windows after 60s",
+            per_query.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        std::thread::yield_now();
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 300);
+    }
+    engine.run_until_idle().unwrap();
+    for (q, out) in queries.iter().zip(&mut per_query) {
+        out.extend(engine.drain_results(*q).unwrap());
+    }
+    for out in &per_query {
+        assert_eq!(out.len(), 29);
+        for w in out {
+            assert_eq!(w.rows(), vec![vec![Value::Int(60)]]); // 20 × 3
+        }
+    }
 }
