@@ -2,21 +2,12 @@
 //! substrate costs underlying every figure (ablation: how much of a slide
 //! is pure kernel work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacell_bench::{lcg_int_bat as make_int_bat, lcg_str_bat as make_str_bat};
 use datacell_kernel::algebra::{self, Predicate};
-use datacell_kernel::{Bat, Column};
+use datacell_kernel::par::{self, ParConfig};
+use datacell_kernel::Bat;
 use std::hint::black_box;
-
-fn make_int_bat(n: usize, domain: i64, seed: u64) -> Bat {
-    // Simple LCG so the kernel crate needs no rand dependency here.
-    let mut state = seed | 1;
-    let mut vals = Vec::with_capacity(n);
-    for _ in 0..n {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        vals.push(((state >> 33) as i64).rem_euclid(domain));
-    }
-    Bat::transient(Column::Int(vals))
-}
 
 fn bench_select(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernel_select");
@@ -48,8 +39,36 @@ fn bench_hashjoin(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         let l = make_int_bat(n, 10_000, 1);
         let r = make_int_bat(n, 10_000, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(l, r), |bench, (l, r)| {
+        // Input rows per iteration: both sides are consumed once.
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_with_input(BenchmarkId::new("int", n), &(l, r), |bench, (l, r)| {
             bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap())
+        });
+        let l = make_str_bat(n, 10_000, 1);
+        let r = make_str_bat(n, 10_000, 2);
+        g.bench_with_input(BenchmarkId::new("str", n), &(l, r), |bench, (l, r)| {
+            bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_hashjoin_partitioned(c: &mut Criterion) {
+    // Regression-tracks the `kernel::par` radix join against the
+    // sequential baseline (P=1 dispatches to it). On a single-core
+    // container the interesting number is the partitioning overhead; on
+    // multi-core hardware this group should scale with physical cores —
+    // the `join_scale` binary prints the full speedup table.
+    let mut g = c.benchmark_group("kernel_hashjoin_par_100k");
+    g.sample_size(20);
+    let n = 100_000;
+    let l = make_int_bat(n, 10_000, 1);
+    let r = make_int_bat(n, 10_000, 2);
+    g.throughput(Throughput::Elements(2 * n as u64));
+    for p in [1usize, 2, 4] {
+        let cfg = ParConfig::new(p);
+        g.bench_with_input(BenchmarkId::new("partitions", p), &(&l, &r), |bench, (l, r)| {
+            bench.iter(|| par::hashjoin(black_box(l), black_box(r), &cfg).unwrap())
         });
     }
     g.finish();
@@ -97,6 +116,7 @@ criterion_group!(
     bench_select,
     bench_fetch,
     bench_hashjoin,
+    bench_hashjoin_partitioned,
     bench_group_aggregate,
     bench_concat,
     bench_sort_distinct,

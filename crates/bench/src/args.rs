@@ -10,7 +10,9 @@
 //! * `--seed n`   — RNG seed;
 //! * `--fire-cost-us n` — simulated per-fire blocking latency in µs
 //!   (`scheduler_scale` only: models receptor/emitter hops so scheduler
-//!   overlap is measurable even on a single core).
+//!   overlap is measurable even on a single core);
+//! * `--partitions n` — pin the kernel partition fan-out (`join_scale`
+//!   only: measure a single `P` instead of sweeping the default list).
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -25,11 +27,20 @@ pub struct Args {
     pub seed: u64,
     /// Override for the simulated per-fire latency (µs).
     pub fire_cost_us: Option<u64>,
+    /// Override for the kernel partition fan-out.
+    pub partitions: Option<usize>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 1.0, paper: false, windows: None, seed: 42, fire_cost_us: None }
+        Args {
+            scale: 1.0,
+            paper: false,
+            windows: None,
+            seed: 42,
+            fire_cost_us: None,
+            partitions: None,
+        }
     }
 }
 
@@ -72,6 +83,17 @@ impl Args {
                             .unwrap_or_else(|| usage("--fire-cost-us needs microseconds")),
                     );
                 }
+                "--partitions" => {
+                    // Zero is rejected like DATACELL_PARTITIONS rejects it
+                    // (kernel::par::parse_partitions), so both config
+                    // surfaces agree that the minimum fan-out is 1.
+                    args.partitions = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .unwrap_or_else(|| usage("--partitions needs a positive count")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -89,7 +111,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: fig* [--scale f] [--paper] [--windows n] [--seed n] [--fire-cost-us n]");
+    eprintln!(
+        "usage: fig* [--scale f] [--paper] [--windows n] [--seed n] [--fire-cost-us n] \
+         [--partitions n]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -122,12 +147,15 @@ mod tests {
             "9",
             "--fire-cost-us",
             "150",
+            "--partitions",
+            "4",
         ]);
         assert_eq!(a.scale, 0.5);
         assert!(a.paper);
         assert_eq!(a.windows, Some(7));
         assert_eq!(a.seed, 9);
         assert_eq!(a.fire_cost_us, Some(150));
+        assert_eq!(a.partitions, Some(4));
     }
 
     #[test]

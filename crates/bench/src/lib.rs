@@ -23,4 +23,6 @@ pub use runner::{
     Q3Config, RunOutcome, ScaleConfig, ScaleOutcome,
 };
 pub use table::{fmt_duration, print_table};
-pub use workload::{csv_for_stream, gen_join_stream, gen_q1_stream, selectivity_threshold};
+pub use workload::{
+    csv_for_stream, gen_join_stream, gen_q1_stream, lcg_int_bat, lcg_str_bat, selectivity_threshold,
+};

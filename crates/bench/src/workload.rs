@@ -7,7 +7,7 @@
 //!   the expected join selectivity between two windows is
 //!   `1 / key_domain` (the paper sweeps 10⁻⁵% … 10⁻²%).
 
-use datacell_kernel::Column;
+use datacell_kernel::{Bat, Column};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -46,6 +46,31 @@ pub fn gen_join_stream(n: usize, key_domain: i64, seed: u64) -> Vec<Column> {
         val.push(rng.random_range(0..1000i64));
     }
     vec![Column::Int(key), Column::Int(val)]
+}
+
+/// An `n`-tuple int BAT with keys uniform in `[0, domain)`, deterministic
+/// in `seed` via a bare LCG — the kernel-level join/select benchmark
+/// input shared by the `kernel_ops` bench and the `join_scale` binary
+/// (no engine, no streams, so it bypasses the `rand` shim on purpose:
+/// the same bytes regenerate regardless of shim evolution).
+pub fn lcg_int_bat(n: usize, domain: i64, seed: u64) -> Bat {
+    let mut state = seed | 1;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        vals.push(((state >> 33) as i64).rem_euclid(domain));
+    }
+    Bat::transient(Column::Int(vals))
+}
+
+/// The string-key twin of [`lcg_int_bat`]: the same key sequence rendered
+/// as `key-NNNNNN` strings, so int and string joins see identical match
+/// structure.
+pub fn lcg_str_bat(n: usize, domain: i64, seed: u64) -> Bat {
+    let ints = lcg_int_bat(n, domain, seed);
+    let vals =
+        ints.tail.as_int().expect("int column").iter().map(|k| format!("key-{k:06}")).collect();
+    Bat::transient(Column::Str(vals))
 }
 
 /// Render a two-column int batch as CSV text (the loading-cost experiment

@@ -15,6 +15,7 @@ use crate::metrics::SlideMetrics;
 use crate::rewrite::{rewrite, IncrementalPlan};
 use crate::scheduler::{workers_from_env, ParallelScheduler};
 use datacell_basket::{Basket, SharedBasket, Timestamp};
+use datacell_kernel::par::partitions_from_env;
 use datacell_kernel::{Catalog, Column, DataType, Table};
 use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
 use std::collections::HashMap;
@@ -55,6 +56,11 @@ pub struct Engine {
     scheduler: ParallelScheduler,
     outputs: HashMap<usize, Vec<ResultSet>>,
     clock: Timestamp,
+    /// Intra-operator partition fan-out (`kernel::par`) applied to every
+    /// registered factory. Orthogonal to the scheduler's worker count:
+    /// workers parallelize *across* factories, partitions parallelize
+    /// *inside* one factory's kernel operators.
+    partitions: usize,
 }
 
 impl Default for Engine {
@@ -67,14 +73,19 @@ impl Engine {
     /// A fresh engine. The scheduler worker count defaults to 1
     /// (sequential, deterministic) unless the `DATACELL_WORKERS`
     /// environment variable overrides it; [`Engine::set_workers`] always
-    /// wins over both.
+    /// wins over both. The kernel partition fan-out likewise defaults to
+    /// 1 unless `DATACELL_PARTITIONS` overrides it;
+    /// [`Engine::set_partitions`] always wins.
     pub fn new() -> Engine {
         Engine::with_workers(workers_from_env())
     }
 
     /// A fresh engine with an explicit scheduler worker count (min 1).
     /// One worker runs the sequential Petri-net scheduler unchanged;
-    /// more workers fire independent factories concurrently.
+    /// more workers fire independent factories concurrently. The
+    /// partition fan-out still comes from `DATACELL_PARTITIONS` (1 when
+    /// unset) — the two axes compose: factories × partitions threads can
+    /// run during a drain.
     pub fn with_workers(workers: usize) -> Engine {
         Engine {
             baskets: HashMap::new(),
@@ -82,6 +93,7 @@ impl Engine {
             scheduler: ParallelScheduler::new(workers),
             outputs: HashMap::new(),
             clock: 0,
+            partitions: partitions_from_env(),
         }
     }
 
@@ -95,6 +107,27 @@ impl Engine {
     /// (tests, result-diffing harnesses) should pin this to 1.
     pub fn set_workers(&mut self, workers: usize) {
         self.scheduler.set_workers(workers);
+    }
+
+    /// The kernel partition fan-out currently configured.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Change the intra-operator partition fan-out (min 1): `kernel::par`
+    /// splits heavy join/select nodes of every registered query — current
+    /// and future — across this many scoped threads per operator call.
+    /// 1 runs the sequential kernel code paths. Join *pair order* at
+    /// partitions > 1 follows `kernel::par`'s canonical (partition,
+    /// probe) order rather than the sequential probe order; aggregate and
+    /// select results are byte-identical either way.
+    pub fn set_partitions(&mut self, partitions: usize) {
+        self.partitions = partitions.max(1);
+        for id in self.scheduler.ids() {
+            if let Ok(f) = self.scheduler.factory_mut(id) {
+                f.set_partitions(self.partitions);
+            }
+        }
     }
 
     // -- streams and tables ------------------------------------------------
@@ -250,12 +283,13 @@ impl Engine {
     /// transitions). Every input stream it names must be registered; the
     /// factory joins the Petri net like any SQL-derived query and its
     /// results are drained through [`Engine::drain_results`].
-    pub fn register_factory(&mut self, f: Box<dyn Factory>) -> Result<QueryId, DataCellError> {
+    pub fn register_factory(&mut self, mut f: Box<dyn Factory>) -> Result<QueryId, DataCellError> {
         for s in f.input_streams() {
             if !self.baskets.contains_key(&s) {
                 return Err(DataCellError::UnknownStream(s));
             }
         }
+        f.set_partitions(self.partitions);
         let baskets = &self.baskets;
         let id = self.scheduler.register(f, |s| baskets.get(s).cloned());
         self.outputs.insert(id, Vec::new());
@@ -540,6 +574,59 @@ mod tests {
         for workers in [2, 4] {
             assert_eq!(run(workers), seq, "workers={workers} diverged from sequential");
         }
+    }
+
+    #[test]
+    fn partitioned_queries_match_sequential_results() {
+        // The same query set at partitions ∈ {1, 4}, both execution modes,
+        // including a two-stream join: window results must agree with the
+        // sequential kernel (rows sorted — join pair order is canonical
+        // but differs from sequential probe order at partitions > 1).
+        let run = |partitions: usize| {
+            let mut e = Engine::new();
+            e.set_partitions(partitions);
+            assert_eq!(e.partitions(), partitions.max(1));
+            e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+            e.create_stream("t", &[("k", DataType::Int)]).unwrap();
+            let q1 = e
+                .register_sql(
+                    "SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 16 SLIDE 8",
+                )
+                .unwrap();
+            let q2 = e
+                .register_sql_with(
+                    "SELECT count(s.x1) FROM s, t WHERE s.x1 = t.k WINDOW SIZE 16 SLIDE 8",
+                    RegisterOptions { mode: ExecMode::Reevaluation, chunker: None },
+                )
+                .unwrap();
+            let xs: Vec<i64> = (0..64).map(|i| i % 7).collect();
+            let ys: Vec<i64> = (0..64).collect();
+            e.append("s", &[Column::Int(xs), Column::Int(ys)]).unwrap();
+            e.append("t", &[Column::Int((0..64).map(|i| i % 5).collect())]).unwrap();
+            e.run_until_idle().unwrap();
+            [q1, q2].map(|q| {
+                e.drain_results(q).unwrap().iter().map(|r| r.sorted_rows()).collect::<Vec<_>>()
+            })
+        };
+        let seq = run(1);
+        assert!(!seq[0].is_empty() && !seq[1].is_empty());
+        assert_eq!(run(4), seq, "partitions=4 diverged from sequential");
+    }
+
+    #[test]
+    fn set_partitions_reaches_registered_factories() {
+        let mut e = engine_with_stream();
+        let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 8 SLIDE 8").unwrap();
+        // Raise the fan-out *after* registration: the already-registered
+        // factory must pick it up and still produce correct results.
+        e.set_partitions(4);
+        e.append("s", &[Column::Int(vec![1; 16]), Column::Int(vec![2; 16])]).unwrap();
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(16)]]);
+        e.set_partitions(0); // clamps to sequential
+        assert_eq!(e.partitions(), 1);
     }
 
     #[test]

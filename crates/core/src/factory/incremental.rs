@@ -25,7 +25,7 @@ use crate::merge::{merge_cluster, merge_var};
 use crate::metrics::SlideMetrics;
 use crate::rewrite::{IncrementalPlan, Stage};
 use datacell_basket::{BasicWindow, Timestamp};
-use datacell_kernel::{Oid, Table};
+use datacell_kernel::{Oid, ParConfig, Table};
 use datacell_plan::exec::{eval_op, ExecCtx};
 use datacell_plan::{MalValue, PlanError, ResultSet, VarId, WindowSpec};
 use std::collections::{HashMap, VecDeque};
@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 struct OneStreamCtx<'a> {
     name: &'a str,
     window: &'a BasicWindow,
+    par: ParConfig,
 }
 
 impl<'a> ExecCtx for OneStreamCtx<'a> {
@@ -45,10 +46,16 @@ impl<'a> ExecCtx for OneStreamCtx<'a> {
     fn table(&self, _name: &str) -> Option<&Table> {
         None
     }
+
+    fn par_config(&self) -> ParConfig {
+        self.par
+    }
 }
 
 /// Context with no streams (merge/matrix instructions never bind streams).
-struct NoStreamCtx;
+struct NoStreamCtx {
+    par: ParConfig,
+}
 
 impl ExecCtx for NoStreamCtx {
     fn stream_window(&self, _stream: &str) -> Option<&BasicWindow> {
@@ -57,6 +64,10 @@ impl ExecCtx for NoStreamCtx {
 
     fn table(&self, _name: &str) -> Option<&Table> {
         None
+    }
+
+    fn par_config(&self) -> ParConfig {
+        self.par
     }
 }
 
@@ -97,6 +108,8 @@ pub struct IncrementalFactory {
     /// result, chunked pre-processing is *excluded* from response times
     /// (hiding it behind arrivals is the point of the m-optimization).
     preface_time: Duration,
+    /// Intra-operator partition fan-out handed to every plan execution.
+    par: ParConfig,
     metrics: Vec<SlideMetrics>,
 }
 
@@ -201,6 +214,7 @@ impl IncrementalFactory {
             chunk_rings: HashMap::new(),
             chunks_done: 0,
             preface_time: Duration::ZERO,
+            par: ParConfig::sequential(),
             metrics: Vec::new(),
         })
     }
@@ -251,7 +265,7 @@ impl IncrementalFactory {
         w: &BasicWindow,
     ) -> Result<HashMap<VarId, MalValue>, DataCellError> {
         let plan = &self.plan;
-        let ctx = OneStreamCtx { name: &plan.mal.streams[k], window: w };
+        let ctx = OneStreamCtx { name: &plan.mal.streams[k], window: w, par: self.par };
         let mut env: Vec<Option<MalValue>> = vec![None; plan.mal.nvars];
         for &i in &plan.perbw_instrs[k] {
             let ins = &plan.mal.instrs[i];
@@ -318,7 +332,7 @@ impl IncrementalFactory {
                 })
                 .collect::<Result<_, _>>()
                 .map_err(DataCellError::Plan)?;
-            let outs = eval_op(&ins.op, &args, &NoStreamCtx)?;
+            let outs = eval_op(&ins.op, &args, &NoStreamCtx { par: self.par })?;
             for (d, v) in ins.dests.iter().zip(outs) {
                 env[*d] = Some(v);
             }
@@ -380,7 +394,7 @@ impl IncrementalFactory {
                 })
                 .collect::<Result<_, _>>()
                 .map_err(DataCellError::Plan)?;
-            let outs = eval_op(&ins.op, &args, &NoStreamCtx)?;
+            let outs = eval_op(&ins.op, &args, &NoStreamCtx { par: self.par })?;
             for (d, v) in ins.dests.iter().zip(outs) {
                 env[*d] = Some(v);
             }
@@ -756,6 +770,10 @@ impl Factory for IncrementalFactory {
 
     fn chunker_history(&self) -> Option<Vec<(usize, Duration)>> {
         self.chunker.as_ref().map(|c| c.history().to_vec())
+    }
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.par = ParConfig::new(partitions);
     }
 }
 

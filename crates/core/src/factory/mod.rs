@@ -17,7 +17,7 @@ pub mod reeval;
 use crate::error::DataCellError;
 use crate::metrics::SlideMetrics;
 use datacell_basket::{BasicWindow, SharedBasket, Timestamp};
-use datacell_kernel::{Oid, Table};
+use datacell_kernel::{Oid, ParConfig, Table};
 use datacell_plan::exec::ExecCtx;
 use datacell_plan::ResultSet;
 use std::collections::HashMap;
@@ -67,6 +67,13 @@ pub trait Factory: Send {
     fn chunker_history(&self) -> Option<Vec<(usize, std::time::Duration)>> {
         None
     }
+    /// Set the intra-operator partition fan-out (`kernel::par`): plan
+    /// executions after this call split heavy join/select nodes across
+    /// this many scoped threads. The engine plumbs
+    /// `Engine::set_partitions` / `DATACELL_PARTITIONS` through here; the
+    /// default is a no-op so custom factories that never execute MAL
+    /// plans are unaffected.
+    fn set_partitions(&mut self, _partitions: usize) {}
 }
 
 /// One input stream endpoint: the shared basket plus the factory's private
@@ -118,6 +125,7 @@ impl StreamInput {
 pub struct SnapshotCtx {
     windows: HashMap<String, BasicWindow>,
     tables: HashMap<String, Table>,
+    par: ParConfig,
 }
 
 impl SnapshotCtx {
@@ -135,6 +143,11 @@ impl SnapshotCtx {
     pub fn set_table(&mut self, t: Table) {
         self.tables.insert(t.name().to_owned(), t);
     }
+
+    /// Set the intra-operator parallelism config plan execution sees.
+    pub fn set_par(&mut self, par: ParConfig) {
+        self.par = par;
+    }
 }
 
 impl ExecCtx for SnapshotCtx {
@@ -144,6 +157,10 @@ impl ExecCtx for SnapshotCtx {
 
     fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
+    }
+
+    fn par_config(&self) -> ParConfig {
+        self.par
     }
 }
 

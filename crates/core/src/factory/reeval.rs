@@ -12,7 +12,7 @@ use super::{Factory, FireOutcome, SnapshotCtx, StreamInput};
 use crate::error::DataCellError;
 use crate::metrics::SlideMetrics;
 use datacell_basket::{BasicWindow, Timestamp};
-use datacell_kernel::{Oid, Table};
+use datacell_kernel::{Oid, ParConfig, Table};
 use datacell_plan::{execute, MalPlan, WindowSpec};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -26,6 +26,8 @@ pub struct ReevalFactory {
     tables: HashMap<String, Table>,
     /// Buffered basic windows per stream (the resident window content).
     buffered: Vec<VecDeque<BasicWindow>>,
+    /// Intra-operator partition fan-out handed to every plan execution.
+    par: ParConfig,
     advances: usize,
     emitted: usize,
     metrics: Vec<SlideMetrics>,
@@ -58,6 +60,7 @@ impl ReevalFactory {
             inputs,
             tables,
             buffered: vec![VecDeque::new(); nstreams],
+            par: ParConfig::sequential(),
             advances: 0,
             emitted: 0,
             metrics: Vec::new(),
@@ -89,6 +92,7 @@ impl ReevalFactory {
     fn evaluate(&mut self) -> Result<FireOutcome, DataCellError> {
         let t0 = Instant::now();
         let mut ctx = SnapshotCtx::new();
+        ctx.set_par(self.par);
         for t in self.tables.values() {
             ctx.set_table(t.clone());
         }
@@ -172,6 +176,10 @@ impl Factory for ReevalFactory {
 
     fn metrics(&self) -> &[SlideMetrics] {
         &self.metrics
+    }
+
+    fn set_partitions(&mut self, partitions: usize) {
+        self.par = ParConfig::new(partitions);
     }
 }
 

@@ -77,6 +77,10 @@ where
     K: std::hash::Hash + Eq,
 {
     const NONE: u32 = u32::MAX;
+    // Map capacity: one slot per build tuple is the worst case (all keys
+    // distinct) and guarantees a rehash-free build phase; duplicate-heavy
+    // builds over-allocate at most `build.len()` slots, which is already
+    // the size of the `next` chain array allocated beside it.
     let mut head: FastMap<K, u32> = fast_map_with_capacity(build.len());
     let mut next: Vec<u32> = vec![NONE; build.len()];
     for (i, v) in build.iter().enumerate() {
@@ -84,8 +88,13 @@ where
         next[i] = *slot;
         *slot = i as u32;
     }
-    let mut bo = Vec::new();
-    let mut po = Vec::new();
+    // Pre-reserve using the probe length as the output estimate: an
+    // equi-join with mostly-unique keys emits at most ~one pair per probe
+    // tuple, and starting from `probe.len()` avoids the doubling cascade
+    // (log₂(n) reallocations + copies) that growing from zero costs on
+    // the 100k×100k hot path.
+    let mut bo = Vec::with_capacity(probe.len());
+    let mut po = Vec::with_capacity(probe.len());
     for (j, v) in probe.iter().enumerate() {
         if let Some(&first) = head.get(&key_of(v)) {
             let mut i = first;

@@ -15,7 +15,11 @@
 //!   Column-store Intermediates*);
 //! * a [`catalog::Catalog`] of persistent tables so that continuous queries
 //!   can join streams against stored relations (paper Fig. 1: a single
-//!   factory interacts with both baskets and tables).
+//!   factory interacts with both baskets and tables);
+//! * a partitioned parallel runtime in [`par`] — radix-partitioned hash
+//!   join, chunk-parallel select, and merged grouped-aggregate partials —
+//!   so a single heavy operator can use several cores ([`ParConfig`] /
+//!   `DATACELL_PARTITIONS`).
 //!
 //! Design notes:
 //!
@@ -33,12 +37,14 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod hash;
+pub mod par;
 pub mod value;
 
 pub use bat::Bat;
 pub use catalog::{Catalog, Table};
 pub use column::{Column, ColumnSlice};
 pub use error::KernelError;
+pub use par::ParConfig;
 pub use value::{DataType, Value};
 
 /// Object identifier: the position of a tuple in its (possibly unbounded)

@@ -1,0 +1,185 @@
+//! Chunk-parallel grouped aggregation with partial-result merging.
+//!
+//! Each morsel of the key (and value) columns is grouped and aggregated
+//! independently on a scoped thread; the per-morsel partials are then
+//! merged with the existing concat/merge machinery — concatenate partial
+//! keys and partial aggregates in morsel order, re-group the keys, and
+//! apply the aggregate's *compensating action* over the partials
+//! (paper §3, Fig. 3d: `count` partials merge with `sum`, `sum`/`min`/
+//! `max` re-apply themselves; `avg` has no single compensation and is
+//! expanded upstream into sum/count).
+//!
+//! Determinism: morsels are ascending input ranges and group ids are
+//! assigned in first-occurrence order, so every key that first appears in
+//! morsel `i` precedes every key first appearing in morsel `j > i` — the
+//! re-grouped key order is exactly the sequential first-occurrence order,
+//! making the merged output byte-identical to the sequential
+//! group-then-aggregate at every `P` for integer values, `count`, and
+//! `min`/`max` (associative merges). The one carve-out is **float
+//! `sum`**: addition over floats is non-associative, so a partial-sums
+//! merge can differ from the sequential left-to-right fold by real
+//! rounding error (e.g. `[1e16, 1.0, -1e16, 1.0]` sums to `1.0`
+//! sequentially but `0.0` from two-morsel partials). Float-sum output is
+//! still deterministic *for a given `P`* — same input, same fan-out,
+//! same bytes — just not `P`-invariant.
+
+use super::ParConfig;
+use crate::algebra::{self, concat_columns, AggKind};
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::{Bat, Result};
+
+/// Grouped aggregate over `keys` (and, except for `count`, the aligned
+/// `vals`): returns `(group_keys, aggregates)` in first-occurrence key
+/// order — the same pair the sequential `group` + `*_grouped` chain
+/// produces (float `sum` excepted: partials reassociate the additions,
+/// see the module docs). `P = 1` runs that sequential chain directly.
+pub fn grouped_agg(
+    keys: &Bat,
+    vals: Option<&Bat>,
+    kind: AggKind,
+    cfg: &ParConfig,
+) -> Result<(Column, Column)> {
+    if let Some(v) = vals {
+        if v.len() != keys.len() {
+            return Err(KernelError::LengthMismatch {
+                op: "par::grouped_agg",
+                left: keys.len(),
+                right: v.len(),
+            });
+        }
+    }
+    let compensation = kind.compensation().ok_or_else(|| {
+        KernelError::Unsupported("par::grouped_agg on avg: expand to sum/count".into())
+    })?;
+    let p = cfg.partitions();
+    if p <= 1 || keys.len() < p {
+        return apply(keys, vals, kind);
+    }
+
+    // Per-morsel partials on scoped threads. Morsel views are zero-copy;
+    // the per-morsel group/aggregate kernels take owned BATs, so each
+    // thread materializes only its own morsel.
+    let key_chunks = keys.chunks(p);
+    let partials: Vec<Result<(Column, Column)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = key_chunks
+            .iter()
+            .map(|&(base, kslice)| {
+                let vslice = vals.map(|v| v.tail.slice((base - keys.hseq) as usize, kslice.len()));
+                s.spawn(move || {
+                    let kb = Bat::new(base, kslice.to_column());
+                    let vb = vslice.map(|vs| Bat::new(base, vs.to_column()));
+                    apply(&kb, vb.as_ref(), kind)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("aggregate morsel panicked")).collect()
+    });
+
+    // Merge: concat partials in morsel order, re-group, compensate.
+    let mut key_parts = Vec::with_capacity(p);
+    let mut agg_parts = Vec::with_capacity(p);
+    for partial in partials {
+        let (k, a) = partial?;
+        key_parts.push(k);
+        agg_parts.push(a);
+    }
+    let merged_keys = Bat::transient(concat_columns(&key_parts.iter().collect::<Vec<_>>())?);
+    let merged_aggs = Bat::transient(concat_columns(&agg_parts.iter().collect::<Vec<_>>())?);
+    let regroup = algebra::group(&merged_keys)?;
+    let out_keys = regroup.keys(&merged_keys)?;
+    let out_aggs = match compensation {
+        AggKind::Sum => algebra::sum_grouped(&merged_aggs, &regroup)?,
+        AggKind::Min => algebra::min_grouped(&merged_aggs, &regroup)?,
+        AggKind::Max => algebra::max_grouped(&merged_aggs, &regroup)?,
+        other => unreachable!("no grouped compensation dispatch for {other:?}"),
+    };
+    Ok((out_keys, out_aggs))
+}
+
+/// The sequential group-then-aggregate chain over one (morsel) BAT.
+fn apply(keys: &Bat, vals: Option<&Bat>, kind: AggKind) -> Result<(Column, Column)> {
+    let groups = algebra::group(keys)?;
+    let out_keys = groups.keys(keys)?;
+    let agg = match kind {
+        AggKind::Count => algebra::count_grouped(&groups),
+        AggKind::Sum => algebra::sum_grouped(req(vals)?, &groups)?,
+        AggKind::Min => algebra::min_grouped(req(vals)?, &groups)?,
+        AggKind::Max => algebra::max_grouped(req(vals)?, &groups)?,
+        AggKind::Avg => return Err(KernelError::Unsupported("par::grouped_agg on avg".into())),
+    };
+    Ok((out_keys, agg))
+}
+
+fn req(vals: Option<&Bat>) -> Result<&Bat> {
+    vals.ok_or_else(|| KernelError::Unsupported("grouped aggregate requires a value column".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_vals(n: usize) -> (Bat, Bat) {
+        let keys = Bat::new(30, Column::Int((0..n as i64).map(|i| (i * 7) % 5).collect()));
+        let vals = Bat::new(30, Column::Int((0..n as i64).map(|i| i * 3 + 1).collect()));
+        (keys, vals)
+    }
+
+    #[test]
+    fn matches_sequential_for_every_kind_and_p() {
+        let (keys, vals) = keys_vals(97);
+        for kind in [AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max] {
+            let vals_arg = (kind != AggKind::Count).then_some(&vals);
+            let seq = apply(&keys, vals_arg, kind).unwrap();
+            for p in [1, 2, 3, 8] {
+                let par = grouped_agg(&keys, vals_arg, kind, &ParConfig::new(p)).unwrap();
+                assert_eq!(par, seq, "kind={kind:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_values_and_string_keys() {
+        let keys = Bat::transient(Column::Str((0..60).map(|i| format!("g{}", i % 4)).collect()));
+        let vals = Bat::transient(Column::Float((0..60).map(|i| i as f64 / 2.0).collect()));
+        let seq = apply(&keys, Some(&vals), AggKind::Sum).unwrap();
+        let par = grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(4)).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn float_sum_is_deterministic_per_p_despite_reassociation() {
+        // The documented carve-out: catastrophic cancellation makes the
+        // two-morsel partial merge differ from the sequential fold, but
+        // repeating the same (input, P) pair reproduces the same bytes.
+        let keys = Bat::transient(Column::Int(vec![0, 0, 0, 0]));
+        let vals = Bat::transient(Column::Float(vec![1e16, 1.0, -1e16, 1.0]));
+        let seq = apply(&keys, Some(&vals), AggKind::Sum).unwrap();
+        assert_eq!(seq.1, Column::Float(vec![1.0]));
+        let cfg = ParConfig::new(2);
+        let par = grouped_agg(&keys, Some(&vals), AggKind::Sum, &cfg).unwrap();
+        assert_eq!(par.1, Column::Float(vec![0.0])); // (1e16 + 1.0) lost the 1.0
+        assert_eq!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &cfg).unwrap(), par);
+    }
+
+    #[test]
+    fn avg_is_rejected_with_expansion_hint() {
+        let (keys, vals) = keys_vals(16);
+        let err = grouped_agg(&keys, Some(&vals), AggKind::Avg, &ParConfig::new(2));
+        assert!(matches!(err, Err(KernelError::Unsupported(_))));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let keys = Bat::transient(Column::Int(vec![1, 2, 3]));
+        let vals = Bat::transient(Column::Int(vec![1]));
+        assert!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_groups() {
+        let keys = Bat::empty(crate::DataType::Int);
+        let (k, a) = grouped_agg(&keys, None, AggKind::Count, &ParConfig::new(4)).unwrap();
+        assert!(k.is_empty() && a.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Radix-partitioned parallel hash join.
+//!
+//! Both inputs are hash-partitioned on the join key into `P` disjoint
+//! partitions (equal keys always land in the same partition, so the union
+//! of the per-partition joins is exactly the sequential join's pair set).
+//! Each partition pair is then joined independently on a scoped worker
+//! thread using the same chained-bucket core as the sequential
+//! [`crate::algebra::hashjoin`], and the aligned oid pairs are
+//! concatenated back in partition order.
+//!
+//! **Canonical output order** (documented determinism contract): pairs are
+//! ordered by partition index first, then by probe position within the
+//! partition, then newest-build-first within one probe match — the last
+//! two being exactly the sequential core's order restricted to the
+//! partition. At `P = 1` the call dispatches to the sequential
+//! `algebra::hashjoin` code path and is byte-identical to it.
+
+use super::ParConfig;
+use crate::column::Column;
+use crate::error::KernelError;
+use crate::hash::{fast_map_with_capacity, FastBuild, FastMap};
+use crate::{Bat, Oid, Result};
+use std::hash::{BuildHasher, Hash};
+
+/// Partitioned parallel hash join `l.tail == r.tail`; returns aligned
+/// `(left_oids, right_oids)` candidate BATs, like `algebra::hashjoin`.
+///
+/// The smaller input builds, the larger probes (as in the sequential
+/// join). The fallback to the sequential path gates on the *larger*
+/// side: a tiny build against a huge probe still wins by splitting the
+/// probe scan across partitions (empty build partitions short-circuit),
+/// and only when even the probe side has fewer tuples than partitions is
+/// the fan-out pure overhead.
+pub fn hashjoin(l: &Bat, r: &Bat, cfg: &ParConfig) -> Result<(Bat, Bat)> {
+    let p = cfg.partitions();
+    if p <= 1 || l.len().max(r.len()) < p {
+        return crate::algebra::hashjoin(l, r);
+    }
+    if l.data_type() != r.data_type() {
+        return Err(KernelError::TypeMismatch {
+            op: "par::hashjoin",
+            expected: l.data_type(),
+            found: r.data_type(),
+        });
+    }
+    // Swap so the build side is the smaller one, then restore order.
+    let (mut lo, mut ro) = if l.len() <= r.len() { dispatch(l, r, p)? } else { dispatch(r, l, p)? };
+    if l.len() > r.len() {
+        std::mem::swap(&mut lo, &mut ro);
+    }
+    Ok((Bat::transient(Column::Oid(lo)), Bat::transient(Column::Oid(ro))))
+}
+
+/// Type dispatch: one monomorphic radix join per hashable column pair.
+fn dispatch(build: &Bat, probe: &Bat, p: usize) -> Result<(Vec<Oid>, Vec<Oid>)> {
+    match (&build.tail, &probe.tail) {
+        (Column::Int(b), Column::Int(q)) => Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k)),
+        (Column::Oid(b), Column::Oid(q)) => Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k)),
+        (Column::Bool(b), Column::Bool(q)) => {
+            Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k))
+        }
+        (Column::Str(b), Column::Str(q)) => {
+            Ok(radix_join(b, q, build.hseq, probe.hseq, p, |k: &String| k.as_str()))
+        }
+        (Column::Float(_), _) => {
+            Err(KernelError::Unsupported("par::hashjoin on float keys".into()))
+        }
+        _ => unreachable!("type equality checked by caller"),
+    }
+}
+
+/// Assign every value a partition in `[0, p)` by key hash. Returns the
+/// positions of each partition's members, ascending within a partition
+/// (the scatter is stable). The partition is taken from the hash's upper
+/// half so it stays uncorrelated with the bucket index the in-partition
+/// hash table derives from the lower bits of the same hash function.
+fn partition_positions<'a, T, K>(
+    vals: &'a [T],
+    p: usize,
+    key_of: impl Fn(&'a T) -> K,
+) -> Vec<Vec<u32>>
+where
+    K: Hash,
+{
+    let hasher = FastBuild::default();
+    let mut part_of = Vec::with_capacity(vals.len());
+    let mut counts = vec![0usize; p];
+    for v in vals {
+        let part = ((hasher.hash_one(key_of(v)) >> 32) as usize) % p;
+        part_of.push(part as u32);
+        counts[part] += 1;
+    }
+    let mut parts: Vec<Vec<u32>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (i, &part) in part_of.iter().enumerate() {
+        parts[part as usize].push(i as u32);
+    }
+    parts
+}
+
+/// Radix-partition both sides, join partition pairs on scoped threads,
+/// concatenate in partition order. Returns `(build_oids, probe_oids)`.
+fn radix_join<'a, T, K>(
+    build: &'a [T],
+    probe: &'a [T],
+    build_hseq: Oid,
+    probe_hseq: Oid,
+    p: usize,
+    key_of: impl Fn(&'a T) -> K + Copy + Send + Sync,
+) -> (Vec<Oid>, Vec<Oid>)
+where
+    T: Sync,
+    K: Hash + Eq,
+{
+    let build_parts = partition_positions(build, p, key_of);
+    let probe_parts = partition_positions(probe, p, key_of);
+
+    let partials: Vec<(Vec<Oid>, Vec<Oid>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = build_parts
+            .iter()
+            .zip(&probe_parts)
+            .map(|(bp, pp)| {
+                s.spawn(move || {
+                    chained_join_at(build, probe, bp, pp, build_hseq, probe_hseq, key_of)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("partition join panicked")).collect()
+    });
+
+    let total: usize = partials.iter().map(|(b, _)| b.len()).sum();
+    let mut bo = Vec::with_capacity(total);
+    let mut po = Vec::with_capacity(total);
+    for (b, q) in partials {
+        bo.extend(b);
+        po.extend(q);
+    }
+    (bo, po)
+}
+
+/// The chained-bucket join core of `algebra::hashjoin`, restricted to the
+/// position subsets of one partition: build a head map + `next` chain over
+/// `build_pos`, probe in `probe_pos` order, emit global head oids.
+#[allow(clippy::too_many_arguments)]
+fn chained_join_at<'a, T, K>(
+    build: &'a [T],
+    probe: &'a [T],
+    build_pos: &[u32],
+    probe_pos: &[u32],
+    build_hseq: Oid,
+    probe_hseq: Oid,
+    key_of: impl Fn(&'a T) -> K,
+) -> (Vec<Oid>, Vec<Oid>)
+where
+    K: Hash + Eq,
+{
+    if build_pos.is_empty() || probe_pos.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    const NONE: u32 = u32::MAX;
+    let mut head: FastMap<K, u32> = fast_map_with_capacity(build_pos.len());
+    let mut next: Vec<u32> = vec![NONE; build_pos.len()];
+    for (i, &pos) in build_pos.iter().enumerate() {
+        let slot = head.entry(key_of(&build[pos as usize])).or_insert(NONE);
+        next[i] = *slot;
+        *slot = i as u32;
+    }
+    // Probe-length output estimate, as in the sequential core.
+    let mut bo = Vec::with_capacity(probe_pos.len());
+    let mut po = Vec::with_capacity(probe_pos.len());
+    for &jpos in probe_pos {
+        if let Some(&first) = head.get(&key_of(&probe[jpos as usize])) {
+            let mut i = first;
+            while i != NONE {
+                bo.push(build_hseq + build_pos[i as usize] as u64);
+                po.push(probe_hseq + jpos as u64);
+                i = next[i as usize];
+            }
+        }
+    }
+    (bo, po)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra;
+
+    fn pairs(lo: &Bat, ro: &Bat) -> Vec<(u64, u64)> {
+        lo.tail
+            .as_oid()
+            .unwrap()
+            .iter()
+            .zip(ro.tail.as_oid().unwrap())
+            .map(|(&a, &b)| (a, b))
+            .collect()
+    }
+
+    fn sorted_pairs(lo: &Bat, ro: &Bat) -> Vec<(u64, u64)> {
+        let mut v = pairs(lo, ro);
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn p1_is_byte_identical_to_sequential() {
+        let l = Bat::new(3, Column::Int(vec![1, 2, 3, 2, 9]));
+        let r = Bat::new(40, Column::Int(vec![2, 9, 2, 5]));
+        let (slo, sro) = algebra::hashjoin(&l, &r).unwrap();
+        let (plo, pro) = hashjoin(&l, &r, &ParConfig::sequential()).unwrap();
+        assert_eq!((slo, sro), (plo, pro));
+    }
+
+    #[test]
+    fn partitions_preserve_pair_set() {
+        let l = Bat::new(0, Column::Int((0..64).map(|i| i % 7).collect()));
+        let r = Bat::new(1000, Column::Int((0..80).map(|i| i % 9).collect()));
+        let (slo, sro) = algebra::hashjoin(&l, &r).unwrap();
+        for p in [2, 3, 4, 8] {
+            let (plo, pro) = hashjoin(&l, &r, &ParConfig::new(p)).unwrap();
+            assert_eq!(sorted_pairs(&plo, &pro), sorted_pairs(&slo, &sro), "P={p}");
+            // Every emitted pair matches on key.
+            for (&a, &b) in plo.tail.as_oid().unwrap().iter().zip(pro.tail.as_oid().unwrap()) {
+                assert_eq!(l.value_at((a - l.hseq) as usize), r.value_at((b - r.hseq) as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_deterministic() {
+        let l = Bat::new(0, Column::Int((0..50).map(|i| i % 5).collect()));
+        let r = Bat::new(0, Column::Int((0..50).map(|i| i % 4).collect()));
+        let cfg = ParConfig::new(4);
+        let (a1, b1) = hashjoin(&l, &r, &cfg).unwrap();
+        let (a2, b2) = hashjoin(&l, &r, &cfg).unwrap();
+        assert_eq!(pairs(&a1, &b1), pairs(&a2, &b2));
+    }
+
+    #[test]
+    fn string_keys_partition_correctly() {
+        let keys = ["ape", "bee", "cat", "dog", "eel", "fox", "gnu", "hen"];
+        let l = Bat::new(0, Column::Str((0..32).map(|i| keys[i % 8].to_string()).collect()));
+        let r = Bat::new(90, Column::Str((0..24).map(|i| keys[i % 3].to_string()).collect()));
+        let (slo, sro) = algebra::hashjoin(&l, &r).unwrap();
+        let (plo, pro) = hashjoin(&l, &r, &ParConfig::new(4)).unwrap();
+        assert_eq!(sorted_pairs(&plo, &pro), sorted_pairs(&slo, &sro));
+    }
+
+    #[test]
+    fn tiny_build_large_probe_still_partitions() {
+        // One build tuple, many probe tuples: the probe scan is what gets
+        // split; empty build partitions short-circuit.
+        let l = Bat::new(0, Column::Int(vec![3]));
+        let r = Bat::new(10, Column::Int((0..100).map(|i| i % 5).collect()));
+        let (slo, sro) = algebra::hashjoin(&l, &r).unwrap();
+        let (plo, pro) = hashjoin(&l, &r, &ParConfig::new(4)).unwrap();
+        assert_eq!(sorted_pairs(&plo, &pro), sorted_pairs(&slo, &sro));
+        assert_eq!(plo.len(), 20);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        // Fewer tuples than partitions: byte-identical to sequential.
+        let l = Bat::new(0, Column::Int(vec![1, 2]));
+        let r = Bat::new(10, Column::Int(vec![2, 1, 2]));
+        let (slo, sro) = algebra::hashjoin(&l, &r).unwrap();
+        let (plo, pro) = hashjoin(&l, &r, &ParConfig::new(8)).unwrap();
+        assert_eq!((slo, sro), (plo, pro));
+    }
+
+    #[test]
+    fn empty_side_and_type_errors_match_sequential() {
+        let l = Bat::empty(crate::DataType::Int);
+        let r = Bat::new(0, Column::Int(vec![1, 2]));
+        let cfg = ParConfig::new(4);
+        let (lo, ro) = hashjoin(&l, &r, &cfg).unwrap();
+        assert!(lo.is_empty() && ro.is_empty());
+        let s = Bat::transient(Column::Str(vec!["1".into(); 8]));
+        let i = Bat::transient(Column::Int(vec![1; 8]));
+        assert!(hashjoin(&s, &i, &cfg).is_err());
+        let f = Bat::transient(Column::Float(vec![1.0; 8]));
+        assert!(matches!(hashjoin(&f, &f, &cfg), Err(KernelError::Unsupported(_))));
+    }
+}

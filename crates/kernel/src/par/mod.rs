@@ -1,0 +1,120 @@
+//! `kernel::par` — partitioned parallel kernel operators.
+//!
+//! The DataCell architecture pushes stream processing into the column
+//! store, so per-window cost is dominated by kernel operators; the
+//! parallel Petri-net scheduler (PR 2) only fires *independent* factories
+//! concurrently, leaving a single heavy standing query on one core. This
+//! module restores intra-operator parallelism with the classic
+//! morsel/partition recipe:
+//!
+//! * inputs are carved into disjoint pieces — hash **partitions** for the
+//!   radix join ([`hashjoin`]), contiguous **morsels** ([`crate::Bat::chunks`])
+//!   for [`select`] and [`grouped_agg`];
+//! * pieces are processed on scoped worker threads (one per partition; no
+//!   pool, no unsafe, no external deps — partition count should track
+//!   physical cores);
+//! * partial results are merged with the same machinery incremental plans
+//!   already rely on: concatenation in piece order, plus the compensating
+//!   re-group for grouped aggregates (paper §3, Fig. 3d).
+//!
+//! **Determinism contract:** every operator here produces a canonical,
+//! input-determined output. `P = 1` *dispatches to the literal sequential
+//! code path* (byte-identical results, mirroring the scheduler's "1 worker
+//! ≡ sequential" rule); `P > 1` orders join pairs by (partition, probe
+//! position) — the same pair *set* as the sequential join in a documented
+//! canonical order — while `select` and `grouped_agg` outputs are
+//! byte-identical to sequential at every `P` (morsels are ascending, and
+//! re-grouping preserves first-occurrence key order), with one carve-out:
+//! float `sum` partials reassociate non-associative additions, so they
+//! are deterministic per `P` but not `P`-invariant (see
+//! [`mod@aggregate`]'s module docs).
+
+mod aggregate;
+mod join;
+mod select;
+
+pub use aggregate::grouped_agg;
+pub use join::hashjoin;
+pub use select::select;
+
+/// Configuration of the partitioned parallel runtime.
+///
+/// `partitions` is the fan-out `P`: how many disjoint pieces an operator
+/// splits its input into, and (for `P > 1`) how many scoped worker threads
+/// process them. `P = 1` is the sequential code path. Plumbed end to end:
+/// `Engine::set_partitions` / the `DATACELL_PARTITIONS` environment
+/// variable feed the factories, whose execution contexts hand it to
+/// `plan::exec`, which switches join/select nodes to these entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    partitions: usize,
+}
+
+impl ParConfig {
+    /// A config with `partitions` fan-out (clamped to at least 1).
+    pub fn new(partitions: usize) -> ParConfig {
+        ParConfig { partitions: partitions.max(1) }
+    }
+
+    /// The sequential configuration (`P = 1`).
+    pub fn sequential() -> ParConfig {
+        ParConfig::new(1)
+    }
+
+    /// Partition count from `DATACELL_PARTITIONS`, 1 when unset/invalid.
+    pub fn from_env() -> ParConfig {
+        ParConfig::new(partitions_from_env())
+    }
+
+    /// The partition fan-out `P` (≥ 1).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// True when operators should split work (`P > 1`).
+    pub fn is_parallel(&self) -> bool {
+        self.partitions > 1
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> ParConfig {
+        ParConfig::sequential()
+    }
+}
+
+/// Parse a `DATACELL_PARTITIONS`-style override: a positive partition
+/// count. Returns `None` for unset, empty, non-numeric or zero values.
+pub fn parse_partitions(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Partition count from the `DATACELL_PARTITIONS` environment variable,
+/// falling back to 1 (sequential) when unset or invalid.
+pub fn partitions_from_env() -> usize {
+    parse_partitions(std::env::var("DATACELL_PARTITIONS").ok().as_deref()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_and_reports() {
+        assert_eq!(ParConfig::new(0).partitions(), 1);
+        assert!(!ParConfig::new(0).is_parallel());
+        assert_eq!(ParConfig::default(), ParConfig::sequential());
+        assert!(ParConfig::new(4).is_parallel());
+        assert_eq!(ParConfig::new(4).partitions(), 4);
+    }
+
+    #[test]
+    fn parse_partitions_accepts_positive_counts() {
+        assert_eq!(parse_partitions(None), None);
+        assert_eq!(parse_partitions(Some("")), None);
+        assert_eq!(parse_partitions(Some("many")), None);
+        assert_eq!(parse_partitions(Some("0")), None);
+        assert_eq!(parse_partitions(Some("1")), Some(1));
+        assert_eq!(parse_partitions(Some(" 16 ")), Some(16));
+    }
+}

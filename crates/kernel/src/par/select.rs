@@ -1,0 +1,92 @@
+//! Chunk-parallel selection.
+//!
+//! The input BAT is carved into `P` contiguous zero-copy morsels
+//! ([`crate::Bat::chunks`]); each morsel runs the sequential bulk loop
+//! ([`crate::algebra::select_slice`]) on its own scoped thread, and the
+//! per-morsel candidate lists are concatenated in morsel order. Because
+//! morsels are ascending head-oid ranges, the concatenation *is* the
+//! sequential output: `par::select` is byte-identical to
+//! `algebra::select` at every `P` (at `P = 1` it dispatches to it).
+
+use super::ParConfig;
+use crate::algebra::{self, select_slice, Predicate};
+use crate::column::Column;
+use crate::{Bat, Oid, Result};
+
+/// Parallel selection over a whole BAT: returns the same candidate-list
+/// BAT (oid tail) as [`algebra::select`], computed over `P` morsels.
+/// Inputs smaller than the partition count fall back to the sequential
+/// path.
+pub fn select(bat: &Bat, pred: &Predicate, cfg: &ParConfig) -> Result<Bat> {
+    let p = cfg.partitions();
+    if p <= 1 || bat.len() < p {
+        return algebra::select(bat, pred);
+    }
+    let chunks = bat.chunks(p);
+    let partials: Vec<Result<Vec<Oid>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(base, slice)| s.spawn(move || select_slice(slice, base, pred)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("select morsel panicked")).collect()
+    });
+    // Partial lengths are known once the threads join: pre-size the merge
+    // target like the join's partition concat, instead of growing from 0.
+    let total: usize = partials.iter().map(|p| p.as_ref().map_or(0, Vec::len)).sum();
+    let mut out: Vec<Oid> = Vec::with_capacity(total);
+    for partial in partials {
+        out.extend(partial?);
+    }
+    Ok(Bat::transient(Column::Oid(out)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::CmpOp;
+    use crate::value::Value;
+
+    #[test]
+    fn identical_to_sequential_at_every_p() {
+        let b = Bat::new(70, Column::Int((0..103).map(|i| i % 10).collect()));
+        let pred = Predicate::gt(6);
+        let seq = algebra::select(&b, &pred).unwrap();
+        for p in [1, 2, 3, 8, 64] {
+            let par = select(&b, &pred, &ParConfig::new(p)).unwrap();
+            assert_eq!(par, seq, "P={p}");
+        }
+    }
+
+    #[test]
+    fn string_and_range_predicates() {
+        let b = Bat::new(0, Column::Str((0..40).map(|i| format!("k{}", i % 7)).collect()));
+        let pred = Predicate::eq("k3");
+        assert_eq!(
+            select(&b, &pred, &ParConfig::new(4)).unwrap(),
+            algebra::select(&b, &pred).unwrap()
+        );
+        let ints = Bat::new(5, Column::Int((0..50).collect()));
+        let pred = Predicate::between(10, 30);
+        assert_eq!(
+            select(&ints, &pred, &ParConfig::new(8)).unwrap(),
+            algebra::select(&ints, &pred).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_propagate_from_morsels() {
+        let b = Bat::transient(Column::Float(vec![1.0; 16]));
+        let pred = Predicate::Cmp(CmpOp::Eq, Value::Str("x".into()));
+        assert!(select(&b, &pred, &ParConfig::new(4)).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let b = Bat::empty(crate::DataType::Int);
+        let out = select(&b, &Predicate::True, &ParConfig::new(4)).unwrap();
+        assert!(out.is_empty());
+        let tiny = Bat::new(9, Column::Int(vec![5]));
+        let out = select(&tiny, &Predicate::True, &ParConfig::new(4)).unwrap();
+        assert_eq!(out.tail, Column::Oid(vec![9]));
+    }
+}

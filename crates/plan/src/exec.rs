@@ -14,6 +14,7 @@ use crate::result::ResultSet;
 use crate::PlanError;
 use datacell_basket::BasicWindow;
 use datacell_kernel::algebra::{self, AggKind, ArithOp};
+use datacell_kernel::par::{self, ParConfig};
 #[cfg(test)]
 use datacell_kernel::Value;
 use datacell_kernel::{Bat, Catalog, Column, Table};
@@ -26,6 +27,12 @@ pub trait ExecCtx {
     fn stream_window(&self, stream: &str) -> Option<&BasicWindow>;
     /// A persistent table.
     fn table(&self, name: &str) -> Option<&Table>;
+    /// Intra-operator parallelism: join/select nodes switch to the
+    /// `kernel::par` entry points when this reports partitions > 1.
+    /// Sequential by default.
+    fn par_config(&self) -> ParConfig {
+        ParConfig::sequential()
+    }
 }
 
 /// A simple context over borrowed windows and an optional catalog.
@@ -33,6 +40,7 @@ pub trait ExecCtx {
 pub struct WindowCtx<'a> {
     windows: HashMap<String, &'a BasicWindow>,
     catalog: Option<&'a Catalog>,
+    par: ParConfig,
 }
 
 impl<'a> WindowCtx<'a> {
@@ -52,6 +60,12 @@ impl<'a> WindowCtx<'a> {
         self.catalog = Some(cat);
         self
     }
+
+    /// Enable intra-operator parallelism with this partition fan-out.
+    pub fn with_partitions(mut self, partitions: usize) -> WindowCtx<'a> {
+        self.par = ParConfig::new(partitions);
+        self
+    }
 }
 
 impl<'a> ExecCtx for WindowCtx<'a> {
@@ -61,6 +75,10 @@ impl<'a> ExecCtx for WindowCtx<'a> {
 
     fn table(&self, name: &str) -> Option<&Table> {
         self.catalog.and_then(|c| c.table(name).ok())
+    }
+
+    fn par_config(&self) -> ParConfig {
+        self.par
     }
 }
 
@@ -80,7 +98,7 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
         }
         MalOp::Select { pred, .. } => {
             let b = args[0].as_bat("select input")?;
-            vec![MalValue::Bat(algebra::select(b, pred)?)]
+            vec![MalValue::Bat(par::select(b, pred, &ctx.par_config())?)]
         }
         MalOp::Fetch { .. } => {
             let cands = args[0].as_bat("fetch cands")?;
@@ -90,7 +108,7 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
         MalOp::Join { .. } => {
             let l = args[0].as_bat("join left")?;
             let r = args[1].as_bat("join right")?;
-            let (lo, ro) = algebra::hashjoin(l, r)?;
+            let (lo, ro) = par::hashjoin(l, r, &ctx.par_config())?;
             vec![MalValue::Bat(lo), MalValue::Bat(ro)]
         }
         MalOp::Group { .. } => {
@@ -404,6 +422,45 @@ mod tests {
             rs.rows(),
             vec![vec![Value::Int(10)], vec![Value::Int(20)], vec![Value::Int(30)]]
         );
+    }
+
+    #[test]
+    fn partitioned_ctx_agrees_with_sequential() {
+        // SELECT sum(x2) FROM s WHERE x1 > 10 — select byte-identical, and
+        // the aggregate over the (order-insensitive) join/select output
+        // must match the sequential run exactly.
+        let mut b = MalBuilder::new();
+        let x1 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let x2 = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x2".into() });
+        let c = b.emit(MalOp::Select { input: x1, pred: Predicate::gt(10) });
+        let v = b.emit(MalOp::Fetch { cands: c, values: x2 });
+        let s = b.emit(MalOp::ScalarAgg { kind: AggKind::Sum, vals: v });
+        let plan = b.finish(vec!["sum_x2".into()], vec![s]);
+
+        let xs: Vec<i64> = (0..64).map(|i| i % 21).collect();
+        let ys: Vec<i64> = (0..64).collect();
+        let w = window(xs, ys);
+        let seq = execute(&plan, &WindowCtx::new().with_stream("s", &w)).unwrap();
+        for p in [1, 4] {
+            let ctx = WindowCtx::new().with_stream("s", &w).with_partitions(p);
+            assert_eq!(execute(&plan, &ctx).unwrap().rows(), seq.rows(), "partitions={p}");
+        }
+
+        // Two-stream join: pair sets agree (scalar agg makes it exact).
+        let mut b = MalBuilder::new();
+        let a = b.emit(MalOp::BindStream { stream: "s1".into(), attr: "x1".into() });
+        let c = b.emit(MalOp::BindStream { stream: "s2".into(), attr: "x1".into() });
+        let (jl, _jr) = b.emit_join(a, c);
+        let v = b.emit(MalOp::Fetch { cands: jl, values: a });
+        let n = b.emit(MalOp::ScalarAgg { kind: AggKind::Count, vals: v });
+        let m = b.emit(MalOp::ScalarAgg { kind: AggKind::Max, vals: v });
+        let plan = b.finish(vec!["n".into(), "max".into()], vec![n, m]);
+        let w1 = window((0..40).map(|i| i % 9).collect(), vec![0; 40]);
+        let w2 = window((0..32).map(|i| i % 6).collect(), vec![0; 32]);
+        let seq = execute(&plan, &WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2))
+            .unwrap();
+        let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2).with_partitions(4);
+        assert_eq!(execute(&plan, &ctx).unwrap().rows(), seq.rows());
     }
 
     #[test]

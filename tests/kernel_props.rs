@@ -3,11 +3,40 @@
 //! identities the incremental rewriter relies on actually hold.
 
 use datacell::kernel::algebra::{self, AggKind, Predicate};
+use datacell::kernel::par::{self, ParConfig};
 use datacell::kernel::{Bat, Column, Value};
 use proptest::prelude::*;
 
 fn int_bat(vals: &[i64], hseq: u64) -> Bat {
     Bat::new(hseq, Column::Int(vals.to_vec()))
+}
+
+/// Sorted (left, right) oid pairs of a join result — the pair *set*.
+fn pair_set(lo: &Bat, ro: &Bat) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = lo
+        .tail
+        .as_oid()
+        .unwrap()
+        .iter()
+        .zip(ro.tail.as_oid().unwrap())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Nested-loop reference join over generic keys.
+fn nested_loop<T: PartialEq>(l: &[T], r: &[T], l_hseq: u64, r_hseq: u64) -> Vec<(u64, u64)> {
+    let mut expect = Vec::new();
+    for (i, x) in l.iter().enumerate() {
+        for (j, y) in r.iter().enumerate() {
+            if x == y {
+                expect.push((l_hseq + i as u64, r_hseq + j as u64));
+            }
+        }
+    }
+    expect.sort_unstable();
+    expect
 }
 
 proptest! {
@@ -215,6 +244,89 @@ proptest! {
         a.sort_unstable();
         bb.sort_unstable();
         prop_assert_eq!(a, bb);
+    }
+
+    #[test]
+    fn join_nested_loop_reference_int(
+        l in prop::collection::vec(0i64..8, 0..60),
+        r in prop::collection::vec(0i64..8, 0..45),
+        l_hseq in 0u64..100,
+        r_hseq in 100u64..200,
+    ) {
+        // Duplicate-heavy keys (domain 8), mismatched sizes, empty sides:
+        // the sequential join and every partitioned fan-out must produce
+        // exactly the nested-loop pair set.
+        let lb = Bat::new(l_hseq, Column::Int(l.clone()));
+        let rb = Bat::new(r_hseq, Column::Int(r.clone()));
+        let expect = nested_loop(&l, &r, l_hseq, r_hseq);
+        let (slo, sro) = algebra::hashjoin(&lb, &rb).unwrap();
+        prop_assert_eq!(pair_set(&slo, &sro), expect.clone());
+        for p in [1usize, 2, 8] {
+            let (plo, pro) = par::hashjoin(&lb, &rb, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(pair_set(&plo, &pro), expect.clone(), "P={}", p);
+            if p == 1 {
+                // P=1 dispatches to the sequential path: byte-identical,
+                // including pair order.
+                prop_assert_eq!(&plo, &slo);
+                prop_assert_eq!(&pro, &sro);
+            }
+        }
+    }
+
+    #[test]
+    fn join_nested_loop_reference_str(
+        l in prop::collection::vec(0u8..4, 0..40),
+        r in prop::collection::vec(0u8..4, 0..30),
+    ) {
+        // String keys from a tiny alphabet: many duplicates and collisions.
+        let key = |c: u8| ["a", "b", "aa", "ab"][c as usize].to_string();
+        let l: Vec<String> = l.into_iter().map(key).collect();
+        let r: Vec<String> = r.into_iter().map(key).collect();
+        let lb = Bat::new(7, Column::Str(l.clone()));
+        let rb = Bat::new(500, Column::Str(r.clone()));
+        let expect = nested_loop(&l, &r, 7, 500);
+        let (slo, sro) = algebra::hashjoin(&lb, &rb).unwrap();
+        prop_assert_eq!(pair_set(&slo, &sro), expect.clone());
+        for p in [2usize, 8] {
+            let (plo, pro) = par::hashjoin(&lb, &rb, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(pair_set(&plo, &pro), expect.clone(), "P={}", p);
+        }
+    }
+
+    #[test]
+    fn par_select_byte_identical(
+        vals in prop::collection::vec(-100i64..100, 0..200),
+        thr in -100i64..100,
+        hseq in 0u64..1000,
+    ) {
+        // Morsels are ascending ranges, so chunk-parallel select must be
+        // byte-identical to the sequential candidate list at every P.
+        let b = int_bat(&vals, hseq);
+        let seq = algebra::select(&b, &Predicate::gt(thr)).unwrap();
+        for p in [1usize, 2, 8] {
+            let par = par::select(&b, &Predicate::gt(thr), &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&par, &seq, "P={}", p);
+        }
+    }
+
+    #[test]
+    fn par_grouped_agg_byte_identical(
+        keys in prop::collection::vec(0i64..6, 0..150),
+    ) {
+        // Partial grouped aggregates merged by re-group reproduce the
+        // sequential group-then-aggregate exactly — including the
+        // first-occurrence key order.
+        let vals: Vec<i64> = keys.iter().map(|k| k * 3 + 1).collect();
+        let kb = int_bat(&keys, 0);
+        let vb = int_bat(&vals, 0);
+        let g = algebra::group(&kb).unwrap();
+        let seq_keys = g.keys(&kb).unwrap();
+        let seq_sums = algebra::sum_grouped(&vb, &g).unwrap();
+        for p in [1usize, 2, 8] {
+            let (pk, ps) = par::grouped_agg(&kb, Some(&vb), AggKind::Sum, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&pk, &seq_keys, "keys P={}", p);
+            prop_assert_eq!(&ps, &seq_sums, "sums P={}", p);
+        }
     }
 
     #[test]

@@ -13,6 +13,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Measurement normalization, as in real criterion: when set on a group,
+/// each benchmark line additionally reports elements (or bytes) per
+/// second, computed from the mean iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     measurement_budget: Duration,
@@ -27,7 +38,7 @@ impl Default for Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
@@ -45,11 +56,18 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: Option<usize>,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the throughput of subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -59,7 +77,7 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id);
         let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
-        run_one(&full, self.criterion.measurement_budget, samples, |b| f(b));
+        run_one_with(&full, self.criterion.measurement_budget, samples, self.throughput, |b| f(b));
         self
     }
 
@@ -74,7 +92,9 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id);
         let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
-        run_one(&full, self.criterion.measurement_budget, samples, |b| f(b, input));
+        run_one_with(&full, self.criterion.measurement_budget, samples, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -146,11 +166,37 @@ impl Bencher {
 }
 
 fn run_one<F: FnOnce(&mut Bencher)>(id: &str, budget: Duration, samples: usize, f: F) {
+    run_one_with(id, budget, samples, None, f)
+}
+
+fn run_one_with<F: FnOnce(&mut Bencher)>(
+    id: &str,
+    budget: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: F,
+) {
     let mut b = Bencher { budget, samples, mean_ns: None };
     f(&mut b);
     match b.mean_ns {
-        Some(ns) => println!("{id:<60} {}", format_ns(ns)),
+        Some(ns) => println!("{id:<60} {}{}", format_ns(ns), format_throughput(ns, throughput)),
         None => println!("{id:<60} (no measurement)"),
+    }
+}
+
+fn format_throughput(mean_ns: f64, throughput: Option<Throughput>) -> String {
+    let (count, unit) = match throughput {
+        Some(Throughput::Elements(n)) => (n, "elem"),
+        Some(Throughput::Bytes(n)) => (n, "B"),
+        None => return String::new(),
+    };
+    let per_sec = count as f64 / (mean_ns / 1_000_000_000.0);
+    if per_sec >= 1_000_000.0 {
+        format!("  {:>9.2} M{unit}/s", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("  {:>9.2} K{unit}/s", per_sec / 1_000.0)
+    } else {
+        format!("  {per_sec:>9.0} {unit}/s")
     }
 }
 
@@ -206,5 +252,19 @@ mod tests {
     fn benchmark_id_display() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(format_throughput(1_000.0, None), "");
+        // 1000 elements per µs-long iteration = 1e9 elem/s.
+        assert_eq!(
+            format_throughput(1_000.0, Some(Throughput::Elements(1_000))),
+            format!("  {:>9.2} Melem/s", 1000.0)
+        );
+        assert_eq!(
+            format_throughput(1_000_000_000.0, Some(Throughput::Bytes(500))),
+            format!("  {:>9.0} B/s", 500.0)
+        );
     }
 }
