@@ -69,6 +69,51 @@ impl From<KernelError> for BasketError {
     }
 }
 
+/// Validate a batch against a schema *before any state is mutated*:
+/// arity, column alignment and column types. Returns the row count.
+///
+/// Shared by [`Basket::append_with_ts`] and the sharded staging path
+/// ([`crate::ShardedBasket`]), so both ingest edges reject exactly the
+/// same batches with the same errors — and so a rejected batch can never
+/// leave a torn basket (some columns extended, others not, timestamps
+/// misaligned with oids) or a permanent gap in the sharded oid sequence.
+pub(crate) fn validate_batch(
+    name: &str,
+    schema: &[(String, DataType)],
+    batch: &[Column],
+) -> crate::Result<usize> {
+    if batch.len() != schema.len() {
+        return Err(BasketError::Malformed(format!(
+            "{}: batch arity {} != schema arity {}",
+            name,
+            batch.len(),
+            schema.len()
+        )));
+    }
+    let n = batch.first().map_or(0, |c| c.len());
+    for (i, c) in batch.iter().enumerate() {
+        if c.len() != n {
+            return Err(BasketError::Malformed(format!(
+                "{}: column {} has {} rows, expected {}",
+                name,
+                schema[i].0,
+                c.len(),
+                n
+            )));
+        }
+        if c.data_type() != schema[i].1 {
+            return Err(BasketError::Malformed(format!(
+                "{}: column {} is {:?}, schema says {:?}",
+                name,
+                schema[i].0,
+                c.data_type(),
+                schema[i].1
+            )));
+        }
+    }
+    Ok(n)
+}
+
 /// A stream buffer: named, typed columns plus per-tuple arrival timestamps.
 #[derive(Debug, Clone)]
 pub struct Basket {
@@ -78,6 +123,12 @@ pub struct Basket {
     ts: Vec<Timestamp>,
     /// Oid of the first resident tuple.
     base_oid: Oid,
+    /// High-water mark of every timestamp ever appended. Unlike
+    /// `ts.last()` this survives expiry, so the non-decreasing-stamp rule
+    /// holds across a basket drained to empty — the invariant the sharded
+    /// seal path ([`crate::ShardedBasket`]) relies on when it re-appends
+    /// staged segments on top of an expired prefix.
+    last_ts: Option<Timestamp>,
 }
 
 impl Basket {
@@ -89,6 +140,7 @@ impl Basket {
             cols: schema.iter().map(|(_, t)| Column::empty(*t)).collect(),
             ts: Vec::new(),
             base_oid: 0,
+            last_ts: None,
         }
     }
 
@@ -136,6 +188,15 @@ impl Basket {
         self.ts.last().copied()
     }
 
+    /// Highest timestamp ever appended, surviving expiry (`None` only on
+    /// a basket that never held a tuple). `latest_ts` forgets stamps when
+    /// the prefix holding them is expired; this mark does not, so it is
+    /// the correct lower bound for the next append's stamp even on a
+    /// basket drained to empty.
+    pub fn ts_high_water(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+
     /// Timestamp of tuple `oid`, if resident.
     pub fn ts_at(&self, oid: Oid) -> Option<Timestamp> {
         if oid < self.base_oid || oid >= self.end_oid() {
@@ -161,32 +222,16 @@ impl Basket {
         batch: &[Column],
         ts_of: impl Fn(usize) -> Timestamp,
     ) -> crate::Result<Oid> {
-        if batch.len() != self.cols.len() {
-            return Err(BasketError::Malformed(format!(
-                "{}: batch arity {} != schema arity {}",
-                self.name,
-                batch.len(),
-                self.cols.len()
-            )));
-        }
-        let n = batch.first().map_or(0, |c| c.len());
-        for (i, c) in batch.iter().enumerate() {
-            if c.len() != n {
-                return Err(BasketError::Malformed(format!(
-                    "{}: column {} has {} rows, expected {}",
-                    self.name,
-                    self.schema[i].0,
-                    c.len(),
-                    n
-                )));
-            }
-        }
+        let n = validate_batch(&self.name, &self.schema, batch)?;
         if n == 0 {
             return Ok(self.end_oid());
         }
         let first_ts = ts_of(0);
-        if let Some(last) = self.ts.last() {
-            if first_ts < *last {
+        if let Some(last) = self.last_ts {
+            // Checked against the expiry-surviving high-water mark, not
+            // `ts.last()`: a basket drained to empty must still reject
+            // stamps older than what it has already seen.
+            if first_ts < last {
                 return Err(BasketError::Malformed(format!(
                     "{}: timestamps must be non-decreasing ({} < {})",
                     self.name, first_ts, last
@@ -195,6 +240,8 @@ impl Basket {
         }
         let start = self.end_oid();
         for (dst, src) in self.cols.iter_mut().zip(batch) {
+            // Cannot fail: `validate_batch` checked types above, so the
+            // batch can never tear the basket mid-append.
             dst.append(src)?;
         }
         let mut prev = first_ts;
@@ -204,6 +251,7 @@ impl Basket {
             prev = t;
             self.ts.push(t);
         }
+        self.last_ts = Some(prev);
         Ok(start)
     }
 
@@ -371,6 +419,27 @@ mod tests {
     }
 
     #[test]
+    fn type_mismatched_batch_cannot_tear_the_basket() {
+        // Regression: a batch whose *second* column has the wrong type
+        // used to extend the first column before erroring, permanently
+        // skewing values against oids/timestamps. Validation now runs
+        // before any mutation, so the basket stays intact.
+        let mut b = basket();
+        b.append(&batch(vec![1], vec![0.1]), 0).unwrap();
+        let err = b.append(&[Column::Int(vec![2]), Column::Int(vec![3])], 1).unwrap_err();
+        assert!(matches!(err, BasketError::Malformed(_)));
+        assert_eq!(b.len(), 1);
+        let w = b.snapshot();
+        assert_eq!(w.col(0).unwrap(), &Column::Int(vec![1])); // no phantom row
+                                                              // The stream continues cleanly aligned.
+        b.append(&batch(vec![4], vec![0.4]), 2).unwrap();
+        let w = b.snapshot();
+        assert_eq!(w.col(0).unwrap(), &Column::Int(vec![1, 4]));
+        assert_eq!(w.col(1).unwrap(), &Column::Float(vec![0.1, 0.4]));
+        assert_eq!(w.timestamps(), &[0, 2]);
+    }
+
+    #[test]
     fn append_rejects_time_regression() {
         let mut b = basket();
         b.append(&batch(vec![1], vec![0.1]), 100).unwrap();
@@ -455,6 +524,43 @@ mod tests {
         assert_eq!(w.len(), 1);
         let w = b.read_until_ts(0, 5).unwrap();
         assert_eq!(w.len(), 0); // empty basic window — recognized, not an error
+    }
+
+    #[test]
+    fn time_regression_rejected_even_after_drain_to_empty() {
+        // Regression (sharded-seal audit): the non-decreasing-stamp rule
+        // used to be checked against `ts.last()`, which a drain-to-empty
+        // resets — letting time silently run backwards across expiry.
+        let mut b = basket();
+        b.append(&batch(vec![1], vec![0.1]), 100).unwrap();
+        b.expire_upto(b.end_oid());
+        assert!(b.is_empty());
+        assert_eq!(b.latest_ts(), None); // resident view forgets...
+        assert_eq!(b.ts_high_water(), Some(100)); // ...the mark does not
+        assert!(b.append(&batch(vec![2], vec![0.2]), 99).is_err());
+        assert!(b.append(&batch(vec![2], vec![0.2]), 100).is_ok());
+        assert_eq!(b.ts_high_water(), Some(100));
+    }
+
+    #[test]
+    fn drained_to_empty_basket_keeps_end_oid_stable() {
+        // The sharded seal frontier is `end_oid()`; it must not move when
+        // a basket is drained to empty, and the next append must continue
+        // the global oid sequence exactly where it left off.
+        let mut b = basket();
+        b.append(&batch(vec![1, 2, 3], vec![0.1, 0.2, 0.3]), 5).unwrap();
+        b.expire_upto(b.end_oid());
+        assert!(b.is_empty());
+        assert_eq!(b.base_oid(), 3);
+        assert_eq!(b.end_oid(), 3); // base == end on drained-to-empty
+        assert_eq!(b.available_from(0), 0);
+        // Zero-width reads at the frontier stay valid (empty window, not
+        // an error) — callers that compute `read_range(end, 0)` on an
+        // empty basket are in bounds.
+        assert_eq!(b.read_range(3, 0).unwrap().len(), 0);
+        assert!(b.read_range(2, 1).is_err());
+        assert_eq!(b.append(&batch(vec![4], vec![0.4]), 6).unwrap(), 3);
+        assert_eq!(b.end_oid(), 4);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! separate processes … per client … to deliver results").
 
 use crate::basket::{SharedBasket, Timestamp};
+use crate::sharded::ShardedBasket;
 use datacell_kernel::Value;
 
 /// One delivered result row.
@@ -15,6 +16,14 @@ pub trait Emitter {
     /// Drain everything currently resident in the output basket, marking it
     /// consumed (expired). Returns the number of rows delivered.
     fn drain(&mut self, out: &SharedBasket) -> crate::Result<usize>;
+
+    /// Drain a sharded output basket: seal staged shard segments first so
+    /// the client sees every delivered row, then drain the merged view.
+    /// Provided for all emitters; `drain` does the per-implementation work.
+    fn drain_sharded(&mut self, out: &ShardedBasket) -> crate::Result<usize> {
+        out.seal();
+        self.drain(&out.shared())
+    }
 }
 
 /// Collects delivered rows in memory — the default client used by tests,
@@ -95,6 +104,20 @@ mod tests {
         assert_eq!(e.len(), 2);
         e.clear();
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn drain_sharded_seals_then_delivers() {
+        use crate::sharded::ShardedBasket;
+        let out = ShardedBasket::new(Basket::new("out", &[("sum", DataType::Int)]), 2);
+        out.append_shard(0, &[Column::Int(vec![10])], 1).unwrap();
+        out.append_shard(1, &[Column::Int(vec![20])], 2).unwrap();
+        assert_eq!(out.len(), 0); // everything still staged
+        let mut e = CollectEmitter::new();
+        assert_eq!(e.drain_sharded(&out).unwrap(), 2);
+        assert_eq!(e.values(), vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+        assert_eq!(out.len(), 0);
+        assert_eq!(out.staged_len(), 0);
     }
 
     #[test]

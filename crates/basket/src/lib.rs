@@ -12,6 +12,11 @@
 //!   ([`BasicWindow::split`]).
 //! * [`SharedBasket`] — a basket behind a `parking_lot` mutex, the
 //!   `basket.lock()` / `basket.unlock()` pairs of the paper's Algorithms 1–2.
+//! * [`ShardedBasket`] — the scaled ingest edge: N independently-locked
+//!   staging shards plus a global oid/clock allocator, so many receptors
+//!   append without contending on one mutex; a seal step merges shards
+//!   into the ordered [`SharedBasket`] view factories read. One shard
+//!   dispatches to the single-mutex path, byte-identical.
 //! * [`receptor`] — CSV and synthetic-generator receptors, including the
 //!   full parse-and-load path measured by the paper's loading-cost breakdown.
 //! * [`emitter`] — the client-facing side: drain output baskets into rows.
@@ -19,12 +24,14 @@
 pub mod basket;
 pub mod emitter;
 pub mod receptor;
+pub mod sharded;
 pub mod threaded;
 pub mod window;
 
 pub use basket::{Basket, BasketError, SharedBasket, Timestamp};
 pub use emitter::{CollectEmitter, Emitter, Row};
 pub use receptor::{CsvError, CsvReceptor, GeneratorReceptor, MalformedPolicy};
+pub use sharded::{parse_shards, shards_from_env, Ingest, ShardedBasket};
 pub use threaded::ReceptorHandle;
 pub use window::BasicWindow;
 

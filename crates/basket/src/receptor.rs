@@ -13,7 +13,8 @@
 //! * [`GeneratorReceptor`] — wraps a batch-producing closure; the harnesses
 //!   use it to feed synthetic workloads without I/O.
 
-use crate::basket::{SharedBasket, Timestamp};
+use crate::basket::Timestamp;
+use crate::sharded::Ingest;
 use datacell_kernel::{Column, DataType, Oid};
 use std::fmt;
 
@@ -184,12 +185,16 @@ impl CsvReceptor {
 
     /// Move the pending batch into a basket, stamping all rows `now`.
     /// Returns the first assigned oid (or the basket end when empty).
-    pub fn flush_into(&mut self, basket: &SharedBasket, now: Timestamp) -> crate::Result<Oid> {
+    ///
+    /// Generic over the ingest edge: a [`crate::SharedBasket`] (the
+    /// classic single-mutex path) or a [`crate::ShardedBasket`] (the
+    /// contention-free sharded path) both work unchanged.
+    pub fn flush_into(&mut self, basket: &impl Ingest, now: Timestamp) -> crate::Result<Oid> {
         let batch: Vec<Column> = std::mem::replace(
             &mut self.pending,
             self.schema.iter().map(|t| Column::empty(*t)).collect(),
         );
-        basket.append(&batch, now)
+        basket.ingest(&batch, now)
     }
 }
 
@@ -212,14 +217,15 @@ impl GeneratorReceptor {
         GeneratorReceptor { gen: Box::new(gen), produced: 0 }
     }
 
-    /// Pull one batch and append it to the basket. Returns how many tuples
-    /// were delivered, or `None` when the generator is exhausted.
-    pub fn pump(&mut self, basket: &SharedBasket, now: Timestamp) -> crate::Result<Option<usize>> {
+    /// Pull one batch and append it to the basket (either ingest edge —
+    /// see [`CsvReceptor::flush_into`]). Returns how many tuples were
+    /// delivered, or `None` when the generator is exhausted.
+    pub fn pump(&mut self, basket: &impl Ingest, now: Timestamp) -> crate::Result<Option<usize>> {
         match (self.gen)() {
             None => Ok(None),
             Some(batch) => {
                 let n = batch.first().map_or(0, |c| c.len());
-                basket.append(&batch, now)?;
+                basket.ingest(&batch, now)?;
                 self.produced += n;
                 Ok(Some(n))
             }
@@ -235,7 +241,8 @@ impl GeneratorReceptor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::basket::Basket;
+    use crate::basket::{Basket, SharedBasket};
+    use crate::sharded::ShardedBasket;
 
     fn shared() -> SharedBasket {
         SharedBasket::new(Basket::new("s", &[("x", DataType::Int), ("y", DataType::Float)]))
@@ -303,6 +310,37 @@ mod tests {
         r.parse("true,42").unwrap();
         assert_eq!(r.rows_ok(), 1);
         assert_eq!(r.rows_skipped(), 0);
+    }
+
+    #[test]
+    fn receptors_feed_sharded_baskets_through_the_same_api() {
+        // The ingest edges are interchangeable: the same receptor code
+        // flushes into a sharded basket, which seals to the same view.
+        let mut r = CsvReceptor::new(&[DataType::Int, DataType::Float]);
+        r.parse("1,0.5\n2,1.5\n").unwrap();
+        let sb = ShardedBasket::new(
+            Basket::new("s", &[("x", DataType::Int), ("y", DataType::Float)]),
+            4,
+        );
+        assert_eq!(r.flush_into(&sb, 3).unwrap(), 0);
+        assert_eq!(sb.len(), 2); // ordered path seals synchronously
+        let mut g = GeneratorReceptor::new({
+            let mut left = 1;
+            move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                Some(vec![Column::Int(vec![9]), Column::Float(vec![0.9])])
+            }
+        });
+        assert_eq!(g.pump(&sb, 4).unwrap(), Some(1));
+        assert_eq!(g.pump(&sb, 5).unwrap(), None);
+        assert_eq!(sb.len(), 3);
+        sb.with(|bk| {
+            let w = bk.snapshot();
+            assert_eq!(w.col(0).unwrap(), &Column::Int(vec![1, 2, 9]));
+        });
     }
 
     #[test]

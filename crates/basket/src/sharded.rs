@@ -1,0 +1,649 @@
+//! Sharded basket ingestion: many receptors appending without contending
+//! on one mutex.
+//!
+//! The paper runs "a set of separate processes per stream" as receptors
+//! (§2); PR 2/3 parallelized factory firing and kernel operators, which
+//! leaves the *ingest* edge as the serial stage — every
+//! [`SharedBasket::append`] holds the one basket mutex for the whole
+//! column copy. [`ShardedBasket`] splits that hand-off point:
+//!
+//! * **N independently-locked shards** stage incoming batches. A receptor
+//!   appends to its own shard ([`ShardedBasket::append_shard`], shard
+//!   chosen per receptor handle or by key hash), so concurrent appenders
+//!   only contend on the tiny oid/clock allocator, never on each other's
+//!   column copies.
+//! * A **global allocator** (one short critical section) hands each batch
+//!   a contiguous oid range and a monotone arrival stamp, so oids stay
+//!   **dense and monotone** across shards and timestamps never regress in
+//!   oid order — exactly the invariants the basket/window machinery
+//!   relies on.
+//! * A **seal** path ([`ShardedBasket::seal`]) merges staged segments
+//!   into the downstream [`SharedBasket`] in oid order, stopping at the
+//!   first gap (an oid range allocated to an appender that has not staged
+//!   its batch yet). Factories keep reading the merged view through the
+//!   existing `SharedBasket` APIs — same ordered view, same expiry rules.
+//!
+//! **`N = 1` dispatches to the existing single-mutex path**: appends go
+//! straight through [`SharedBasket::append`] with no allocator and no
+//! staging, byte-identical to a bare `SharedBasket` (mirroring the
+//! scheduler's "1 worker ≡ sequential" and `kernel::par`'s "P = 1 ≡
+//! sequential" rules).
+//!
+//! ## Lock order
+//!
+//! `shards` RwLock (read) → allocator → one shard; the inner basket
+//! mutex is only ever taken with no shard or allocator lock held (the
+//! seal drops the shard lock before each merge append, so receptors
+//! pinned to a shard never wait behind the merge's column copy). Every
+//! path acquires locks in this order, shards one at a time, so the
+//! sharded paths cannot deadlock against each other, against readers of
+//! the merged view, or against the engine's GC (which takes the inner
+//! mutex only).
+//!
+//! ## What stays out of bounds
+//!
+//! At `shards > 1` every write must go through this handle. Appending
+//! directly to the merged view ([`ShardedBasket::shared`]) would assign
+//! oids the allocator has already promised to a staged segment and
+//! corrupt the stream; the merged view is for *reading* (factories,
+//! emitters, GC).
+
+use crate::basket::{Basket, BasketError, SharedBasket, Timestamp};
+use datacell_kernel::{Column, DataType, Oid};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Anything a receptor can deliver batches into: the single-mutex
+/// [`SharedBasket`] or the sharded ingest path. Receptor front-ends
+/// (`CsvReceptor::flush_into`, `GeneratorReceptor::pump`) are generic
+/// over this, so the same parsing code feeds either edge.
+pub trait Ingest {
+    /// Append a batch of aligned columns stamped `now`; returns the oid
+    /// of the first appended tuple.
+    fn ingest(&self, batch: &[Column], now: Timestamp) -> crate::Result<Oid>;
+}
+
+impl Ingest for SharedBasket {
+    fn ingest(&self, batch: &[Column], now: Timestamp) -> crate::Result<Oid> {
+        self.append(batch, now)
+    }
+}
+
+impl Ingest for ShardedBasket {
+    fn ingest(&self, batch: &[Column], now: Timestamp) -> crate::Result<Oid> {
+        self.append(batch, now)
+    }
+}
+
+/// One staged batch: a contiguous oid range waiting to be sealed into the
+/// merged view. The start oid is the key in its shard's map.
+struct Segment {
+    cols: Vec<Column>,
+    rows: usize,
+    ts: Timestamp,
+}
+
+/// An independently-locked staging area. Segments are keyed by start oid
+/// because two appenders mapped to the same shard may stage out of
+/// allocation order.
+#[derive(Default)]
+struct Shard {
+    segs: BTreeMap<Oid, Segment>,
+}
+
+/// The global oid/clock allocator: one short critical section per append
+/// (a few integer ops), vs. the whole column copy the single-mutex path
+/// serializes on.
+struct Alloc {
+    /// Next unallocated oid. Invariant: `next >= inner.end_oid()`, and
+    /// every oid in `[inner.end_oid(), next)` is staged in exactly one
+    /// segment or owned by an appender between allocation and staging.
+    next: Oid,
+    /// Timestamp high-water mark across all allocations; stamps are
+    /// clamped up to it so the merged view sees non-decreasing
+    /// timestamps in oid order.
+    last_ts: Timestamp,
+}
+
+struct State {
+    name: String,
+    schema: Vec<(String, DataType)>,
+    /// Write-locked only by [`ShardedBasket::set_shards`]; appends and
+    /// seals hold read locks, so resharding waits out in-flight writers.
+    shards: RwLock<Vec<Mutex<Shard>>>,
+    alloc: Mutex<Alloc>,
+    /// Round-robin cursor for [`ShardedBasket::assign_shard`].
+    next_writer: AtomicUsize,
+}
+
+/// The sharded write handle over a [`SharedBasket`]. Cloning shares the
+/// shards, the allocator and the underlying basket.
+#[derive(Clone)]
+pub struct ShardedBasket {
+    inner: SharedBasket,
+    state: Arc<State>,
+}
+
+impl fmt::Debug for ShardedBasket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedBasket")
+            .field("name", &self.state.name)
+            .field("shards", &self.shards())
+            .field("staged", &self.staged_len())
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl From<SharedBasket> for ShardedBasket {
+    /// Wrap an existing shared basket as a single-shard handle — the
+    /// byte-identical dispatch path, so legacy `SharedBasket` call sites
+    /// keep their exact semantics.
+    fn from(shared: SharedBasket) -> ShardedBasket {
+        ShardedBasket::wrap(shared, 1)
+    }
+}
+
+impl ShardedBasket {
+    /// Wrap a basket with `shards` staging shards (clamped to ≥ 1).
+    pub fn new(basket: Basket, shards: usize) -> ShardedBasket {
+        ShardedBasket::wrap(SharedBasket::new(basket), shards)
+    }
+
+    /// Wrap an already-shared basket. The allocator starts at the
+    /// basket's current end; from here on, all writes must come through
+    /// this handle (or its clones) when `shards > 1`.
+    pub fn wrap(shared: SharedBasket, shards: usize) -> ShardedBasket {
+        let shards = shards.max(1);
+        let (name, schema, end, last_ts) = shared.with(|b| {
+            (b.name().to_owned(), b.schema().to_vec(), b.end_oid(), b.ts_high_water().unwrap_or(0))
+        });
+        ShardedBasket {
+            inner: shared,
+            state: Arc::new(State {
+                name,
+                schema,
+                shards: RwLock::new((0..shards).map(|_| Mutex::new(Shard::default())).collect()),
+                alloc: Mutex::new(Alloc { next: end, last_ts }),
+                next_writer: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Stream name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// Current shard count.
+    pub fn shards(&self) -> usize {
+        self.state.shards.read().len()
+    }
+
+    /// The merged, oid-ordered view factories and emitters read. At
+    /// `shards > 1` this view is **read-only by contract**: appending
+    /// through it bypasses the oid allocator and corrupts the stream.
+    pub fn shared(&self) -> SharedBasket {
+        self.inner.clone()
+    }
+
+    /// Run `f` with the merged view locked (reads, expiry).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Basket) -> R) -> R {
+        self.inner.with(f)
+    }
+
+    /// Resident tuple count of the merged (sealed) view.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the merged view is empty (staged tuples don't count).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// First resident oid of the merged view.
+    pub fn base_oid(&self) -> Oid {
+        self.inner.base_oid()
+    }
+
+    /// One past the newest *sealed* oid. Staged segments live at or past
+    /// this frontier, which is why expiry (always `< end_oid`) can never
+    /// reclaim an undrained shard.
+    pub fn end_oid(&self) -> Oid {
+        self.inner.end_oid()
+    }
+
+    /// Tuples staged in shards but not yet sealed into the merged view.
+    pub fn staged_len(&self) -> usize {
+        self.state
+            .shards
+            .read()
+            .iter()
+            .map(|s| s.lock().segs.values().map(|g| g.rows).sum::<usize>())
+            .sum()
+    }
+
+    /// Pick a shard for a new writer (round-robin) — the "shard per
+    /// receptor handle" policy. Key-hash placement is just
+    /// `append_shard(hash as usize, ..)`; the index is taken modulo the
+    /// live shard count.
+    pub fn assign_shard(&self) -> usize {
+        let n = self.shards();
+        self.state.next_writer.fetch_add(1, Ordering::Relaxed) % n
+    }
+
+    /// Ordered append — the engine's single-writer path. Dispatches to
+    /// [`SharedBasket::append`] at 1 shard (byte-identical); at more it
+    /// enforces the same non-decreasing-timestamp rule against the
+    /// allocator's high-water mark, stages the batch, and seals
+    /// immediately so synchronous callers observe their own writes.
+    pub fn append(&self, batch: &[Column], now: Timestamp) -> crate::Result<Oid> {
+        let shards = self.state.shards.read();
+        if shards.len() == 1 {
+            return self.inner.append(batch, now);
+        }
+        let start = self.stage(&shards, batch, now, false)?;
+        self.seal_locked(&shards);
+        Ok(start)
+    }
+
+    /// Concurrent append to one shard — the receptor path. The stamp is
+    /// clamped up to the allocator's high-water mark instead of erroring:
+    /// with many receptors there is no global arrival order to violate,
+    /// so the allocation order *defines* the stream order. Staged data
+    /// becomes readable at the next [`ShardedBasket::seal`] (the
+    /// scheduler seals on every scan).
+    pub fn append_shard(
+        &self,
+        shard: usize,
+        batch: &[Column],
+        now: Timestamp,
+    ) -> crate::Result<Oid> {
+        let shards = self.state.shards.read();
+        if shards.len() == 1 {
+            return self.inner.append(batch, now);
+        }
+        self.stage_at(&shards, shard, batch, now, true)
+    }
+
+    /// Validate, allocate and stage one batch into the round-robin shard.
+    fn stage(
+        &self,
+        shards: &[Mutex<Shard>],
+        batch: &[Column],
+        now: Timestamp,
+        clamp: bool,
+    ) -> crate::Result<Oid> {
+        let shard = self.state.next_writer.fetch_add(1, Ordering::Relaxed) % shards.len();
+        self.stage_at(shards, shard, batch, now, clamp)
+    }
+
+    fn stage_at(
+        &self,
+        shards: &[Mutex<Shard>],
+        shard: usize,
+        batch: &[Column],
+        now: Timestamp,
+        clamp: bool,
+    ) -> crate::Result<Oid> {
+        // Validate *before* allocating: a rejected batch must not leave a
+        // permanent gap in the oid sequence (the seal frontier would
+        // never pass it).
+        let n = self.validate(batch)?;
+        if n == 0 {
+            // Mirror `Basket::append`: an empty batch is a no-op that
+            // reports the current end of the stream (allocator frontier
+            // here — staged tuples included), with no timestamp check.
+            return Ok(self.state.alloc.lock().next);
+        }
+        let (start, ts) = {
+            let mut alloc = self.state.alloc.lock();
+            let ts = if clamp {
+                now.max(alloc.last_ts)
+            } else {
+                if now < alloc.last_ts {
+                    return Err(BasketError::Malformed(format!(
+                        "{}: timestamps must be non-decreasing ({} < {})",
+                        self.state.name, now, alloc.last_ts
+                    )));
+                }
+                now
+            };
+            let start = alloc.next;
+            alloc.next += n as u64;
+            alloc.last_ts = ts;
+            (start, ts)
+        };
+        let seg = Segment { cols: batch.to_vec(), rows: n, ts };
+        shards[shard % shards.len()].lock().segs.insert(start, seg);
+        Ok(start)
+    }
+
+    /// Arity, alignment and type checks against the schema — exactly what
+    /// `Basket::append` rejects (one shared implementation), performed
+    /// *before* oid allocation so a rejected batch leaves no gap.
+    fn validate(&self, batch: &[Column]) -> crate::Result<usize> {
+        crate::basket::validate_batch(&self.state.name, &self.state.schema, batch)
+    }
+
+    /// Merge every staged segment that extends the contiguous oid prefix
+    /// into the merged view, in oid order. Stops at the first gap — an
+    /// oid range some appender has allocated but not yet staged — and
+    /// returns the new sealed end. A no-op (and gap-free by definition)
+    /// at 1 shard.
+    pub fn seal(&self) -> Oid {
+        let shards = self.state.shards.read();
+        if shards.len() == 1 {
+            return self.inner.end_oid();
+        }
+        self.seal_locked(&shards)
+    }
+
+    fn seal_locked(&self, shards: &[Mutex<Shard>]) -> Oid {
+        let mut frontier = self.inner.end_oid();
+        loop {
+            let mut progressed = false;
+            for shard in shards {
+                // Take each segment under the shard lock but append it to
+                // the inner basket with the lock *released*: a receptor
+                // pinned to this shard only ever waits behind a BTreeMap
+                // remove, never behind the merge's column copy. Safe
+                // because allocation starts are unique and only the
+                // holder of the segment keyed exactly at the current
+                // frontier can advance the frontier — a concurrent sealer
+                // that loses the `remove` race simply sees no progress.
+                while let Some(seg) = shard.lock().segs.remove(&frontier) {
+                    // Cannot fail: arity/alignment/types were validated
+                    // at staging and the allocator stamps monotonically.
+                    self.inner
+                        .with(|b| b.append_with_ts(&seg.cols, |_| seg.ts))
+                        .expect("staged segments are pre-validated and stamped in oid order");
+                    frontier += seg.rows as u64;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return frontier;
+            }
+        }
+    }
+
+    /// Change the shard count (clamped to ≥ 1). Waits out in-flight
+    /// appenders, seals everything staged, resynchronizes the allocator
+    /// with the merged view and rebuilds the staging array. Any segment
+    /// a *panicked* appender orphaned behind a gap is carried over
+    /// untouched. Receptor clones keep working across the switch (the
+    /// shard index is taken modulo the live count).
+    pub fn set_shards(&self, shards: usize) {
+        let shards = shards.max(1);
+        let mut guard = self.state.shards.write();
+        self.seal_locked(&guard);
+        let mut leftover: Vec<(Oid, Segment)> = Vec::new();
+        for shard in guard.iter() {
+            let mut g = shard.lock();
+            leftover.extend(std::mem::take(&mut g.segs));
+        }
+        if leftover.is_empty() {
+            // Quiescent: make the allocator authoritative again from the
+            // merged view (it went stale if the old count was 1, where
+            // appends bypass it).
+            let (end, last_ts) = self.inner.with(|b| (b.end_oid(), b.ts_high_water().unwrap_or(0)));
+            let mut alloc = self.state.alloc.lock();
+            alloc.next = end;
+            alloc.last_ts = alloc.last_ts.max(last_ts);
+        }
+        let new: Vec<Mutex<Shard>> = (0..shards).map(|_| Mutex::new(Shard::default())).collect();
+        for (i, (start, seg)) in leftover.into_iter().enumerate() {
+            new[i % shards].lock().segs.insert(start, seg);
+        }
+        *guard = new;
+    }
+}
+
+/// Parse a `DATACELL_BASKET_SHARDS`-style override: a positive shard
+/// count. Returns `None` for unset, empty, non-numeric or zero values.
+pub fn parse_shards(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Shard count from the `DATACELL_BASKET_SHARDS` environment variable,
+/// falling back to 1 (the single-mutex path) when unset or invalid.
+pub fn shards_from_env() -> usize {
+    parse_shards(std::env::var("DATACELL_BASKET_SHARDS").ok().as_deref()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basket() -> Basket {
+        Basket::new("s", &[("x", DataType::Int)])
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Column> {
+        vec![Column::Int(vals.to_vec())]
+    }
+
+    fn snapshot_ints(b: &SharedBasket) -> (Oid, Vec<i64>, Vec<Timestamp>) {
+        b.with(|bk| {
+            let w = bk.snapshot();
+            (w.base_oid(), w.col(0).unwrap().as_int().unwrap().to_vec(), w.timestamps().to_vec())
+        })
+    }
+
+    #[test]
+    fn one_shard_is_byte_identical_to_shared_basket() {
+        // The same append sequence — including an error case — through a
+        // bare SharedBasket and a 1-shard ShardedBasket.
+        let plain = SharedBasket::new(basket());
+        let sharded = ShardedBasket::new(basket(), 1);
+        let script: &[(&[i64], Timestamp)] = &[(&[1, 2], 5), (&[3], 5), (&[], 0), (&[4, 5, 6], 9)];
+        for (vals, ts) in script {
+            let a = plain.append(&ints(vals), *ts);
+            let b = sharded.append(&ints(vals), *ts);
+            assert_eq!(a, b);
+        }
+        // Regression errors identically (dispatches to the basket check).
+        assert_eq!(plain.append(&ints(&[7]), 3), sharded.append(&ints(&[7]), 3));
+        assert!(sharded.append(&ints(&[7]), 3).is_err());
+        assert_eq!(snapshot_ints(&plain), snapshot_ints(&sharded.shared()));
+        assert_eq!(sharded.seal(), plain.end_oid());
+        assert_eq!(sharded.staged_len(), 0);
+    }
+
+    #[test]
+    fn sharded_appends_assign_dense_monotone_oids() {
+        let sb = ShardedBasket::new(basket(), 4);
+        assert_eq!(sb.shards(), 4);
+        assert_eq!(sb.append_shard(0, &ints(&[1, 2]), 10).unwrap(), 0);
+        assert_eq!(sb.append_shard(3, &ints(&[3]), 11).unwrap(), 2);
+        assert_eq!(sb.append_shard(1, &ints(&[4, 5]), 12).unwrap(), 3);
+        // Nothing sealed yet: the merged view is empty, staging holds 5.
+        assert_eq!(sb.len(), 0);
+        assert_eq!(sb.staged_len(), 5);
+        assert_eq!(sb.seal(), 5);
+        assert_eq!(sb.staged_len(), 0);
+        let (base, vals, ts) = snapshot_ints(&sb.shared());
+        assert_eq!(base, 0);
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        assert_eq!(ts, vec![10, 10, 11, 12, 12]);
+    }
+
+    #[test]
+    fn ordered_append_seals_immediately_and_checks_regression() {
+        let sb = ShardedBasket::new(basket(), 4);
+        sb.append(&ints(&[1]), 10).unwrap();
+        assert_eq!(sb.len(), 1); // visible without an explicit seal
+        let err = sb.append(&ints(&[2]), 9).unwrap_err();
+        assert!(matches!(err, BasketError::Malformed(_)));
+        sb.append(&ints(&[2]), 10).unwrap(); // equal stamp ok
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_path_clamps_stamps_monotone() {
+        let sb = ShardedBasket::new(basket(), 2);
+        sb.append_shard(0, &ints(&[1]), 20).unwrap();
+        // A receptor racing behind: stamp 5 is clamped up to 20.
+        sb.append_shard(1, &ints(&[2]), 5).unwrap();
+        sb.seal();
+        let (_, vals, ts) = snapshot_ints(&sb.shared());
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(ts, vec![20, 20]);
+    }
+
+    #[test]
+    fn validation_happens_before_allocation() {
+        let sb = ShardedBasket::new(basket(), 2);
+        // Wrong arity, misaligned columns, wrong type: all rejected with
+        // no oid consumed, so the stream stays dense.
+        assert!(sb.append_shard(0, &[], 0).is_err());
+        assert!(sb.append_shard(0, &[Column::Int(vec![1]), Column::Int(vec![2])], 0).is_err());
+        assert!(sb.append_shard(0, &[Column::Float(vec![0.5])], 0).is_err());
+        assert_eq!(sb.append_shard(0, &ints(&[1]), 0).unwrap(), 0);
+        sb.seal();
+        assert_eq!(sb.end_oid(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_noop_reporting_frontier() {
+        let sb = ShardedBasket::new(basket(), 2);
+        sb.append_shard(0, &ints(&[1, 2]), 7).unwrap();
+        // Stale timestamp on an empty batch is fine, like Basket::append.
+        assert_eq!(sb.append_shard(1, &ints(&[]), 0).unwrap(), 2);
+        assert_eq!(sb.staged_len(), 2);
+    }
+
+    #[test]
+    fn seal_stops_at_gap_and_resumes() {
+        let sb = ShardedBasket::new(basket(), 4);
+        sb.append_shard(0, &ints(&[1]), 0).unwrap(); // oid 0
+                                                     // Simulate an in-flight appender: allocate oid 1 by staging to a
+                                                     // shard, then remove it temporarily to create a gap.
+        sb.append_shard(1, &ints(&[2]), 0).unwrap(); // oid 1
+        let stolen = {
+            let shards = sb.state.shards.read();
+            let seg = shards[1].lock().segs.remove(&1).unwrap();
+            seg
+        };
+        sb.append_shard(2, &ints(&[3]), 0).unwrap(); // oid 2
+        assert_eq!(sb.seal(), 1); // oid 0 sealed; 2 stranded behind the gap
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.staged_len(), 1);
+        // The in-flight appender lands; the next seal drains everything.
+        sb.state.shards.read()[1].lock().segs.insert(1, stolen);
+        assert_eq!(sb.seal(), 3);
+        let (_, vals, _) = snapshot_ints(&sb.shared());
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn expiry_of_merged_view_never_touches_staged() {
+        let sb = ShardedBasket::new(basket(), 2);
+        sb.append_shard(0, &ints(&[1, 2]), 0).unwrap();
+        sb.seal();
+        sb.append_shard(1, &ints(&[3, 4]), 1).unwrap(); // staged, unsealed
+                                                        // GC as aggressive as it can be: expire the whole sealed view.
+        sb.with(|b| b.expire_upto(b.end_oid()));
+        assert_eq!(sb.len(), 0);
+        assert_eq!(sb.staged_len(), 2);
+        // Undrained tuples survive and seal on top of the expired prefix.
+        assert_eq!(sb.seal(), 4);
+        let (base, vals, _) = snapshot_ints(&sb.shared());
+        assert_eq!(base, 2);
+        assert_eq!(vals, vec![3, 4]);
+    }
+
+    #[test]
+    fn set_shards_reshards_mid_stream() {
+        let sb = ShardedBasket::new(basket(), 1);
+        sb.append(&ints(&[1, 2]), 0).unwrap();
+        sb.set_shards(4); // allocator resyncs from the merged view
+        assert_eq!(sb.shards(), 4);
+        assert_eq!(sb.append_shard(2, &ints(&[3]), 1).unwrap(), 2);
+        sb.append_shard(0, &ints(&[4]), 2).unwrap();
+        sb.set_shards(2); // seals staged data on the way
+        assert_eq!(sb.shards(), 2);
+        assert_eq!(sb.len(), 4);
+        sb.append_shard(7, &ints(&[5]), 3).unwrap(); // index taken mod 2
+        sb.set_shards(1);
+        assert_eq!(sb.len(), 5);
+        let (_, vals, _) = snapshot_ints(&sb.shared());
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        // Back on the single-mutex path: direct dispatch, basket oids.
+        assert_eq!(sb.append(&ints(&[6]), 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn assign_shard_round_robins() {
+        let sb = ShardedBasket::new(basket(), 3);
+        let picks: Vec<usize> = (0..6).map(|_| sb.assign_shard()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn clones_share_allocator_and_staging() {
+        let a = ShardedBasket::new(basket(), 2);
+        let b = a.clone();
+        a.append_shard(0, &ints(&[1]), 0).unwrap();
+        b.append_shard(1, &ints(&[2]), 0).unwrap();
+        assert_eq!(b.staged_len(), 2);
+        b.seal();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.end_oid(), 2);
+    }
+
+    #[test]
+    fn from_shared_wraps_single_shard() {
+        let shared = SharedBasket::new(basket());
+        shared.append(&ints(&[1]), 0).unwrap();
+        let sb: ShardedBasket = shared.clone().into();
+        assert_eq!(sb.shards(), 1);
+        sb.ingest(&ints(&[2]), 0).unwrap();
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn parse_shards_accepts_positive_counts() {
+        assert_eq!(parse_shards(None), None);
+        assert_eq!(parse_shards(Some("")), None);
+        assert_eq!(parse_shards(Some("many")), None);
+        assert_eq!(parse_shards(Some("0")), None);
+        assert_eq!(parse_shards(Some("1")), Some(1));
+        assert_eq!(parse_shards(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn sixteen_threads_append_without_loss() {
+        // Smoke-level concurrency here; the full battery lives in
+        // tests/sharded_ingest.rs.
+        let sb = ShardedBasket::new(basket(), 4);
+        let threads: Vec<_> = (0..16)
+            .map(|tid| {
+                let sb = sb.clone();
+                std::thread::spawn(move || {
+                    let shard = sb.assign_shard();
+                    for i in 0..25 {
+                        sb.append_shard(shard, &ints(&[tid * 1000 + i]), 0).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sb.seal(), 400);
+        assert_eq!(sb.len(), 400);
+        let (base, mut vals, _) = snapshot_ints(&sb.shared());
+        assert_eq!(base, 0);
+        vals.sort_unstable();
+        let mut expect: Vec<i64> =
+            (0..16).flat_map(|t| (0..25).map(move |i| t * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(vals, expect);
+    }
+}

@@ -2,12 +2,21 @@
 //! listen for new data" (paper §2).
 //!
 //! A [`ReceptorHandle`] runs a batch source on its own thread and pumps
-//! into a [`SharedBasket`] through the basket's lock — the engine thread
-//! keeps scheduling factories concurrently. Batches are forwarded through a
-//! bounded crossbeam channel so a slow consumer back-pressures the source
-//! instead of ballooning memory.
+//! into a basket — the engine thread keeps scheduling factories
+//! concurrently. Batches are forwarded through a bounded crossbeam
+//! channel so a slow consumer back-pressures the source instead of
+//! ballooning memory.
+//!
+//! Each handle writes through a [`ShardedBasket`] and is pinned to one
+//! staging shard at spawn (round-robin): with a sharded basket, many
+//! receptor handles append concurrently without contending on one mutex;
+//! with a single shard (including every [`SharedBasket`] passed via
+//! `Into`), writes dispatch to the classic single-mutex path unchanged.
 
-use crate::basket::{SharedBasket, Timestamp};
+#[cfg(doc)]
+use crate::basket::SharedBasket;
+use crate::basket::Timestamp;
+use crate::sharded::ShardedBasket;
 use crate::Result;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use datacell_kernel::Column;
@@ -28,9 +37,27 @@ impl ReceptorHandle {
     /// repeatedly and returns `None` when the stream ends; each `Some`
     /// batch is appended to the basket with its timestamp.
     ///
+    /// Accepts a [`ShardedBasket`] (or anything converting into one, like
+    /// a [`SharedBasket`], which becomes the 1-shard byte-identical
+    /// path). The handle is pinned to one staging shard for its lifetime.
+    ///
     /// `queue` bounds the number of in-flight batches (back-pressure).
     pub fn spawn(
-        basket: SharedBasket,
+        basket: impl Into<ShardedBasket>,
+        queue: usize,
+        source: impl FnMut() -> Option<TimedBatch> + Send + 'static,
+    ) -> ReceptorHandle {
+        let basket = basket.into();
+        let shard = basket.assign_shard();
+        ReceptorHandle::spawn_on_shard(basket, shard, queue, source)
+    }
+
+    /// [`ReceptorHandle::spawn`] with an explicit staging shard — key- or
+    /// placement-aware receptors pick their own shard (the index is taken
+    /// modulo the basket's live shard count).
+    pub fn spawn_on_shard(
+        basket: ShardedBasket,
+        shard: usize,
         queue: usize,
         mut source: impl FnMut() -> Option<TimedBatch> + Send + 'static,
     ) -> ReceptorHandle {
@@ -51,12 +78,12 @@ impl ReceptorHandle {
             }
         });
 
-        // Pump thread: drain the channel into the basket.
+        // Pump thread: drain the channel into the pinned shard.
         let join = std::thread::spawn(move || {
             let mut delivered = 0usize;
             while let Ok((ts, batch)) = rx.recv() {
                 let n = batch.first().map_or(0, |c| c.len());
-                if basket.append(&batch, ts).is_ok() {
+                if basket.append_shard(shard, &batch, ts).is_ok() {
                     delivered += n;
                 }
             }
@@ -89,7 +116,7 @@ impl Drop for ReceptorHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::basket::Basket;
+    use crate::basket::{Basket, SharedBasket};
     use datacell_kernel::DataType;
 
     fn shared() -> SharedBasket {
@@ -224,6 +251,53 @@ mod tests {
         assert!(basket.is_empty());
         assert_eq!(basket.end_oid(), TOTAL);
         assert_eq!(basket.base_oid(), TOTAL);
+    }
+
+    #[test]
+    fn receptor_fleet_on_sharded_basket_delivers_all() {
+        // 8 receptor handles (round-robin over 4 shards) feed one
+        // sharded basket while a "scheduler" thread seals concurrently —
+        // the engine's wake-up pattern. Nothing may be lost or doubled.
+        use crate::basket::Basket;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let sb = ShardedBasket::new(Basket::new("s", &[("x", DataType::Int)]), 4);
+        let done = Arc::new(AtomicBool::new(false));
+        let sealer = {
+            let sb = sb.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    sb.seal();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let handles: Vec<_> = (0..8)
+            .map(|tid| {
+                let mut left = 40i64;
+                ReceptorHandle::spawn(sb.clone(), 4, move || {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    Some((0, vec![Column::Int(vec![tid * 100 + left, tid * 100 + left])]))
+                })
+            })
+            .collect();
+        let delivered: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        done.store(true, Ordering::Release);
+        sealer.join().unwrap();
+        assert_eq!(delivered, 8 * 40 * 2);
+        assert_eq!(sb.seal(), 640);
+        assert_eq!(sb.len(), 640);
+        let mut vals = sb.with(|b| b.snapshot().col(0).unwrap().as_int().unwrap().to_vec());
+        vals.sort_unstable();
+        let mut expect: Vec<i64> =
+            (0..8).flat_map(|t| (0..40).flat_map(move |i| [t * 100 + i, t * 100 + i])).collect();
+        expect.sort_unstable();
+        assert_eq!(vals, expect);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   (`scheduler_scale` only: models receptor/emitter hops so scheduler
 //!   overlap is measurable even on a single core);
 //! * `--partitions n` — pin the kernel partition fan-out (`join_scale`
-//!   only: measure a single `P` instead of sweeping the default list).
+//!   only: measure a single `P` instead of sweeping the default list);
+//! * `--shards n` — pin the basket shard count (`ingest_scale` only:
+//!   measure a single shard count instead of sweeping the default list).
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -29,6 +31,8 @@ pub struct Args {
     pub fire_cost_us: Option<u64>,
     /// Override for the kernel partition fan-out.
     pub partitions: Option<usize>,
+    /// Override for the basket shard count.
+    pub shards: Option<usize>,
 }
 
 impl Default for Args {
@@ -40,6 +44,7 @@ impl Default for Args {
             seed: 42,
             fire_cost_us: None,
             partitions: None,
+            shards: None,
         }
     }
 }
@@ -94,6 +99,16 @@ impl Args {
                             .unwrap_or_else(|| usage("--partitions needs a positive count")),
                     );
                 }
+                "--shards" => {
+                    // Zero is rejected like DATACELL_BASKET_SHARDS rejects
+                    // it (basket::parse_shards): minimum shard count is 1.
+                    args.shards = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n: &usize| n >= 1)
+                            .unwrap_or_else(|| usage("--shards needs a positive count")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -113,7 +128,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: fig* [--scale f] [--paper] [--windows n] [--seed n] [--fire-cost-us n] \
-         [--partitions n]"
+         [--partitions n] [--shards n]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -149,6 +164,8 @@ mod tests {
             "150",
             "--partitions",
             "4",
+            "--shards",
+            "8",
         ]);
         assert_eq!(a.scale, 0.5);
         assert!(a.paper);
@@ -156,6 +173,7 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.fire_cost_us, Some(150));
         assert_eq!(a.partitions, Some(4));
+        assert_eq!(a.shards, Some(8));
     }
 
     #[test]

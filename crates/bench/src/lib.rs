@@ -4,9 +4,11 @@
 //! evaluation (§4). Binaries `fig4` … `fig10` each regenerate one figure's
 //! series; `scheduler_scale` measures the parallel Petri-net scheduler
 //! (throughput vs. worker count on a multi-query workload, CPU-bound and
-//! blocking-fire variants — see [`run_scheduler_scale`]); the Criterion
-//! benches in `benches/` cover the same workloads at reduced sizes for
-//! regression tracking.
+//! blocking-fire variants — see [`run_scheduler_scale`]); `join_scale`
+//! the partitioned kernel join (throughput vs. fan-out); `ingest_scale`
+//! the sharded basket ingest edge (appends/s vs. shard count × receptor
+//! threads); the Criterion benches in `benches/` cover the same
+//! workloads at reduced sizes for regression tracking.
 //!
 //! Absolute numbers differ from the paper (different hardware, different
 //! substrate); the targets are the *shapes*: who wins, by what factor, and

@@ -14,7 +14,7 @@ use crate::factory::{Factory, StreamInput};
 use crate::metrics::SlideMetrics;
 use crate::rewrite::{rewrite, IncrementalPlan};
 use crate::scheduler::{workers_from_env, ParallelScheduler};
-use datacell_basket::{Basket, SharedBasket, Timestamp};
+use datacell_basket::{shards_from_env, Basket, ShardedBasket, Timestamp};
 use datacell_kernel::par::partitions_from_env;
 use datacell_kernel::{Catalog, Column, DataType, Table};
 use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
@@ -51,7 +51,7 @@ impl Default for RegisterOptions {
 
 /// The engine: baskets + catalog + scheduler + per-query outputs.
 pub struct Engine {
-    baskets: HashMap<String, SharedBasket>,
+    baskets: HashMap<String, ShardedBasket>,
     catalog: Catalog,
     scheduler: ParallelScheduler,
     outputs: HashMap<usize, Vec<ResultSet>>,
@@ -61,6 +61,10 @@ pub struct Engine {
     /// workers parallelize *across* factories, partitions parallelize
     /// *inside* one factory's kernel operators.
     partitions: usize,
+    /// Staging shards per basket — the third parallelism axis: workers
+    /// scale across factories, partitions inside operators, shards across
+    /// *receptors* appending to one stream. 1 is the single-mutex path.
+    basket_shards: usize,
 }
 
 impl Default for Engine {
@@ -74,8 +78,10 @@ impl Engine {
     /// (sequential, deterministic) unless the `DATACELL_WORKERS`
     /// environment variable overrides it; [`Engine::set_workers`] always
     /// wins over both. The kernel partition fan-out likewise defaults to
-    /// 1 unless `DATACELL_PARTITIONS` overrides it;
-    /// [`Engine::set_partitions`] always wins.
+    /// 1 unless `DATACELL_PARTITIONS` overrides it
+    /// ([`Engine::set_partitions`] always wins), and the basket shard
+    /// count to 1 unless `DATACELL_BASKET_SHARDS` overrides it
+    /// ([`Engine::set_basket_shards`] always wins).
     pub fn new() -> Engine {
         Engine::with_workers(workers_from_env())
     }
@@ -94,6 +100,7 @@ impl Engine {
             outputs: HashMap::new(),
             clock: 0,
             partitions: partitions_from_env(),
+            basket_shards: shards_from_env(),
         }
     }
 
@@ -130,6 +137,26 @@ impl Engine {
         }
     }
 
+    /// Staging shards per basket currently configured.
+    pub fn basket_shards(&self) -> usize {
+        self.basket_shards
+    }
+
+    /// Change the basket shard count (min 1) — how many receptors can
+    /// append to one stream without contending on its mutex. Applies to
+    /// every registered stream (existing staged data is sealed across the
+    /// switch) and to streams created later. 1 is the single-mutex path,
+    /// byte-identical to the pre-sharding engine. Quiesce receptor
+    /// threads before resharding live streams: the switch waits out
+    /// in-flight appends, but a receptor that keeps appending mid-switch
+    /// simply lands in the rebuilt shard set.
+    pub fn set_basket_shards(&mut self, shards: usize) {
+        self.basket_shards = shards.max(1);
+        for b in self.baskets.values() {
+            b.set_shards(self.basket_shards);
+        }
+    }
+
     // -- streams and tables ------------------------------------------------
 
     /// Register an input stream with its schema.
@@ -141,7 +168,10 @@ impl Engine {
         if self.baskets.contains_key(name) {
             return Err(DataCellError::AlreadyExists(name.to_owned()));
         }
-        self.baskets.insert(name.to_owned(), SharedBasket::new(Basket::new(name, schema)));
+        self.baskets.insert(
+            name.to_owned(),
+            ShardedBasket::new(Basket::new(name, schema), self.basket_shards),
+        );
         Ok(())
     }
 
@@ -161,8 +191,13 @@ impl Engine {
         &mut self.catalog
     }
 
-    /// The shared basket of a stream (receptors feed through this handle).
-    pub fn basket(&self, stream: &str) -> Result<SharedBasket, DataCellError> {
+    /// The write handle of a stream (receptors feed through this). At
+    /// `basket_shards > 1` appends stage into per-receptor shards and the
+    /// scheduler seals them into the ordered view on every drain; at 1
+    /// shard it is the classic single-mutex `SharedBasket` path. The
+    /// merged read view is [`ShardedBasket::shared`] — never append
+    /// through that view directly when shards > 1.
+    pub fn basket(&self, stream: &str) -> Result<ShardedBasket, DataCellError> {
         self.baskets
             .get(stream)
             .cloned()
@@ -257,7 +292,7 @@ impl Engine {
                 .get(s)
                 .cloned()
                 .ok_or_else(|| DataCellError::UnknownStream(s.clone()))?;
-            inputs.push(StreamInput::new(s.clone(), basket));
+            inputs.push(StreamInput::new(s.clone(), basket.shared()));
         }
         if inputs.is_empty() {
             return Err(DataCellError::Unsupported(
@@ -630,6 +665,70 @@ mod tests {
     }
 
     #[test]
+    fn basket_shards_api_and_sharded_results_match_single_shard() {
+        // The same workload at shards ∈ {1, 4}: single-threaded feeding
+        // is deterministic, so window results must be byte-identical.
+        let run = |shards: usize| {
+            let mut e = Engine::new();
+            e.set_basket_shards(shards);
+            assert_eq!(e.basket_shards(), shards.max(1));
+            e.create_stream("s", &[("x1", DataType::Int), ("x2", DataType::Int)]).unwrap();
+            assert_eq!(e.basket("s").unwrap().shards(), shards.max(1));
+            let q =
+                e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 4 SLIDE 2").unwrap();
+            for i in 0..4 {
+                e.append_at(
+                    "s",
+                    &[Column::Int(vec![1, 2, 3]), Column::Int(vec![i, i + 1, i + 2])],
+                    i as u64,
+                )
+                .unwrap();
+            }
+            e.run_until_idle().unwrap();
+            e.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>()
+        };
+        let seq = run(1);
+        assert!(!seq.is_empty());
+        assert_eq!(run(4), seq, "shards=4 diverged from the single-mutex path");
+    }
+
+    #[test]
+    fn set_basket_shards_reshards_registered_streams() {
+        let mut e = engine_with_stream();
+        let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2").unwrap();
+        e.append("s", &[Column::Int(vec![1; 2]), Column::Int(vec![1; 2])]).unwrap();
+        // Reshard mid-stream: existing data and new appends both flow.
+        e.set_basket_shards(4);
+        assert_eq!(e.basket("s").unwrap().shards(), 4);
+        e.append("s", &[Column::Int(vec![1; 2]), Column::Int(vec![1; 2])]).unwrap();
+        e.run_until_idle().unwrap();
+        assert_eq!(e.drain_results(q).unwrap().len(), 2);
+        e.set_basket_shards(0); // clamps to the single-mutex path
+        assert_eq!(e.basket_shards(), 1);
+        assert_eq!(e.basket("s").unwrap().shards(), 1);
+    }
+
+    #[test]
+    fn sharded_receptor_appends_visible_after_drain() {
+        // Staged (unsealed) receptor appends must be published by the
+        // engine's drain — including the GC path never touching them.
+        let mut e = engine_with_stream();
+        e.set_basket_shards(4);
+        let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2").unwrap();
+        let b = e.basket("s").unwrap();
+        b.append_shard(0, &[Column::Int(vec![1]), Column::Int(vec![10])], 0).unwrap();
+        b.append_shard(2, &[Column::Int(vec![1]), Column::Int(vec![20])], 0).unwrap();
+        assert_eq!(e.basket_len("s").unwrap(), 0); // staged, not sealed
+        e.run_until_idle().unwrap();
+        let out = e.drain_results(q).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int(30)]]);
+        // Fully consumed -> GC expired the sealed prefix, staging empty.
+        assert_eq!(e.basket_len("s").unwrap(), 0);
+        assert_eq!(b.staged_len(), 0);
+    }
+
+    #[test]
     fn set_workers_switches_between_drains() {
         let mut e = engine_with_stream();
         let q = e.register_sql("SELECT sum(x2) FROM s WHERE x1 > 0 WINDOW SIZE 2 SLIDE 2").unwrap();
@@ -683,7 +782,7 @@ mod tests {
         let basket = e.basket("s").unwrap();
         let q = e
             .register_factory(Box::new(CountFactory {
-                input: StreamInput::new("s", basket),
+                input: StreamInput::new("s", basket.shared()),
                 metrics: vec![],
             }))
             .unwrap();

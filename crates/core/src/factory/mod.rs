@@ -79,6 +79,13 @@ pub trait Factory: Send {
 /// One input stream endpoint: the shared basket plus the factory's private
 /// consumption cursor. Several factories can read the same basket at
 /// different positions; the engine expires tuples below the minimum cursor.
+///
+/// The handle is the *sealed, oid-ordered* view of the stream. When the
+/// engine runs sharded ingestion (`DATACELL_BASKET_SHARDS` > 1), receptor
+/// appends stage in per-receptor shards first and the scheduler seals
+/// them into this view before every readiness scan — factories never
+/// observe a partially-merged stream, so cursor arithmetic over
+/// `base_oid`/`end_oid` is unaffected by the shard count.
 #[derive(Debug, Clone)]
 pub struct StreamInput {
     /// Stream name.

@@ -10,6 +10,12 @@
 //! baskets, or — for time-based windows — the clock passed the next window
 //! boundary). The scheduler fires enabled factories round-robin until
 //! quiescence, so many standing queries interleave fairly on one thread.
+//!
+//! This sequential scheduler sees only the *sealed* basket view: with the
+//! sharded ingest path (`ShardedBasket`), the wrapping
+//! [`parallel::ParallelScheduler`] seals staged receptor appends into
+//! oid order before every drain/readiness scan — on the one-worker path
+//! too — so firing conditions here never have to know shards exist.
 
 pub mod parallel;
 

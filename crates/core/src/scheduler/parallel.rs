@@ -26,16 +26,25 @@
 //!   `run_until_idle` reaches.
 //!
 //! Factories sharing a basket still see consistent oid-ordered reads: all
-//! basket access goes through the [`SharedBasket`] mutex, each factory
+//! basket access goes through the shared-basket mutex, each factory
 //! owns its private consumption cursor, and tuples are only expired
 //! between drains (`&mut self` on the drain excludes `min_consumed`
 //! callers at compile time), so a slower concurrent consumer can never
 //! lose an unconsumed oid to garbage collection.
+//!
+//! The ingest edge is sharded ([`ShardedBasket`]): receptors append into
+//! per-receptor staging shards, and the scheduler **seals** every basket
+//! at each readiness scan, merging staged segments into the ordered view
+//! before growth marks and firing conditions are evaluated. Factories
+//! only ever read the sealed view, so the whole wake-up/GC machinery is
+//! oblivious to how many receptors are appending concurrently; expiry
+//! operates strictly below the sealed frontier and can never reclaim an
+//! undrained shard.
 
 use super::{Emission, FactoryId, Scheduler};
 use crate::error::DataCellError;
 use crate::factory::{Factory, FireOutcome};
-use datacell_basket::{SharedBasket, Timestamp};
+use datacell_basket::{ShardedBasket, Timestamp};
 use datacell_kernel::Oid;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -233,8 +242,11 @@ pub struct ParallelScheduler {
     inner: Scheduler,
     /// Petri-net edges: stream (place) → ids of factories reading it.
     deps: HashMap<String, Vec<FactoryId>>,
-    /// Basket handle per input stream, polled for growth between scans.
-    baskets: HashMap<String, SharedBasket>,
+    /// Sharded write handle per input stream. The scheduler both polls it
+    /// for growth between scans and *seals* it — staged shard segments
+    /// are merged into the ordered view on every scan, which is what
+    /// makes concurrent receptor appends visible to firing conditions.
+    baskets: HashMap<String, ShardedBasket>,
     /// `end_oid` observed at the last candidate scan; a basket whose end
     /// moved past its mark wakes its readers via `deps`.
     marks: HashMap<String, Oid>,
@@ -281,11 +293,11 @@ impl ParallelScheduler {
 
     /// Register a factory, recording its Petri-net input edges.
     /// `basket_of` resolves each of the factory's input streams to its
-    /// shared basket (the engine passes its basket registry).
+    /// sharded write handle (the engine passes its basket registry).
     pub fn register(
         &mut self,
         f: Box<dyn Factory>,
-        mut basket_of: impl FnMut(&str) -> Option<SharedBasket>,
+        mut basket_of: impl FnMut(&str) -> Option<ShardedBasket>,
     ) -> FactoryId {
         let streams = f.input_streams();
         let id = self.inner.register(f);
@@ -351,6 +363,11 @@ impl ParallelScheduler {
     /// bound always reflects fully-settled cursors and can never expire a
     /// tuple a mid-fire consumer still needs. The dependency map keeps the
     /// scan to actual readers instead of every registered factory.
+    ///
+    /// Shard-aware by construction: cursors live in the *sealed* view, so
+    /// the bound is always ≤ the basket's sealed `end_oid`, and staged
+    /// (undrained) shard segments — which sit at or past that frontier —
+    /// are out of expiry's reach entirely.
     pub fn min_consumed(&self, stream: &str) -> Option<Oid> {
         let readers = self.deps.get(stream)?;
         readers
@@ -367,6 +384,9 @@ impl ParallelScheduler {
             // A pool left over from a >1-worker phase would otherwise park
             // its threads for the scheduler's lifetime.
             self.pool = None;
+            // Publish staged shard segments so the sequential drain's
+            // firing conditions see everything receptors delivered.
+            self.publish_baskets();
             // Keep growth marks coherent for a later switch to >1 workers:
             // snapshot *before* draining, so anything the drain leaves
             // unprocessed (or that arrives during it) stays past a mark.
@@ -374,6 +394,16 @@ impl ParallelScheduler {
             return self.inner.run_until_idle(clock).inspect_err(|_| self.reset_scan_state());
         }
         self.run_pooled(clock)
+    }
+
+    /// Seal every registered basket: merge staged shard segments into the
+    /// ordered view factories read. A no-op for single-shard baskets.
+    /// Called before every readiness scan, so the staged→sealed hop is
+    /// the only latency a sharded receptor append adds.
+    fn publish_baskets(&self) {
+        for b in self.baskets.values() {
+            b.seal();
+        }
     }
 
     /// Forget all scan bookkeeping after an aborted drain so the next
@@ -398,7 +428,10 @@ impl ParallelScheduler {
     /// Transitions to (re)check for readiness: fresh registrations, the
     /// readers of every basket that grew past its mark and — when the
     /// clock moved — every factory (time-based firing conditions).
+    /// Staged shard segments are sealed first, so both the growth marks
+    /// and the readiness checks see every tuple delivered so far.
     fn scan_candidates(&mut self, clock: Timestamp) -> Vec<FactoryId> {
+        self.publish_baskets();
         let mut cand: BTreeSet<FactoryId> = self.fresh.drain(..).collect();
         if self.last_clock != Some(clock) {
             cand.extend(self.inner.ids());
@@ -520,8 +553,8 @@ mod tests {
     use datacell_kernel::{Column, DataType};
     use datacell_plan::ResultSet;
 
-    fn shared(name: &str) -> SharedBasket {
-        SharedBasket::new(Basket::new(name, &[("x", DataType::Int)]))
+    fn shared(name: &str) -> ShardedBasket {
+        ShardedBasket::new(Basket::new(name, &[("x", DataType::Int)]), 1)
     }
 
     /// A factory that consumes `step`-sized batches from one stream and
@@ -534,10 +567,10 @@ mod tests {
     }
 
     impl SumFactory {
-        fn new(label: &str, basket: SharedBasket, step: usize) -> SumFactory {
+        fn new(label: &str, basket: ShardedBasket, step: usize) -> SumFactory {
             SumFactory {
                 label: label.into(),
-                input: StreamInput::new(label, basket),
+                input: StreamInput::new(label, basket.shared()),
                 step,
                 metrics: vec![],
             }
@@ -624,7 +657,7 @@ mod tests {
         // per-factory emissions must be identical.
         let run = |workers: usize| {
             let mut s = ParallelScheduler::new(workers);
-            let baskets: Vec<SharedBasket> = (0..3).map(|i| shared(&format!("s{i}"))).collect();
+            let baskets: Vec<ShardedBasket> = (0..3).map(|i| shared(&format!("s{i}"))).collect();
             let mut ids = Vec::new();
             for (i, b) in baskets.iter().enumerate() {
                 let f = SumFactory::new(&format!("s{i}"), b.clone(), 2);
@@ -680,6 +713,34 @@ mod tests {
     }
 
     #[test]
+    fn staged_shard_appends_wake_readers_on_both_worker_paths() {
+        // Receptor appends that are still *staged* (unsealed) at drain
+        // time must be published by the scheduler's own seal step and
+        // fire their readers — on the sequential path and on the pool.
+        for workers in [1usize, 3] {
+            let mut s = ParallelScheduler::new(workers);
+            let b = ShardedBasket::new(Basket::new("s", &[("x", DataType::Int)]), 4);
+            let bc = b.clone();
+            let id =
+                s.register(Box::new(SumFactory::new("s", b.clone(), 2)), move |_| Some(bc.clone()));
+            // Simulate two receptors: both appends stay staged.
+            b.append_shard(0, &ints(2, 5), 0).unwrap();
+            b.append_shard(1, &ints(2, 7), 0).unwrap();
+            assert_eq!(b.len(), 0);
+            assert_eq!(b.staged_len(), 4);
+            let e = s.run_until_idle(0).unwrap();
+            assert_eq!(e.len(), 2, "workers={workers}");
+            assert!(e.iter().all(|e| e.factory == id));
+            assert_eq!(b.staged_len(), 0);
+            assert_eq!(b.len(), 4);
+            // Quiescent again: staged growth after the drain re-arms the
+            // growth mark via the next drain's seal.
+            b.append_shard(3, &ints(2, 1), 0).unwrap();
+            assert_eq!(s.run_until_idle(0).unwrap().len(), 1, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn min_consumed_uses_dependency_edges() {
         let mut s = ParallelScheduler::new(2);
         let b = shared("s");
@@ -707,7 +768,7 @@ mod tests {
         let fg =
             s.register(Box::new(SumFactory::new("g", good.clone(), 1)), move |_| Some(gc.clone()));
         let fx = s.register(
-            Box::new(FailingFactory { input: StreamInput::new("x", bad.clone()) }),
+            Box::new(FailingFactory { input: StreamInput::new("x", bad.shared()) }),
             move |_| Some(xc.clone()),
         );
         good.append(&ints(2, 1), 0).unwrap();
@@ -764,7 +825,7 @@ mod tests {
         let b = shared("x");
         let bc = b.clone();
         let id = s.register(
-            Box::new(PanickingFactory { input: StreamInput::new("x", b.clone()) }),
+            Box::new(PanickingFactory { input: StreamInput::new("x", b.shared()) }),
             move |_| Some(bc.clone()),
         );
         b.append(&ints(1, 1), 0).unwrap();
@@ -795,7 +856,7 @@ mod tests {
         // The failing factory gets the lower id so the sequential round
         // aborts before ever firing the good one.
         let fx = s.register(
-            Box::new(FailingFactory { input: StreamInput::new("x", bad.clone()) }),
+            Box::new(FailingFactory { input: StreamInput::new("x", bad.shared()) }),
             move |_| Some(xc.clone()),
         );
         let fg =
