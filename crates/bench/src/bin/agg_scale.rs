@@ -1,0 +1,109 @@
+//! `agg_scale` — throughput vs. partition fan-out for the fused
+//! `kernel::par` grouped aggregation (the `GroupAgg` MAL node's hot
+//! path): one grouping pass over N rows × K distinct keys feeding
+//! sum + count + avg, per partition count.
+//!
+//! For each `P` the harness runs `par::grouped_agg_multi` over the same
+//! key/value BATs; `P = 1` computes a single partial and finalizes it —
+//! the literal sequential group-then-aggregate chain, so it *is* the
+//! sequential baseline. The harness asserts every `P` produces
+//! byte-identical columns (integer sums/counts and their avg division
+//! are `P`-invariant, and re-grouping preserves first-occurrence key
+//! order), prints wall/iter, input rows/s and speedup per `P`, and
+//! reports the `par::stats` grouped-agg counters so a run doubles as
+//! proof the parallel path was actually exercised.
+//!
+//! Like `join_scale`, speedup tracks *physical cores*: on a single-core
+//! container the interesting number is the partial/merge overhead; on
+//! multi-core hardware ≥2 partitions should beat sequential on this
+//! workload.
+//!
+//! Flags: `--scale f` resizes the input, `--partitions n` measures one
+//! fan-out against the `P = 1` baseline, `--windows n` overrides the
+//! iteration count, `--seed n` the data seed.
+
+use datacell_bench::{lcg_int_bat, print_table, Args};
+use datacell_kernel::algebra::AggKind;
+use datacell_kernel::par::{self, AggSpec, ParConfig};
+use datacell_kernel::{Bat, Column};
+use std::time::{Duration, Instant};
+
+const PARTITION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn sweep(label: &str, keys: &Bat, vals: &Bat, partition_counts: &[usize], iters: usize) {
+    println!("{label}: |rows| = {}, {iters} iters/point", keys.len());
+    let rows_per_iter = keys.len() as f64;
+    let mut rows = Vec::new();
+    let mut baseline: Option<(Duration, (Column, Vec<Column>))> = None;
+    for &p in partition_counts {
+        let cfg = ParConfig::new(p);
+        let specs: Vec<AggSpec> =
+            vec![(AggKind::Sum, Some(vals)), (AggKind::Count, None), (AggKind::Avg, Some(vals))];
+        // One untimed run for warm-up and the identity check.
+        let result = par::grouped_agg_multi(keys, &specs, &cfg).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(
+                par::grouped_agg_multi(std::hint::black_box(keys), &specs, &cfg).unwrap(),
+            );
+        }
+        let wall = t0.elapsed() / iters as u32;
+        let (speedup, identical) = match &baseline {
+            Some((base, base_result)) => {
+                (base.as_secs_f64() / wall.as_secs_f64().max(f64::EPSILON), *base_result == result)
+            }
+            None => (1.0, true),
+        };
+        assert!(identical, "P={p} produced different aggregates than sequential");
+        rows.push(vec![
+            p.to_string(),
+            format!("{wall:?}"),
+            format!("{:.2}", rows_per_iter / wall.as_secs_f64() / 1.0e6),
+            result.0.len().to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+        if baseline.is_none() {
+            baseline = Some((wall, result));
+        }
+    }
+    print_table(&["partitions", "wall/iter", "Mrows/s", "groups", "speedup"], &rows);
+    println!("aggregate columns identical across partition counts: yes\n");
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.sized(1_000_000, 10_000);
+    let iters = args.windows.unwrap_or(10).max(1);
+    let sweep_list: Vec<usize> = match args.partitions {
+        Some(p) if p > 1 => vec![1, p],
+        Some(_) => vec![1],
+        None => PARTITION_COUNTS.to_vec(),
+    };
+
+    let calls0 = par::stats::grouped_agg_calls();
+    let par0 = par::stats::grouped_agg_par_calls();
+
+    // Few heavy groups: the per-morsel hash tables stay tiny, the
+    // aggregation loop dominates.
+    let keys = lcg_int_bat(n, 100, args.seed);
+    let vals = lcg_int_bat(n, 1_000_000, args.seed + 1);
+    sweep("100 keys (few heavy groups)", &keys, &vals, &sweep_list, iters);
+
+    // Many light groups: grouping (hashing) dominates, merge re-group
+    // cost is visible.
+    let domain = (n as i64 / 10).max(100);
+    let keys = lcg_int_bat(n, domain, args.seed + 2);
+    let vals = lcg_int_bat(n, 1_000_000, args.seed + 3);
+    sweep(&format!("{domain} keys (many light groups)"), &keys, &vals, &sweep_list, iters);
+
+    println!(
+        "kernel stats: grouped_agg calls +{}, parallel fan-outs +{}",
+        par::stats::grouped_agg_calls() - calls0,
+        par::stats::grouped_agg_par_calls() - par0
+    );
+    println!(
+        "shape check: speedup tracks physical cores (≈1x minus partial/merge \
+         overhead on a single-core container);\nP=1 computes one partial and \
+         finalizes it — the sequential group-then-aggregate chain."
+    );
+}

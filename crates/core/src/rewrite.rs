@@ -75,13 +75,15 @@ pub enum VarKind {
     Plain,
 }
 
-/// One group-by cluster: the `Group` instruction plus the GroupKeys /
-/// GroupedAgg instructions hanging off it. Merged as a unit (Fig. 3d).
+/// One group-by cluster — the destinations of a fused `GroupAgg` node
+/// whose partials cross the merge frontier. Merged as a unit (Fig. 3d):
+/// concat the per-part distinct keys, re-group, compensate each
+/// aggregate member. The pre-fusion `Group`/`GroupKeys`/`GroupedAgg`
+/// triple collapsed into this node, so the cluster is just the node's
+/// destination list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cluster {
-    /// The `Group` variable.
-    pub group_var: VarId,
-    /// The `GroupKeys` variable (per-bw distinct keys).
+    /// The fused node's keys destination (per-bw distinct keys).
     pub keys_var: VarId,
     /// Aggregate member variables and their kinds.
     pub agg_vars: Vec<(VarId, AggKind)>,
@@ -213,6 +215,42 @@ pub fn expand_avg(plan: &MalPlan) -> MalPlan {
                     op: MalOp::MapArith { left: s, right: c, op: ArithOp::Div },
                 });
             }
+            MalOp::GroupAgg { keys, aggs } if aggs.iter().any(|(k, _)| *k == AggKind::Avg) => {
+                // Expand each avg slot of the fused node into a sum slot
+                // + a count slot (fresh destinations) and divide them
+                // into the original avg destination right after the node.
+                let mut new_aggs = Vec::with_capacity(aggs.len() + 1);
+                let mut new_dests = vec![ins.dests[0]];
+                let mut divs = Vec::new();
+                for ((kind, vals), &dest) in aggs.iter().zip(&ins.dests[1..]) {
+                    match kind {
+                        AggKind::Avg => {
+                            let s = nvars;
+                            let c = nvars + 1;
+                            nvars += 2;
+                            new_aggs.push((AggKind::Sum, *vals));
+                            new_aggs.push((AggKind::Count, None));
+                            new_dests.push(s);
+                            new_dests.push(c);
+                            divs.push((s, c, dest));
+                        }
+                        k => {
+                            new_aggs.push((*k, *vals));
+                            new_dests.push(dest);
+                        }
+                    }
+                }
+                instrs.push(Instr {
+                    dests: new_dests,
+                    op: MalOp::GroupAgg { keys: *keys, aggs: new_aggs },
+                });
+                for (s, c, d) in divs {
+                    instrs.push(Instr {
+                        dests: vec![d],
+                        op: MalOp::MapArith { left: s, right: c, op: ArithOp::Div },
+                    });
+                }
+            }
             _ => instrs.push(ins.clone()),
         }
     }
@@ -232,7 +270,10 @@ pub fn expand_avg(plan: &MalPlan) -> MalPlan {
 /// mix two streams without a join, landmark joins are rejected later by the
 /// factory). Callers can fall back to re-evaluation mode for those.
 pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
-    let mal = expand_avg(plan);
+    // Lower any hand-built Group/GroupKeys/GroupedAgg chains to the fused
+    // GroupAgg form first (the SQL compiler already emits it), then
+    // expand avg so every surviving aggregate has a compensating action.
+    let mal = expand_avg(&datacell_plan::fuse_group_agg(plan));
     mal.validate().map_err(DataCellError::Plan)?;
     let n_streams = mal.streams.len();
     let mut stages: Vec<Stage> = vec![Stage::Static; mal.nvars];
@@ -244,9 +285,23 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
     //    plan at a time").
     for ins in &mal.instrs {
         let (stage, kind) = classify(&ins.op, &stages, &kinds, &mal, &mut matrix_pair)?;
-        for &d in &ins.dests {
-            stages[d] = stage;
-            kinds[d] = kind;
+        match (&ins.op, stage) {
+            // A replicated fused group-agg writes mixed kinds: distinct
+            // keys first, then one grouped partial per aggregate.
+            (MalOp::GroupAgg { aggs, .. }, Stage::PerBw(_) | Stage::Matrix) => {
+                stages[ins.dests[0]] = stage;
+                kinds[ins.dests[0]] = VarKind::GroupKeysPartial;
+                for ((k, _), &d) in aggs.iter().zip(&ins.dests[1..]) {
+                    stages[d] = stage;
+                    kinds[d] = VarKind::GroupedPartial(*k);
+                }
+            }
+            _ => {
+                for &d in &ins.dests {
+                    stages[d] = stage;
+                    kinds[d] = kind;
+                }
+            }
         }
     }
 
@@ -303,50 +358,47 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
         }
     }
 
-    // -- group clusters: every per-bw/matrix Group instruction with its
-    //    GroupKeys/GroupedAgg members. A frontier member pulls the whole
+    // -- group clusters: every per-bw/matrix fused GroupAgg node whose
+    //    members touch the frontier. A frontier member pulls the whole
     //    cluster into the frontier (keys are needed to re-group partials).
     let mut clusters = Vec::new();
     for ins in &mal.instrs {
-        if let MalOp::Group { .. } = ins.op {
-            let gv = ins.dests[0];
-            if !matches!(stages[gv], Stage::PerBw(_) | Stage::Matrix) {
-                continue;
+        let MalOp::GroupAgg { aggs, .. } = &ins.op else { continue };
+        let keys_var = ins.dests[0];
+        if !matches!(stages[keys_var], Stage::PerBw(_) | Stage::Matrix) {
+            continue;
+        }
+        let agg_vars: Vec<(VarId, AggKind)> =
+            ins.dests[1..].iter().zip(aggs).map(|(&d, &(k, _))| (d, k)).collect();
+        let any_frontier =
+            frontier.contains(&keys_var) || agg_vars.iter().any(|(v, _)| frontier.contains(v));
+        if !any_frontier {
+            continue;
+        }
+        // All members must be cached to allow re-grouping — the keys dest
+        // always exists on the fused node, so the pre-fusion "grouped
+        // aggregation without group keys" failure mode is gone.
+        for v in std::iter::once(keys_var).chain(agg_vars.iter().map(|(v, _)| *v)) {
+            if !frontier.contains(&v) {
+                frontier.push(v);
             }
-            let mut keys_var = None;
-            let mut agg_vars = Vec::new();
-            for other in &mal.instrs {
-                match &other.op {
-                    MalOp::GroupKeys { groups, .. } if *groups == gv => {
-                        keys_var = Some(other.dests[0]);
-                    }
-                    MalOp::GroupedAgg { kind, groups, .. } if *groups == gv => {
-                        agg_vars.push((other.dests[0], *kind));
-                    }
-                    _ => {}
-                }
-            }
-            let members: Vec<VarId> =
-                keys_var.iter().copied().chain(agg_vars.iter().map(|(v, _)| *v)).collect();
-            let any_frontier = members.iter().any(|v| frontier.contains(v));
-            if !any_frontier {
-                continue;
-            }
-            let keys_var = keys_var.ok_or_else(|| {
-                DataCellError::Unsupported(
-                    "grouped aggregation without group keys cannot be merged incrementally".into(),
-                )
-            })?;
-            // All members must be cached to allow re-grouping.
-            for v in members {
-                if !frontier.contains(&v) {
-                    frontier.push(v);
-                }
-            }
-            if !frontier.contains(&keys_var) {
-                frontier.push(keys_var);
-            }
-            clusters.push(Cluster { group_var: gv, keys_var, agg_vars });
+        }
+        clusters.push(Cluster { keys_var, agg_vars });
+    }
+
+    // Unfused Group/GroupKeys/GroupedAgg chains (shapes fuse_group_agg
+    // declined) cannot cross the frontier: their partial kinds have no
+    // standalone merge rule.
+    for &v in &frontier {
+        let in_cluster =
+            clusters.iter().any(|c| c.keys_var == v || c.agg_vars.iter().any(|&(av, _)| av == v));
+        if !in_cluster && matches!(kinds[v], VarKind::GroupKeysPartial | VarKind::GroupedPartial(_))
+        {
+            return Err(DataCellError::Unsupported(
+                "an unfused group/aggregate chain crosses the merge frontier; \
+                 restructure the query or use re-evaluation mode"
+                    .into(),
+            ));
         }
     }
 
@@ -430,6 +482,9 @@ fn classify(
                 MalOp::Group { .. } => VarKind::GroupsStruct,
                 MalOp::GroupKeys { .. } => VarKind::GroupKeysPartial,
                 MalOp::GroupedAgg { kind, .. } => VarKind::GroupedPartial(*kind),
+                // Placeholder for the keys dest; the rewrite loop assigns
+                // the per-destination kinds of a fused node itself.
+                MalOp::GroupAgg { .. } => VarKind::GroupKeysPartial,
                 MalOp::Distinct { .. } => VarKind::DistinctRows,
                 MalOp::Sort { desc, .. } => VarKind::SortedRows { desc: *desc },
                 MalOp::BindStream { .. } | MalOp::BindTable { .. } => unreachable!("handled above"),
@@ -602,6 +657,46 @@ mod tests {
         // Keys and aggs are both cached.
         assert!(inc.frontier.contains(&c.keys_var));
         assert!(inc.frontier.contains(&c.agg_vars[0].0));
+    }
+
+    #[test]
+    fn cluster_is_the_fused_node_dest_list() {
+        // The rewriter consumes the fused GroupAgg node directly: the
+        // cluster's keys/agg vars are exactly the node's destinations,
+        // with per-destination kinds (keys partial + grouped partials).
+        let inc = rewrite(&fig3d()).unwrap();
+        let ga = inc
+            .mal
+            .instrs
+            .iter()
+            .find(|i| matches!(i.op, MalOp::GroupAgg { .. }))
+            .expect("compiler emits the fused node");
+        let c = &inc.clusters[0];
+        assert_eq!(c.keys_var, ga.dests[0]);
+        assert_eq!(c.agg_vars[0].0, ga.dests[1]);
+        assert_eq!(inc.kinds[ga.dests[0]], VarKind::GroupKeysPartial);
+        assert_eq!(inc.kinds[ga.dests[1]], VarKind::GroupedPartial(AggKind::Max));
+        assert!(matches!(inc.stages[ga.dests[0]], Stage::PerBw(0)));
+    }
+
+    #[test]
+    fn hand_built_unfused_chain_rewrites_through_the_shim() {
+        // A plan assembled with standalone Group/GroupKeys/GroupedAgg
+        // nodes (the pre-fusion MAL dialect) is lowered by fuse_group_agg
+        // inside rewrite() and builds the same cluster shape.
+        use datacell_plan::mal::MalBuilder;
+        let mut b = MalBuilder::new();
+        let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+        let v = b.emit(MalOp::BindStream { stream: "s".into(), attr: "v".into() });
+        let g = b.emit(MalOp::Group { keys: k });
+        let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+        let s = b.emit(MalOp::GroupedAgg { kind: AggKind::Sum, vals: Some(v), groups: g });
+        let plan = b.finish(vec!["k".into(), "s".into()], vec![gk, s]);
+        let inc = rewrite(&plan).unwrap();
+        assert!(inc.mal.instrs.iter().any(|i| matches!(i.op, MalOp::GroupAgg { .. })));
+        assert!(!inc.mal.instrs.iter().any(|i| matches!(i.op, MalOp::Group { .. })));
+        assert_eq!(inc.clusters.len(), 1);
+        assert_eq!(inc.clusters[0].agg_vars[0].1, AggKind::Sum);
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub enum Predicate {
         /// Upper bound inclusive?
         hi_inc: bool,
     },
+    /// Conjunction of two predicates over the same column. Built by
+    /// [`Predicate::and`], which folds combinable comparison pairs into a
+    /// [`Predicate::Range`] first — `And` is the residual form for
+    /// conjunctions with no tighter encoding (e.g. `<> v1 AND < v2`).
+    And(Box<Predicate>, Box<Predicate>),
     /// Accept every tuple (used by plans that need a candidate list anyway).
     True,
 }
@@ -117,6 +122,38 @@ impl Predicate {
         Predicate::Range { lo: lo.into(), hi: hi.into(), lo_inc: true, hi_inc: true }
     }
 
+    /// Conjunction of two predicates over the same column, simplified
+    /// where an equivalent single predicate exists: `True` is absorbed,
+    /// and a lower bound (`>`/`>=`) meeting an upper bound (`<`/`<=`)
+    /// folds into the [`Predicate::Range`] the bulk range loops
+    /// specialize on. Everything else becomes [`Predicate::And`],
+    /// evaluated row-at-a-time.
+    pub fn and(a: Predicate, b: Predicate) -> Predicate {
+        match (a, b) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::Cmp(op_a, va), Predicate::Cmp(op_b, vb)) => {
+                let bounds = |op: CmpOp, v: &Value| match op {
+                    CmpOp::Gt => Some((true, v.clone(), false)),
+                    CmpOp::Ge => Some((true, v.clone(), true)),
+                    CmpOp::Lt => Some((false, v.clone(), false)),
+                    CmpOp::Le => Some((false, v.clone(), true)),
+                    _ => None,
+                };
+                match (bounds(op_a, &va), bounds(op_b, &vb)) {
+                    (Some((true, lo, lo_inc)), Some((false, hi, hi_inc)))
+                    | (Some((false, hi, hi_inc)), Some((true, lo, lo_inc))) => {
+                        Predicate::Range { lo, hi, lo_inc, hi_inc }
+                    }
+                    _ => Predicate::And(
+                        Box::new(Predicate::Cmp(op_a, va)),
+                        Box::new(Predicate::Cmp(op_b, vb)),
+                    ),
+                }
+            }
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
     /// Evaluate against a single value (slow path; used by the volcano-style
     /// SystemX simulator and by row-level tests).
     pub fn matches(&self, v: &Value) -> bool {
@@ -138,6 +175,7 @@ impl Predicate {
                 Predicate::Cmp(lo_op, lo.clone()).matches(v)
                     && Predicate::Cmp(hi_op, hi.clone()).matches(v)
             }
+            Predicate::And(a, b) => a.matches(v) && b.matches(v),
         }
     }
 }
@@ -336,5 +374,48 @@ mod tests {
     fn cmp_sql_rendering() {
         assert_eq!(CmpOp::Le.sql(), "<=");
         assert_eq!(CmpOp::Ne.sql(), "<>");
+    }
+
+    #[test]
+    fn and_folds_bound_pairs_into_ranges() {
+        // gt + lt (either order) -> exclusive range; ge + le -> inclusive.
+        let p = Predicate::and(Predicate::gt(1), Predicate::lt(5));
+        assert_eq!(
+            p,
+            Predicate::Range { lo: Value::Int(1), hi: Value::Int(5), lo_inc: false, hi_inc: false }
+        );
+        let p = Predicate::and(Predicate::lt(5), Predicate::gt(1));
+        assert_eq!(
+            p,
+            Predicate::Range { lo: Value::Int(1), hi: Value::Int(5), lo_inc: false, hi_inc: false }
+        );
+        let p = Predicate::and(
+            Predicate::Cmp(CmpOp::Ge, Value::Int(1)),
+            Predicate::Cmp(CmpOp::Le, Value::Int(5)),
+        );
+        assert_eq!(
+            p,
+            Predicate::Range { lo: Value::Int(1), hi: Value::Int(5), lo_inc: true, hi_inc: true }
+        );
+    }
+
+    #[test]
+    fn and_absorbs_true_and_keeps_residuals() {
+        assert_eq!(Predicate::and(Predicate::True, Predicate::gt(3)), Predicate::gt(3));
+        assert_eq!(Predicate::and(Predicate::gt(3), Predicate::True), Predicate::gt(3));
+        // Two lower bounds have no Range encoding: residual And.
+        let p = Predicate::and(Predicate::gt(1), Predicate::gt(3));
+        assert!(matches!(p, Predicate::And(..)));
+        assert!(p.matches(&Value::Int(4)));
+        assert!(!p.matches(&Value::Int(2)));
+    }
+
+    #[test]
+    fn select_with_and_matches_sequential_filters() {
+        let b = int_bat(10, vec![1, 2, 3, 4, 5, 6]);
+        // <> 3 AND < 5: no Range encoding, runs the generic path.
+        let p = Predicate::and(Predicate::Cmp(CmpOp::Ne, Value::Int(3)), Predicate::lt(5));
+        let c = select(&b, &p).unwrap();
+        assert_eq!(c.tail, Column::Oid(vec![10, 11, 13]));
     }
 }

@@ -1,13 +1,24 @@
 //! Chunk-parallel grouped aggregation with partial-result merging.
 //!
-//! Each morsel of the key (and value) columns is grouped and aggregated
-//! independently on a scoped thread; the per-morsel partials are then
-//! merged with the existing concat/merge machinery — concatenate partial
-//! keys and partial aggregates in morsel order, re-group the keys, and
-//! apply the aggregate's *compensating action* over the partials
-//! (paper §3, Fig. 3d: `count` partials merge with `sum`, `sum`/`min`/
-//! `max` re-apply themselves; `avg` has no single compensation and is
-//! expanded upstream into sum/count).
+//! The fused `GroupAgg` MAL node needs more than the single-aggregate
+//! helper PR 3 shipped: one grouping pass must feed *several* aggregates
+//! (`SELECT k, sum(v), count(*), min(v) ... GROUP BY k` is one node), and
+//! `avg` must work without the caller expanding it. This module therefore
+//! exposes a partial/merge API:
+//!
+//! * [`grouped_agg_partials`] — group one piece of the input once and
+//!   compute every requested aggregate over that grouping. `avg` is
+//!   expanded *internally* into sum + count partial slots (the paper's
+//!   expanding replication, Fig. 3c, applied at the kernel level);
+//! * [`merge_partials`] — concatenate per-piece partial keys and slots in
+//!   piece order, re-group the keys, apply each slot's *compensating
+//!   action* (paper §3, Fig. 3d: `count` partials merge with `sum`,
+//!   `sum`/`min`/`max` re-apply themselves), then finalize `avg` slots by
+//!   dividing merged sums by merged counts;
+//! * [`grouped_agg_multi`] — the driver: one partial at `P = 1`, morsel
+//!   partials on scoped threads merged via [`merge_partials`] at `P > 1`;
+//! * [`grouped_agg`] — the single-aggregate convenience wrapper the
+//!   PR 3 callers keep using.
 //!
 //! Determinism: morsels are ascending input ranges and group ids are
 //! assigned in first-occurrence order, so every key that first appears in
@@ -16,103 +27,237 @@
 //! making the merged output byte-identical to the sequential
 //! group-then-aggregate at every `P` for integer values, `count`, and
 //! `min`/`max` (associative merges). The one carve-out is **float
-//! `sum`**: addition over floats is non-associative, so a partial-sums
-//! merge can differ from the sequential left-to-right fold by real
-//! rounding error (e.g. `[1e16, 1.0, -1e16, 1.0]` sums to `1.0`
-//! sequentially but `0.0` from two-morsel partials). Float-sum output is
-//! still deterministic *for a given `P`* — same input, same fan-out,
-//! same bytes — just not `P`-invariant.
+//! `sum`** (and therefore float `avg`): addition over floats is
+//! non-associative, so a partial-sums merge can differ from the
+//! sequential left-to-right fold by real rounding error (e.g.
+//! `[1e16, 1.0, -1e16, 1.0]` sums to `1.0` sequentially but `0.0` from
+//! two-morsel partials). Float-sum output is still deterministic *for a
+//! given `P`* — same input, same fan-out, same bytes — just not
+//! `P`-invariant.
 
-use super::ParConfig;
-use crate::algebra::{self, concat_columns, AggKind};
+use super::{stats, ParConfig};
+use crate::algebra::{self, concat_columns, AggKind, ArithOp};
 use crate::column::Column;
 use crate::error::KernelError;
 use crate::{Bat, Result};
 
-/// Grouped aggregate over `keys` (and, except for `count`, the aligned
-/// `vals`): returns `(group_keys, aggregates)` in first-occurrence key
-/// order — the same pair the sequential `group` + `*_grouped` chain
-/// produces (float `sum` excepted: partials reassociate the additions,
-/// see the module docs). `P = 1` runs that sequential chain directly.
-pub fn grouped_agg(
-    keys: &Bat,
-    vals: Option<&Bat>,
-    kind: AggKind,
-    cfg: &ParConfig,
-) -> Result<(Column, Column)> {
-    if let Some(v) = vals {
-        if v.len() != keys.len() {
-            return Err(KernelError::LengthMismatch {
-                op: "par::grouped_agg",
-                left: keys.len(),
-                right: v.len(),
-            });
+/// One aggregate request over a shared grouping: the function plus the
+/// value column aligned with the keys (`None` for `count`, which needs no
+/// values; ignored by `count` when supplied).
+pub type AggSpec<'a> = (AggKind, Option<&'a Bat>);
+
+/// The partial state one input piece contributes to a fused grouped
+/// aggregation: the piece's distinct keys (first-occurrence order) plus
+/// one partial column per internal slot. `avg` specs own *two* slots
+/// (sum, count); every other spec owns one, in spec order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAggPartial {
+    /// Distinct keys of the piece, first-occurrence order.
+    pub keys: Column,
+    /// Per-slot partial aggregates, aligned with `keys`.
+    pub slots: Vec<Column>,
+}
+
+/// The internal slot layout for a list of user-level aggregate kinds:
+/// `avg` expands to a sum slot followed by a count slot, everything else
+/// maps to itself.
+fn slot_kinds(kinds: &[AggKind]) -> Vec<AggKind> {
+    let mut out = Vec::with_capacity(kinds.len());
+    for k in kinds {
+        match k {
+            AggKind::Avg => {
+                out.push(AggKind::Sum);
+                out.push(AggKind::Count);
+            }
+            k => out.push(*k),
         }
     }
-    let compensation = kind.compensation().ok_or_else(|| {
-        KernelError::Unsupported("par::grouped_agg on avg: expand to sum/count".into())
-    })?;
+    out
+}
+
+fn req(kind: AggKind, vals: Option<&Bat>) -> Result<&Bat> {
+    vals.ok_or_else(|| {
+        KernelError::Unsupported(format!("grouped {} requires a value column", kind.sql()))
+    })
+}
+
+/// Group `keys` once and compute every requested aggregate over that
+/// grouping — the per-piece half of the partial/merge API. Returns the
+/// piece's distinct keys plus one partial column per internal slot
+/// (`avg` expanded to sum + count).
+pub fn grouped_agg_partials(keys: &Bat, specs: &[AggSpec]) -> Result<GroupAggPartial> {
+    for (_, vals) in specs {
+        if let Some(v) = vals {
+            if v.len() != keys.len() {
+                return Err(KernelError::LengthMismatch {
+                    op: "par::grouped_agg",
+                    left: keys.len(),
+                    right: v.len(),
+                });
+            }
+        }
+    }
+    let groups = algebra::group(keys)?;
+    let out_keys = groups.keys(keys)?;
+    let mut slots = Vec::with_capacity(specs.len() + 1);
+    for &(kind, vals) in specs {
+        match kind {
+            AggKind::Count => slots.push(algebra::count_grouped(&groups)),
+            AggKind::Sum => slots.push(algebra::sum_grouped(req(kind, vals)?, &groups)?),
+            AggKind::Min => slots.push(algebra::min_grouped(req(kind, vals)?, &groups)?),
+            AggKind::Max => slots.push(algebra::max_grouped(req(kind, vals)?, &groups)?),
+            AggKind::Avg => {
+                slots.push(algebra::sum_grouped(req(kind, vals)?, &groups)?);
+                slots.push(algebra::count_grouped(&groups));
+            }
+        }
+    }
+    Ok(GroupAggPartial { keys: out_keys, slots })
+}
+
+/// Merge per-piece partials: concat keys and slots in piece order,
+/// re-group, apply each slot's compensating aggregate, finalize `avg`
+/// slots by division. Returns the merged keys (first-occurrence order
+/// across pieces) and one column per *user-level* spec in `kinds`.
+pub fn merge_partials(
+    kinds: &[AggKind],
+    partials: &[GroupAggPartial],
+) -> Result<(Column, Vec<Column>)> {
+    if partials.is_empty() {
+        return Err(KernelError::Unsupported("merge_partials over zero pieces".into()));
+    }
+    let slots = slot_kinds(kinds);
+    for p in partials {
+        if p.slots.len() != slots.len() {
+            return Err(KernelError::Unsupported(format!(
+                "partial has {} slots, layout wants {}",
+                p.slots.len(),
+                slots.len()
+            )));
+        }
+    }
+    let key_parts: Vec<&Column> = partials.iter().map(|p| &p.keys).collect();
+    let merged_keys = Bat::transient(concat_columns(&key_parts)?);
+    let regroup = algebra::group(&merged_keys)?;
+    let out_keys = regroup.keys(&merged_keys)?;
+    let mut merged_slots = Vec::with_capacity(slots.len());
+    for (i, slot_kind) in slots.iter().enumerate() {
+        let slot_parts: Vec<&Column> = partials.iter().map(|p| &p.slots[i]).collect();
+        let all = Bat::transient(concat_columns(&slot_parts)?);
+        let comp = slot_kind.compensation().expect("no avg slots after expansion");
+        let merged = match comp {
+            AggKind::Sum => algebra::sum_grouped(&all, &regroup)?,
+            AggKind::Min => algebra::min_grouped(&all, &regroup)?,
+            AggKind::Max => algebra::max_grouped(&all, &regroup)?,
+            other => unreachable!("no grouped compensation dispatch for {other:?}"),
+        };
+        merged_slots.push(merged);
+    }
+    Ok((out_keys, finalize(kinds, merged_slots)?))
+}
+
+/// Collapse internal slots back to one column per user-level spec: `avg`
+/// slots divide sum by count (promoting to float, the same `map_arith`
+/// division the sequential plan executor applies), others pass through.
+fn finalize(kinds: &[AggKind], slots: Vec<Column>) -> Result<Vec<Column>> {
+    let mut it = slots.into_iter();
+    let mut out = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        match kind {
+            AggKind::Avg => {
+                let sums = it.next().expect("avg sum slot");
+                let counts = it.next().expect("avg count slot");
+                let div = algebra::map_arith(
+                    &Bat::transient(sums),
+                    &Bat::transient(counts),
+                    ArithOp::Div,
+                )?;
+                out.push(div.tail);
+            }
+            _ => out.push(it.next().expect("slot per spec")),
+        }
+    }
+    Ok(out)
+}
+
+/// Fused grouped aggregation over `keys`: every aggregate in `specs` is
+/// evaluated over one shared grouping pass; returns `(group_keys,
+/// aggregates)` in first-occurrence key order with one output column per
+/// spec. `P = 1` computes a single partial and finalizes it directly —
+/// the literal sequential group-then-aggregate chain; `P > 1` computes
+/// per-morsel partials on scoped threads and merges them (float sums
+/// reassociate, see the module docs).
+pub fn grouped_agg_multi(
+    keys: &Bat,
+    specs: &[AggSpec],
+    cfg: &ParConfig,
+) -> Result<(Column, Vec<Column>)> {
+    let kinds: Vec<AggKind> = specs.iter().map(|&(k, _)| k).collect();
     let p = cfg.partitions();
     if p <= 1 || keys.len() < p {
-        return apply(keys, vals, kind);
+        stats::record_grouped_agg(false);
+        let partial = grouped_agg_partials(keys, specs)?;
+        return Ok((partial.keys, finalize(&kinds, partial.slots)?));
+    }
+    stats::record_grouped_agg(true);
+
+    // Validate lengths up front so mismatches surface before threads spawn.
+    for (_, vals) in specs {
+        if let Some(v) = vals {
+            if v.len() != keys.len() {
+                return Err(KernelError::LengthMismatch {
+                    op: "par::grouped_agg",
+                    left: keys.len(),
+                    right: v.len(),
+                });
+            }
+        }
     }
 
     // Per-morsel partials on scoped threads. Morsel views are zero-copy;
     // the per-morsel group/aggregate kernels take owned BATs, so each
     // thread materializes only its own morsel.
     let key_chunks = keys.chunks(p);
-    let partials: Vec<Result<(Column, Column)>> = std::thread::scope(|s| {
+    let partials: Vec<Result<GroupAggPartial>> = std::thread::scope(|s| {
+        let kinds = &kinds;
         let handles: Vec<_> = key_chunks
             .iter()
             .map(|&(base, kslice)| {
-                let vslice = vals.map(|v| v.tail.slice((base - keys.hseq) as usize, kslice.len()));
+                let vslices: Vec<_> = specs
+                    .iter()
+                    .map(|(_, vals)| {
+                        vals.map(|v| v.tail.slice((base - keys.hseq) as usize, kslice.len()))
+                    })
+                    .collect();
                 s.spawn(move || {
                     let kb = Bat::new(base, kslice.to_column());
-                    let vb = vslice.map(|vs| Bat::new(base, vs.to_column()));
-                    apply(&kb, vb.as_ref(), kind)
+                    let vbats: Vec<Option<Bat>> = vslices
+                        .into_iter()
+                        .map(|vs| vs.map(|v| Bat::new(base, v.to_column())))
+                        .collect();
+                    let morsel_specs: Vec<AggSpec> =
+                        kinds.iter().zip(&vbats).map(|(&k, v)| (k, v.as_ref())).collect();
+                    grouped_agg_partials(&kb, &morsel_specs)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("aggregate morsel panicked")).collect()
     });
-
-    // Merge: concat partials in morsel order, re-group, compensate.
-    let mut key_parts = Vec::with_capacity(p);
-    let mut agg_parts = Vec::with_capacity(p);
-    for partial in partials {
-        let (k, a) = partial?;
-        key_parts.push(k);
-        agg_parts.push(a);
-    }
-    let merged_keys = Bat::transient(concat_columns(&key_parts.iter().collect::<Vec<_>>())?);
-    let merged_aggs = Bat::transient(concat_columns(&agg_parts.iter().collect::<Vec<_>>())?);
-    let regroup = algebra::group(&merged_keys)?;
-    let out_keys = regroup.keys(&merged_keys)?;
-    let out_aggs = match compensation {
-        AggKind::Sum => algebra::sum_grouped(&merged_aggs, &regroup)?,
-        AggKind::Min => algebra::min_grouped(&merged_aggs, &regroup)?,
-        AggKind::Max => algebra::max_grouped(&merged_aggs, &regroup)?,
-        other => unreachable!("no grouped compensation dispatch for {other:?}"),
-    };
-    Ok((out_keys, out_aggs))
+    let partials: Vec<GroupAggPartial> = partials.into_iter().collect::<Result<_>>()?;
+    merge_partials(&kinds, &partials)
 }
 
-/// The sequential group-then-aggregate chain over one (morsel) BAT.
-fn apply(keys: &Bat, vals: Option<&Bat>, kind: AggKind) -> Result<(Column, Column)> {
-    let groups = algebra::group(keys)?;
-    let out_keys = groups.keys(keys)?;
-    let agg = match kind {
-        AggKind::Count => algebra::count_grouped(&groups),
-        AggKind::Sum => algebra::sum_grouped(req(vals)?, &groups)?,
-        AggKind::Min => algebra::min_grouped(req(vals)?, &groups)?,
-        AggKind::Max => algebra::max_grouped(req(vals)?, &groups)?,
-        AggKind::Avg => return Err(KernelError::Unsupported("par::grouped_agg on avg".into())),
-    };
-    Ok((out_keys, agg))
-}
-
-fn req(vals: Option<&Bat>) -> Result<&Bat> {
-    vals.ok_or_else(|| KernelError::Unsupported("grouped aggregate requires a value column".into()))
+/// Single-aggregate grouped aggregation — the PR 3 entry point, now a
+/// thin wrapper over [`grouped_agg_multi`]. `avg` is supported: it is
+/// expanded to sum/count partials internally and divided at the merge.
+pub fn grouped_agg(
+    keys: &Bat,
+    vals: Option<&Bat>,
+    kind: AggKind,
+    cfg: &ParConfig,
+) -> Result<(Column, Column)> {
+    let (out_keys, mut cols) = grouped_agg_multi(keys, &[(kind, vals)], cfg)?;
+    Ok((out_keys, cols.pop().expect("one aggregate in, one column out")))
 }
 
 #[cfg(test)]
@@ -125,15 +270,59 @@ mod tests {
         (keys, vals)
     }
 
+    /// The sequential reference: one grouping pass, finalize in place.
+    fn seq(keys: &Bat, vals: Option<&Bat>, kind: AggKind) -> (Column, Column) {
+        let partial = grouped_agg_partials(keys, &[(kind, vals)]).unwrap();
+        let mut cols = finalize(&[kind], partial.slots).unwrap();
+        (partial.keys, cols.pop().unwrap())
+    }
+
     #[test]
     fn matches_sequential_for_every_kind_and_p() {
         let (keys, vals) = keys_vals(97);
         for kind in [AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max] {
             let vals_arg = (kind != AggKind::Count).then_some(&vals);
-            let seq = apply(&keys, vals_arg, kind).unwrap();
+            let expect = seq(&keys, vals_arg, kind);
             for p in [1, 2, 3, 8] {
                 let par = grouped_agg(&keys, vals_arg, kind, &ParConfig::new(p)).unwrap();
-                assert_eq!(par, seq, "kind={kind:?} P={p}");
+                assert_eq!(par, expect, "kind={kind:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn avg_expands_to_sum_count_and_matches_sequential() {
+        // The satellite fix: avg partials are (sum, count) pairs merged by
+        // (sum of sums) / (sum of counts) — par ≡ sequential at every P,
+        // exactly (integer sums and counts divide identically).
+        let (keys, vals) = keys_vals(97);
+        let expect = seq(&keys, Some(&vals), AggKind::Avg);
+        assert!(matches!(expect.1, Column::Float(_)), "avg promotes to float");
+        for p in [1, 2, 8] {
+            let par = grouped_agg(&keys, Some(&vals), AggKind::Avg, &ParConfig::new(p)).unwrap();
+            assert_eq!(par, expect, "P={p}");
+        }
+    }
+
+    #[test]
+    fn multi_agg_shares_one_grouping_pass() {
+        // sum, count(*), min, avg over the same keys in one call: each
+        // output column equals its single-aggregate run, keys once.
+        let (keys, vals) = keys_vals(64);
+        let specs: Vec<AggSpec> = vec![
+            (AggKind::Sum, Some(&vals)),
+            (AggKind::Count, None),
+            (AggKind::Min, Some(&vals)),
+            (AggKind::Avg, Some(&vals)),
+        ];
+        for p in [1, 2, 8] {
+            let cfg = ParConfig::new(p);
+            let (k, cols) = grouped_agg_multi(&keys, &specs, &cfg).unwrap();
+            assert_eq!(cols.len(), 4);
+            for (i, &(kind, vals)) in specs.iter().enumerate() {
+                let (sk, sc) = grouped_agg(&keys, vals, kind, &cfg).unwrap();
+                assert_eq!(k, sk, "keys P={p}");
+                assert_eq!(cols[i], sc, "slot {i} kind={kind:?} P={p}");
             }
         }
     }
@@ -142,9 +331,9 @@ mod tests {
     fn float_values_and_string_keys() {
         let keys = Bat::transient(Column::Str((0..60).map(|i| format!("g{}", i % 4)).collect()));
         let vals = Bat::transient(Column::Float((0..60).map(|i| i as f64 / 2.0).collect()));
-        let seq = apply(&keys, Some(&vals), AggKind::Sum).unwrap();
+        let expect = seq(&keys, Some(&vals), AggKind::Sum);
         let par = grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(4)).unwrap();
-        assert_eq!(par, seq);
+        assert_eq!(par, expect);
     }
 
     #[test]
@@ -154,8 +343,8 @@ mod tests {
         // repeating the same (input, P) pair reproduces the same bytes.
         let keys = Bat::transient(Column::Int(vec![0, 0, 0, 0]));
         let vals = Bat::transient(Column::Float(vec![1e16, 1.0, -1e16, 1.0]));
-        let seq = apply(&keys, Some(&vals), AggKind::Sum).unwrap();
-        assert_eq!(seq.1, Column::Float(vec![1.0]));
+        let expect = seq(&keys, Some(&vals), AggKind::Sum);
+        assert_eq!(expect.1, Column::Float(vec![1.0]));
         let cfg = ParConfig::new(2);
         let par = grouped_agg(&keys, Some(&vals), AggKind::Sum, &cfg).unwrap();
         assert_eq!(par.1, Column::Float(vec![0.0])); // (1e16 + 1.0) lost the 1.0
@@ -163,17 +352,21 @@ mod tests {
     }
 
     #[test]
-    fn avg_is_rejected_with_expansion_hint() {
-        let (keys, vals) = keys_vals(16);
-        let err = grouped_agg(&keys, Some(&vals), AggKind::Avg, &ParConfig::new(2));
-        assert!(matches!(err, Err(KernelError::Unsupported(_))));
+    fn value_column_required_for_sum_and_avg() {
+        let (keys, _) = keys_vals(16);
+        for kind in [AggKind::Sum, AggKind::Min, AggKind::Max, AggKind::Avg] {
+            let err = grouped_agg(&keys, None, kind, &ParConfig::new(2));
+            assert!(matches!(err, Err(KernelError::Unsupported(_))), "kind={kind:?}");
+        }
     }
 
     #[test]
-    fn length_mismatch_rejected() {
+    fn length_mismatch_rejected_at_every_p() {
         let keys = Bat::transient(Column::Int(vec![1, 2, 3]));
         let vals = Bat::transient(Column::Int(vec![1]));
-        assert!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(2)).is_err());
+        for p in [1, 2] {
+            assert!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(p)).is_err());
+        }
     }
 
     #[test]
@@ -181,5 +374,26 @@ mod tests {
         let keys = Bat::empty(crate::DataType::Int);
         let (k, a) = grouped_agg(&keys, None, AggKind::Count, &ParConfig::new(4)).unwrap();
         assert!(k.is_empty() && a.is_empty());
+        let vals = Bat::empty(crate::DataType::Int);
+        let (k, cols) =
+            grouped_agg_multi(&keys, &[(AggKind::Avg, Some(&vals))], &ParConfig::new(4)).unwrap();
+        assert!(k.is_empty() && cols[0].is_empty());
+    }
+
+    #[test]
+    fn merge_partials_rejects_bad_shapes() {
+        assert!(merge_partials(&[AggKind::Sum], &[]).is_err());
+        let bad = GroupAggPartial { keys: Column::Int(vec![1]), slots: vec![] };
+        assert!(merge_partials(&[AggKind::Sum], &[bad]).is_err());
+    }
+
+    #[test]
+    fn stats_counters_observe_fanout() {
+        let (keys, vals) = keys_vals(64);
+        let (c0, p0) = (stats::grouped_agg_calls(), stats::grouped_agg_par_calls());
+        grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(1)).unwrap();
+        assert!(stats::grouped_agg_calls() > c0);
+        grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(4)).unwrap();
+        assert!(stats::grouped_agg_par_calls() > p0);
     }
 }

@@ -33,9 +33,46 @@ mod aggregate;
 mod join;
 mod select;
 
-pub use aggregate::grouped_agg;
+pub use aggregate::{
+    grouped_agg, grouped_agg_multi, grouped_agg_partials, merge_partials, AggSpec, GroupAggPartial,
+};
 pub use join::hashjoin;
 pub use select::select;
+
+/// Lightweight observability counters for the parallel kernel entry
+/// points. Process-wide monotone `AtomicU64`s: cheap enough to bump on
+/// every call, precise enough for tests and bench harnesses to prove a
+/// query actually reached the partitioned code paths (read a counter,
+/// run the query, assert the delta). Counters only ever increase;
+/// compare deltas rather than absolute values — other threads may be
+/// aggregating concurrently.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static GROUPED_AGG_CALLS: AtomicU64 = AtomicU64::new(0);
+    static GROUPED_AGG_PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// Record one grouped-aggregate kernel call; `parallel` marks calls
+    /// that actually fanned morsels out over `P > 1` scoped threads
+    /// (rather than dispatching to the sequential single-partial path).
+    pub(crate) fn record_grouped_agg(parallel: bool) {
+        GROUPED_AGG_CALLS.fetch_add(1, Ordering::Relaxed);
+        if parallel {
+            GROUPED_AGG_PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total grouped-aggregate kernel calls (any `P`).
+    pub fn grouped_agg_calls() -> u64 {
+        GROUPED_AGG_CALLS.load(Ordering::Relaxed)
+    }
+
+    /// Grouped-aggregate kernel calls that fanned out over `P > 1`
+    /// morsel threads.
+    pub fn grouped_agg_par_calls() -> u64 {
+        GROUPED_AGG_PAR_CALLS.load(Ordering::Relaxed)
+    }
+}
 
 /// Configuration of the partitioned parallel runtime.
 ///

@@ -281,16 +281,21 @@ impl Compiler {
                 }
             }
             Some(gcol) => {
+                // One fused group-and-aggregate node: a single grouping
+                // pass feeds every aggregate (and the parallel kernel's
+                // partial/merge path at partitions > 1).
                 let keys = self.values(&scope, gcol)?;
-                let g = self.b.emit(MalOp::Group { keys });
-                let k = self.b.emit(MalOp::GroupKeys { groups: g, keys });
-                out.push((gcol.attr.clone(), k));
+                let mut agg_specs = Vec::with_capacity(aggs.len());
                 for agg in aggs {
                     let vals = match &agg.input {
                         Some(col) => Some(self.values(&scope, col)?),
                         None => None,
                     };
-                    let v = self.b.emit(MalOp::GroupedAgg { kind: agg.kind, vals, groups: g });
+                    agg_specs.push((agg.kind, vals));
+                }
+                let (k, avars) = self.b.emit_group_agg(keys, agg_specs);
+                out.push((gcol.attr.clone(), k));
+                for (agg, v) in aggs.iter().zip(avars) {
                     out.push((agg.alias.clone(), v));
                 }
             }

@@ -144,6 +144,27 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
             };
             vec![MalValue::Bat(Bat::transient(col))]
         }
+        MalOp::GroupAgg { aggs, .. } => {
+            // args order: [keys, then one entry per Some(vals) in agg order]
+            let keys = args[0].as_bat("group agg keys")?;
+            let mut rest = args[1..].iter();
+            let mut val_bats: Vec<Option<&Bat>> = Vec::with_capacity(aggs.len());
+            for (_, vals) in aggs {
+                val_bats.push(match vals {
+                    Some(_) => {
+                        Some(rest.next().expect("args match specs").as_bat("group agg vals")?)
+                    }
+                    None => None,
+                });
+            }
+            let specs: Vec<par::AggSpec> =
+                aggs.iter().zip(&val_bats).map(|(&(kind, _), &v)| (kind, v)).collect();
+            let (out_keys, cols) = par::grouped_agg_multi(keys, &specs, &ctx.par_config())?;
+            let mut out = Vec::with_capacity(1 + cols.len());
+            out.push(MalValue::Bat(Bat::transient(out_keys)));
+            out.extend(cols.into_iter().map(|c| MalValue::Bat(Bat::transient(c))));
+            out
+        }
         MalOp::ScalarAgg { kind, .. } => {
             let b = args[0].as_bat("scalar agg")?;
             vec![scalar_agg(*kind, b)?]

@@ -30,7 +30,7 @@ pub use error::PlanError;
 pub use exec::{execute, ExecCtx};
 pub use logical::{AggExpr, ColumnRef, LogicalPlan};
 pub use mal::{Instr, MalOp, MalPlan, MalValue, VarId};
-pub use optimize::optimize;
+pub use optimize::{fuse_group_agg, optimize};
 pub use result::ResultSet;
 pub use window::WindowSpec;
 

@@ -128,6 +128,22 @@ pub enum MalOp {
         /// The grouping.
         groups: VarId,
     },
+    /// Fused group-and-aggregate: one grouping pass over `keys` feeding
+    /// every aggregate in `aggs`. Writes `1 + aggs.len()` destinations —
+    /// the distinct group keys (first-occurrence order) followed by one
+    /// aggregate column per entry, aligned with the keys. This is the
+    /// node the incremental rewriter consumes directly (the Fig. 3d
+    /// cluster as a single operator) and the one `plan::exec` fans out
+    /// through `kernel::par::grouped_agg_multi` at partitions > 1.
+    /// `Group`/`GroupKeys`/`GroupedAgg` stay legal standalone nodes; the
+    /// `fuse_group_agg` pass in [`crate::optimize`] lowers their chains
+    /// to this form.
+    GroupAgg {
+        /// Grouping key column.
+        keys: VarId,
+        /// Aggregates: function plus value column (`None` for `count`).
+        aggs: Vec<(AggKind, Option<VarId>)>,
+    },
     /// Scalar aggregate over a whole BAT.
     ScalarAgg {
         /// Aggregate function.
@@ -208,6 +224,11 @@ impl MalOp {
                 Some(v) => vec![*v, *groups],
                 None => vec![*groups],
             },
+            MalOp::GroupAgg { keys, aggs } => {
+                let mut out = vec![*keys];
+                out.extend(aggs.iter().filter_map(|(_, v)| *v));
+                out
+            }
             MalOp::ScalarAgg { vals, .. } => vec![*vals],
             MalOp::Concat { parts } => parts.clone(),
             MalOp::MapArith { left, right, .. } => vec![*left, *right],
@@ -224,6 +245,7 @@ impl MalOp {
     pub fn n_dests(&self) -> usize {
         match self {
             MalOp::Join { .. } => 2,
+            MalOp::GroupAgg { aggs, .. } => 1 + aggs.len(),
             _ => 1,
         }
     }
@@ -239,6 +261,7 @@ impl MalOp {
             MalOp::Group { .. } => "group.new",
             MalOp::GroupKeys { .. } => "group.keys",
             MalOp::GroupedAgg { .. } => "aggr.grouped",
+            MalOp::GroupAgg { .. } => "group.agg",
             MalOp::ScalarAgg { .. } => "aggr.scalar",
             MalOp::Concat { .. } => "algebra.concat",
             MalOp::MapArith { .. } => "batcalc.arith",
@@ -298,6 +321,16 @@ impl MalPlan {
                     Some(v) => format!("[{}](X_{v}, X_{groups})", kind.sql()),
                     None => format!("[{}](X_{groups})", kind.sql()),
                 },
+                MalOp::GroupAgg { keys, aggs } => {
+                    let parts: Vec<String> = aggs
+                        .iter()
+                        .map(|(kind, vals)| match vals {
+                            Some(v) => format!("{}(X_{v})", kind.sql()),
+                            None => format!("{}()", kind.sql()),
+                        })
+                        .collect();
+                    format!("[{}](X_{keys})", parts.join(", "))
+                }
                 MalOp::ScalarAgg { kind, vals } => format!("[{}](X_{vals})", kind.sql()),
                 MalOp::MapArith { left, right, op } => {
                     format!("(X_{left} {} X_{right})", op.symbol())
@@ -406,6 +439,21 @@ impl MalBuilder {
         let dr = self.fresh();
         self.instrs.push(Instr { dests: vec![dl, dr], op: MalOp::Join { left, right } });
         (dl, dr)
+    }
+
+    /// Emit a fused group-and-aggregate node; returns the group-keys
+    /// destination plus one destination per aggregate, in `aggs` order.
+    pub fn emit_group_agg(
+        &mut self,
+        keys: VarId,
+        aggs: Vec<(AggKind, Option<VarId>)>,
+    ) -> (VarId, Vec<VarId>) {
+        let kd = self.fresh();
+        let ads: Vec<VarId> = aggs.iter().map(|_| self.fresh()).collect();
+        let mut dests = vec![kd];
+        dests.extend(&ads);
+        self.instrs.push(Instr { dests, op: MalOp::GroupAgg { keys, aggs } });
+        (kd, ads)
     }
 
     /// Finish the program.
@@ -529,5 +577,26 @@ mod tests {
         assert_eq!(op.args(), vec![2]);
         let op = MalOp::Concat { parts: vec![5, 6, 7] };
         assert_eq!(op.args(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn group_agg_writes_keys_plus_one_dest_per_aggregate() {
+        let mut b = MalBuilder::new();
+        let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+        let v = b.emit(MalOp::BindStream { stream: "s".into(), attr: "v".into() });
+        let (kd, ads) = b.emit_group_agg(
+            k,
+            vec![(AggKind::Sum, Some(v)), (AggKind::Count, None), (AggKind::Avg, Some(v))],
+        );
+        assert_eq!(ads.len(), 3);
+        let mut results = vec![kd];
+        results.extend(&ads);
+        let p = b.finish(vec!["k".into(), "s".into(), "n".into(), "a".into()], results);
+        p.validate().unwrap();
+        let op = &p.instrs[2].op;
+        assert_eq!(op.n_dests(), 4);
+        // args: keys first, then only the Some value columns in order.
+        assert_eq!(op.args(), vec![k, v, v]);
+        assert!(p.explain().contains("group.agg[sum(X_1), count(), avg(X_1)](X_0)"));
     }
 }

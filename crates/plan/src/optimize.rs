@@ -9,10 +9,22 @@
 //!   touches only one join side moves onto that side);
 //! * **trivial filter elimination** (`Predicate::True`);
 //! * **filter ordering**: equality predicates before range predicates on the
-//!   same input (cheapest-first heuristic without statistics).
+//!   same input (cheapest-first heuristic without statistics);
+//! * **filter merging**: adjacent filters on the *same* column collapse
+//!   into one conjunction ([`Predicate::and`]), so `a > v1 AND a < v2`
+//!   becomes a single range select instead of a select + fetch + select
+//!   chain — and downstream MAL passes see canonical plan shapes.
+//!
+//! The module also hosts the MAL-level **group-agg fusion pass**
+//! ([`fuse_group_agg`]): the compatibility shim that lowers standalone
+//! `Group`/`GroupKeys`/`GroupedAgg` chains (hand-built MAL plans, older
+//! compilers) into the fused [`MalOp::GroupAgg`] node the incremental
+//! rewriter and the parallel aggregation kernel consume.
 
 use crate::logical::LogicalPlan;
+use crate::mal::{Instr, MalOp, MalPlan, VarId};
 use datacell_kernel::algebra::Predicate;
+use std::collections::{HashMap, HashSet};
 
 /// Apply all rewrites until fixpoint (the pass set is terminating: each
 /// rewrite strictly reduces a measure — filter depth or plan size).
@@ -90,6 +102,17 @@ fn pass(plan: LogicalPlan) -> (LogicalPlan, bool) {
                     }
                 }
             }
+            // -- same-column filters merge into one conjunction ----------
+            LogicalPlan::Filter { input: inner_input, column: inner_col, pred: inner_pred }
+                if inner_col == column =>
+            {
+                let merged = LogicalPlan::Filter {
+                    input: inner_input,
+                    column,
+                    pred: Predicate::and(inner_pred, pred),
+                };
+                (merged, true)
+            }
             // -- equality-first ordering of adjacent filters -------------
             LogicalPlan::Filter { input: inner_input, column: inner_col, pred: inner_pred } => {
                 let outer_is_eq = is_equality(&pred);
@@ -152,6 +175,127 @@ fn pass(plan: LogicalPlan) -> (LogicalPlan, bool) {
 
 fn is_equality(p: &Predicate) -> bool {
     matches!(p, Predicate::Cmp(datacell_kernel::algebra::CmpOp::Eq, _))
+}
+
+/// Lower `Group`/`GroupKeys`/`GroupedAgg` chains into fused
+/// [`MalOp::GroupAgg`] nodes — the compatibility shim for plans built
+/// directly in MAL (the SQL compiler already emits the fused form).
+///
+/// A chain is fused when it is *closed*: the `Groups` variable is read
+/// only by its own `GroupKeys`/`GroupedAgg` members (and is not a result
+/// variable), there is at most one `GroupKeys` and it materializes the
+/// same key column that was grouped, and no member's destination is read
+/// before the fusion site (the position of the last member, where every
+/// input is available). Chains that fail these checks are left untouched
+/// — the standalone nodes remain legal and executable; they just do not
+/// reach the fused parallel path.
+pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
+    // Position of each instruction that writes a given variable, and the
+    // set of (reader instr, arg) pairs per variable.
+    let mut readers: HashMap<VarId, Vec<usize>> = HashMap::new();
+    for (i, ins) in plan.instrs.iter().enumerate() {
+        for a in ins.op.args() {
+            readers.entry(a).or_default().push(i);
+        }
+    }
+
+    let mut nvars = plan.nvars;
+    let mut dropped: HashSet<usize> = HashSet::new();
+    let mut fused_at: HashMap<usize, Instr> = HashMap::new();
+
+    'groups: for (gi, gins) in plan.instrs.iter().enumerate() {
+        let MalOp::Group { keys } = gins.op else { continue };
+        let gvar = gins.dests[0];
+        if plan.result_vars.contains(&gvar) {
+            continue;
+        }
+        // Collect members; any non-member reader of the Groups var
+        // disqualifies the chain.
+        let mut keys_member: Option<(usize, VarId)> = None;
+        let mut agg_members: Vec<(usize, VarId, datacell_kernel::algebra::AggKind, Option<VarId>)> =
+            Vec::new();
+        for &ri in readers.get(&gvar).map(|v| v.as_slice()).unwrap_or_default() {
+            match &plan.instrs[ri].op {
+                MalOp::GroupKeys { groups, keys: k2 } if *groups == gvar && *k2 == keys => {
+                    if keys_member.is_some() {
+                        continue 'groups; // two GroupKeys: ambiguous, skip
+                    }
+                    keys_member = Some((ri, plan.instrs[ri].dests[0]));
+                }
+                MalOp::GroupedAgg { kind, vals, groups } if *groups == gvar => {
+                    agg_members.push((ri, plan.instrs[ri].dests[0], *kind, *vals));
+                }
+                _ => continue 'groups, // foreign consumer of the grouping
+            }
+        }
+        if agg_members.is_empty() && keys_member.is_none() {
+            continue; // dead grouping: nothing to fuse
+        }
+        // The fusion site: the last member, where all inputs are written.
+        let member_idxs: HashSet<usize> = keys_member
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(agg_members.iter().map(|&(i, ..)| i))
+            .collect();
+        let site = *member_idxs.iter().max().expect("at least one member");
+        // No member destination may be read at or before the fusion site
+        // — by outsiders (the write would move past the read) or by the
+        // members themselves (every member index is ≤ site, so a member
+        // aggregating another member's output would fuse into a node
+        // that reads its own destination).
+        let member_dests: Vec<VarId> = keys_member
+            .iter()
+            .map(|&(_, d)| d)
+            .chain(agg_members.iter().map(|&(_, d, ..)| d))
+            .collect();
+        for d in member_dests {
+            for &ri in readers.get(&d).map(|v| v.as_slice()).unwrap_or_default() {
+                if ri <= site {
+                    continue 'groups;
+                }
+            }
+        }
+        // Build the fused node: keys dest reuses the GroupKeys dest (or a
+        // fresh, unread variable when the chain had no GroupKeys).
+        let keys_dest = match keys_member {
+            Some((_, d)) => d,
+            None => {
+                let v = nvars;
+                nvars += 1;
+                v
+            }
+        };
+        let mut dests = vec![keys_dest];
+        let mut aggs = Vec::with_capacity(agg_members.len());
+        for &(_, d, kind, vals) in &agg_members {
+            dests.push(d);
+            aggs.push((kind, vals));
+        }
+        dropped.insert(gi);
+        dropped.extend(&member_idxs);
+        fused_at.insert(site, Instr { dests, op: MalOp::GroupAgg { keys, aggs } });
+    }
+
+    if fused_at.is_empty() {
+        return plan.clone();
+    }
+    let mut instrs = Vec::with_capacity(plan.instrs.len());
+    for (i, ins) in plan.instrs.iter().enumerate() {
+        if let Some(fused) = fused_at.remove(&i) {
+            instrs.push(fused);
+        } else if !dropped.contains(&i) {
+            instrs.push(ins.clone());
+        }
+    }
+    let out = MalPlan {
+        instrs,
+        result_names: plan.result_names.clone(),
+        result_vars: plan.result_vars.clone(),
+        nvars,
+        streams: plan.streams.clone(),
+    };
+    debug_assert!(out.validate().is_ok(), "fusion produced invalid MAL:\n{}", out.explain());
+    out
 }
 
 fn plan_has_source(plan: &LogicalPlan, source: &str) -> bool {
@@ -255,5 +399,162 @@ mod tests {
             .filter(col("c", "x"), Predicate::gt(5));
         let o = optimize(p);
         assert!(o.explain().starts_with("filter c.x"));
+    }
+
+    #[test]
+    fn same_column_filters_merge_into_one_conjunction() {
+        // a > 1 AND a < 5 on the same column: one filter, one Range pred.
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::gt(1))
+            .filter(col("s", "a"), Predicate::lt(5))
+            .project(vec![(col("s", "a"), "a".into())]);
+        let o = optimize(p);
+        let filters = o.explain().lines().filter(|l| l.contains("filter")).count();
+        assert_eq!(filters, 1);
+        let LogicalPlan::Project { input, .. } = &o else { panic!("project on top") };
+        let LogicalPlan::Filter { pred, .. } = input.as_ref() else { panic!("merged filter") };
+        assert!(matches!(pred, Predicate::Range { .. }), "gt+lt folded to a range: {pred:?}");
+    }
+
+    #[test]
+    fn same_column_merge_keeps_residual_conjunctions() {
+        // Two lower bounds cannot fold to a Range; they still merge into
+        // one filter carrying a Predicate::And.
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::gt(1))
+            .filter(col("s", "a"), Predicate::gt(3))
+            .project(vec![(col("s", "a"), "a".into())]);
+        let o = optimize(p);
+        let LogicalPlan::Project { input, .. } = &o else { panic!("project on top") };
+        let LogicalPlan::Filter { pred, .. } = input.as_ref() else { panic!("merged filter") };
+        assert!(matches!(pred, Predicate::And(..)));
+    }
+
+    #[test]
+    fn different_column_filters_do_not_merge() {
+        let p = LogicalPlan::stream("s")
+            .filter(col("s", "a"), Predicate::gt(1))
+            .filter(col("s", "b"), Predicate::lt(5))
+            .project(vec![(col("s", "a"), "a".into())]);
+        let o = optimize(p);
+        let filters = o.explain().lines().filter(|l| l.contains("filter")).count();
+        assert_eq!(filters, 2);
+    }
+
+    mod fusion {
+        use super::*;
+        use crate::mal::{MalBuilder, MalOp};
+        use datacell_kernel::algebra::AggKind;
+
+        /// A hand-built unfused chain: bind, group, keys, sum, count.
+        fn unfused() -> crate::mal::MalPlan {
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let v = b.emit(MalOp::BindStream { stream: "s".into(), attr: "v".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let s = b.emit(MalOp::GroupedAgg { kind: AggKind::Sum, vals: Some(v), groups: g });
+            let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: g });
+            b.finish(vec!["k".into(), "s".into(), "n".into()], vec![gk, s, n])
+        }
+
+        #[test]
+        fn chain_fuses_to_one_group_agg_node() {
+            let fused = fuse_group_agg(&unfused());
+            fused.validate().unwrap();
+            assert!(!fused.instrs.iter().any(|i| matches!(
+                i.op,
+                MalOp::Group { .. } | MalOp::GroupKeys { .. } | MalOp::GroupedAgg { .. }
+            )));
+            let ga = fused
+                .instrs
+                .iter()
+                .find(|i| matches!(i.op, MalOp::GroupAgg { .. }))
+                .expect("fused node emitted");
+            // Keys dest first (the GroupKeys dest), then the agg dests in
+            // member order — result vars unchanged.
+            assert_eq!(ga.dests, vec![3, 4, 5]);
+            let MalOp::GroupAgg { keys, aggs } = &ga.op else { unreachable!() };
+            assert_eq!(*keys, 0);
+            assert_eq!(aggs.len(), 2);
+            assert_eq!(fused.result_vars, vec![3, 4, 5]);
+        }
+
+        #[test]
+        fn chain_without_groupkeys_gets_fresh_keys_dest() {
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let a = b.emit(MalOp::GroupedAgg { kind: AggKind::Avg, vals: Some(k), groups: g });
+            let plan = b.finish(vec!["a".into()], vec![a]);
+            let fused = fuse_group_agg(&plan);
+            fused.validate().unwrap();
+            assert_eq!(fused.nvars, plan.nvars + 1); // fresh, unread keys var
+            assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::GroupAgg { .. })));
+        }
+
+        #[test]
+        fn groups_var_as_result_blocks_fusion() {
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let mut plan = b.finish(vec!["k".into()], vec![gk]);
+            plan.result_vars = vec![g]; // pathological: grouping itself is a result
+            let fused = fuse_group_agg(&plan);
+            assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::Group { .. })));
+        }
+
+        #[test]
+        fn member_dest_read_before_site_blocks_fusion() {
+            // GroupKeys dest is sorted *between* the members: fusing at
+            // the last member would move the write past the read.
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let srt = b.emit(MalOp::Sort { input: gk, desc: false });
+            let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: g });
+            let plan = b.finish(vec!["k".into(), "n".into()], vec![srt, n]);
+            let fused = fuse_group_agg(&plan);
+            fused.validate().unwrap();
+            assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::Group { .. })));
+        }
+
+        #[test]
+        fn member_aggregating_another_members_dest_blocks_fusion() {
+            // A GroupedAgg whose value column *is* the GroupKeys output:
+            // fusing would emit a node that reads its own destination.
+            // The chain must stay unfused (and keep executing as-is).
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: Some(gk), groups: g });
+            let plan = b.finish(vec!["k".into(), "n".into()], vec![gk, n]);
+            let fused = fuse_group_agg(&plan);
+            fused.validate().unwrap();
+            assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::Group { .. })));
+            assert!(!fused.instrs.iter().any(|i| matches!(i.op, MalOp::GroupAgg { .. })));
+        }
+
+        #[test]
+        fn fused_plan_executes_identically() {
+            use crate::exec::{execute, WindowCtx};
+            use datacell_basket::BasicWindow;
+            use datacell_kernel::Column;
+            let plan = unfused();
+            let fused = fuse_group_agg(&plan);
+            let w = BasicWindow::new(
+                0,
+                vec![Column::Int(vec![1, 2, 1, 3, 2]), Column::Int(vec![10, 20, 30, 40, 50])],
+                vec![0; 5],
+                vec!["k".into(), "v".into()],
+            );
+            let ctx = WindowCtx::new().with_stream("s", &w);
+            let a = execute(&plan, &ctx).unwrap();
+            let b = execute(&fused, &ctx).unwrap();
+            assert_eq!(a.rows(), b.rows());
+        }
     }
 }

@@ -29,6 +29,46 @@ fn pair_set(lo: &Bat, ro: &Bat) -> Vec<(u64, u64)> {
     v
 }
 
+fn plan_window_int(keys: &[i64], vals: &[i64]) -> datacell::basket::BasicWindow {
+    datacell::basket::BasicWindow::new(
+        0,
+        vec![Column::Int(keys.to_vec()), Column::Int(vals.to_vec())],
+        vec![0; keys.len()],
+        vec!["k".into(), "v".into()],
+    )
+}
+
+/// Execute an unfused multi-aggregate Group/GroupKeys/GroupedAgg chain
+/// and its `fuse_group_agg`-lowered form over the same window; the fused
+/// plan must reproduce the unfused rows exactly at partition fan-out `p`.
+fn fused_vs_unfused(
+    w: &datacell::basket::BasicWindow,
+    p: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    use datacell::plan::exec::{execute, WindowCtx};
+    use datacell::plan::mal::{MalBuilder, MalOp};
+    let mut b = MalBuilder::new();
+    let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+    let v = b.emit(MalOp::BindStream { stream: "s".into(), attr: "v".into() });
+    let g = b.emit(MalOp::Group { keys: k });
+    let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+    let s = b.emit(MalOp::GroupedAgg { kind: AggKind::Sum, vals: Some(v), groups: g });
+    let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: g });
+    let mx = b.emit(MalOp::GroupedAgg { kind: AggKind::Max, vals: Some(v), groups: g });
+    let a = b.emit(MalOp::GroupedAgg { kind: AggKind::Avg, vals: Some(v), groups: g });
+    let plan = b.finish(
+        vec!["k".into(), "sum".into(), "n".into(), "max".into(), "avg".into()],
+        vec![gk, s, n, mx, a],
+    );
+    let fused = datacell::plan::fuse_group_agg(&plan);
+    prop_assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::GroupAgg { .. })));
+    let reference = execute(&plan, &WindowCtx::new().with_stream("s", w)).unwrap();
+    let ctx = WindowCtx::new().with_stream("s", w).with_partitions(p);
+    let got = execute(&fused, &ctx).unwrap();
+    prop_assert_eq!(got.rows(), reference.rows(), "P={}", p);
+    Ok(())
+}
+
 /// Nested-loop reference join over generic keys.
 fn nested_loop<T: PartialEq>(l: &[T], r: &[T], l_hseq: u64, r_hseq: u64) -> Vec<(u64, u64)> {
     let mut expect = Vec::new();
@@ -331,6 +371,93 @@ proptest! {
             prop_assert_eq!(&pk, &seq_keys, "keys P={}", p);
             prop_assert_eq!(&ps, &seq_sums, "sums P={}", p);
         }
+    }
+
+    #[test]
+    fn par_grouped_agg_multi_matches_sequential_chain(
+        keys in prop::collection::vec(0i64..6, 0..150),
+    ) {
+        // The fused multi-aggregate kernel (one grouping pass for sum,
+        // count, min and avg — avg expanded to sum/count internally)
+        // reproduces the sequential group-then-aggregate chain exactly
+        // at every P, including the division the executor applies for avg.
+        let vals: Vec<i64> = keys.iter().map(|k| k * 3 + 1).collect();
+        let kb = int_bat(&keys, 0);
+        let vb = int_bat(&vals, 0);
+        let g = algebra::group(&kb).unwrap();
+        let seq_keys = g.keys(&kb).unwrap();
+        let seq_sums = algebra::sum_grouped(&vb, &g).unwrap();
+        let seq_counts = algebra::count_grouped(&g);
+        let seq_mins = algebra::min_grouped(&vb, &g).unwrap();
+        let seq_avgs = algebra::map_arith(
+            &Bat::transient(seq_sums.clone()),
+            &Bat::transient(seq_counts.clone()),
+            algebra::ArithOp::Div,
+        ).unwrap().tail;
+        let specs: Vec<par::AggSpec> = vec![
+            (AggKind::Sum, Some(&vb)),
+            (AggKind::Count, None),
+            (AggKind::Min, Some(&vb)),
+            (AggKind::Avg, Some(&vb)),
+        ];
+        for p in [1usize, 2, 8] {
+            let (pk, cols) = par::grouped_agg_multi(&kb, &specs, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&pk, &seq_keys, "keys P={}", p);
+            prop_assert_eq!(&cols[0], &seq_sums, "sums P={}", p);
+            prop_assert_eq!(&cols[1], &seq_counts, "counts P={}", p);
+            prop_assert_eq!(&cols[2], &seq_mins, "mins P={}", p);
+            prop_assert_eq!(&cols[3], &seq_avgs, "avgs P={}", p);
+        }
+    }
+
+    #[test]
+    fn par_grouped_avg_matches_sequential(
+        keys in prop::collection::vec(0i64..5, 0..120),
+    ) {
+        // The satellite fix, property-tested: avg through the single-agg
+        // entry point equals (sequential sums) / (sequential counts) at
+        // P ∈ {1, 2, 8} — no more Unsupported rejection.
+        let vals: Vec<i64> = keys.iter().map(|k| k * 11 + 3).collect();
+        let kb = int_bat(&keys, 0);
+        let vb = int_bat(&vals, 0);
+        let g = algebra::group(&kb).unwrap();
+        let expect = algebra::map_arith(
+            &Bat::transient(algebra::sum_grouped(&vb, &g).unwrap()),
+            &Bat::transient(algebra::count_grouped(&g)),
+            algebra::ArithOp::Div,
+        ).unwrap().tail;
+        for p in [1usize, 2, 8] {
+            let (_, avgs) = par::grouped_agg(&kb, Some(&vb), AggKind::Avg, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&avgs, &expect, "P={}", p);
+        }
+    }
+
+    #[test]
+    fn fused_plan_matches_unfused_plan_int_keys(
+        keys in prop::collection::vec(0i64..7, 0..120),
+        p_idx in 0usize..3,
+    ) {
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, k)| k * 5 + i as i64).collect();
+        let w = plan_window_int(&keys, &vals);
+        fused_vs_unfused(&w, [1usize, 2, 8][p_idx])?;
+    }
+
+    #[test]
+    fn fused_plan_matches_unfused_plan_string_keys(
+        keys in prop::collection::vec(0u8..4, 0..100),
+        p_idx in 0usize..3,
+    ) {
+        let names = ["a", "b", "aa", "ab"];
+        let ks: Vec<String> = keys.iter().map(|&c| names[c as usize].to_string()).collect();
+        let vals: Vec<i64> = (0..ks.len() as i64).collect();
+        let n = ks.len();
+        let w = datacell::basket::BasicWindow::new(
+            0,
+            vec![Column::Str(ks), Column::Int(vals)],
+            vec![0; n],
+            vec!["k".into(), "v".into()],
+        );
+        fused_vs_unfused(&w, [1usize, 2, 8][p_idx])?;
     }
 
     #[test]
