@@ -90,7 +90,7 @@ pub(crate) fn validate_batch(
             schema.len()
         )));
     }
-    let n = batch.first().map_or(0, |c| c.len());
+    let n = batch.first().map_or(0, datacell_kernel::Column::len);
     for (i, c) in batch.iter().enumerate() {
         if c.len() != n {
             return Err(BasketError::Malformed(format!(

@@ -100,7 +100,7 @@ impl CsvReceptor {
 
     /// Rows currently buffered and not yet flushed.
     pub fn pending_rows(&self) -> usize {
-        self.pending.first().map_or(0, |c| c.len())
+        self.pending.first().map_or(0, datacell_kernel::Column::len)
     }
 
     /// Parse a chunk of CSV text (possibly many lines; blank lines are
@@ -143,16 +143,16 @@ impl CsvReceptor {
             let f = f.trim();
             match t {
                 DataType::Int => {
-                    ints.push(f.parse::<i64>().map_err(|e| format!("int `{f}`: {e}"))?)
+                    ints.push(f.parse::<i64>().map_err(|e| format!("int `{f}`: {e}"))?);
                 }
                 DataType::Float => {
-                    floats.push(f.parse::<f64>().map_err(|e| format!("float `{f}`: {e}"))?)
+                    floats.push(f.parse::<f64>().map_err(|e| format!("float `{f}`: {e}"))?);
                 }
                 DataType::Bool => {
-                    bools.push(f.parse::<bool>().map_err(|e| format!("bool `{f}`: {e}"))?)
+                    bools.push(f.parse::<bool>().map_err(|e| format!("bool `{f}`: {e}"))?);
                 }
                 DataType::Oid => {
-                    ints.push(f.parse::<i64>().map_err(|e| format!("oid `{f}`: {e}"))?)
+                    ints.push(f.parse::<i64>().map_err(|e| format!("oid `{f}`: {e}"))?);
                 }
                 DataType::Str => {}
             }
@@ -224,7 +224,7 @@ impl GeneratorReceptor {
         match (self.gen)() {
             None => Ok(None),
             Some(batch) => {
-                let n = batch.first().map_or(0, |c| c.len());
+                let n = batch.first().map_or(0, datacell_kernel::Column::len);
                 basket.ingest(&batch, now)?;
                 self.produced += n;
                 Ok(Some(n))

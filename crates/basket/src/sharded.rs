@@ -356,7 +356,16 @@ impl ShardedBasket {
                 // holder of the segment keyed exactly at the current
                 // frontier can advance the frontier — a concurrent sealer
                 // that loses the `remove` race simply sees no progress.
-                while let Some(seg) = shard.lock().segs.remove(&frontier) {
+                // The guard must not ride along in a `while let`
+                // scrutinee — there it would live for the whole body and
+                // the receptor would wait behind the column copy after
+                // all.
+                loop {
+                    let seg = {
+                        let mut g = shard.lock();
+                        g.segs.remove(&frontier)
+                    };
+                    let Some(seg) = seg else { break };
                     // Cannot fail: arity/alignment/types were validated
                     // at staging and the allocator stamps monotonically.
                     self.inner

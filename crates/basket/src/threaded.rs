@@ -82,7 +82,7 @@ impl ReceptorHandle {
         let join = std::thread::spawn(move || {
             let mut delivered = 0usize;
             while let Ok((ts, batch)) = rx.recv() {
-                let n = batch.first().map_or(0, |c| c.len());
+                let n = batch.first().map_or(0, datacell_kernel::Column::len);
                 if basket.append_shard(shard, &batch, ts).is_ok() {
                     delivered += n;
                 }

@@ -15,7 +15,7 @@ fn bench_select(c: &mut Criterion) {
         let b = make_int_bat(n, 100, 42);
         let pred = Predicate::gt(79); // 20% selectivity
         g.bench_with_input(BenchmarkId::from_parameter(n), &b, |bench, bat| {
-            bench.iter(|| algebra::select(black_box(bat), black_box(&pred)).unwrap())
+            bench.iter(|| algebra::select(black_box(bat), black_box(&pred)).unwrap());
         });
     }
     g.finish();
@@ -27,7 +27,7 @@ fn bench_fetch(c: &mut Criterion) {
         let b = make_int_bat(n, 100, 42);
         let cands = algebra::select(&b, &Predicate::gt(79)).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &(cands, b), |bench, (c, b)| {
-            bench.iter(|| algebra::fetch(black_box(c), black_box(b)).unwrap())
+            bench.iter(|| algebra::fetch(black_box(c), black_box(b)).unwrap());
         });
     }
     g.finish();
@@ -42,12 +42,12 @@ fn bench_hashjoin(c: &mut Criterion) {
         // Input rows per iteration: both sides are consumed once.
         g.throughput(Throughput::Elements(2 * n as u64));
         g.bench_with_input(BenchmarkId::new("int", n), &(l, r), |bench, (l, r)| {
-            bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap())
+            bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap());
         });
         let l = make_str_bat(n, 10_000, 1);
         let r = make_str_bat(n, 10_000, 2);
         g.bench_with_input(BenchmarkId::new("str", n), &(l, r), |bench, (l, r)| {
-            bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap())
+            bench.iter(|| algebra::hashjoin(black_box(l), black_box(r)).unwrap());
         });
     }
     g.finish();
@@ -68,7 +68,7 @@ fn bench_hashjoin_partitioned(c: &mut Criterion) {
     for p in [1usize, 2, 4] {
         let cfg = ParConfig::new(p);
         g.bench_with_input(BenchmarkId::new("partitions", p), &(&l, &r), |bench, (l, r)| {
-            bench.iter(|| par::hashjoin(black_box(l), black_box(r), &cfg).unwrap())
+            bench.iter(|| par::hashjoin(black_box(l), black_box(r), &cfg).unwrap());
         });
     }
     g.finish();
@@ -83,7 +83,7 @@ fn bench_group_aggregate(c: &mut Criterion) {
             bench.iter(|| {
                 let groups = algebra::group(black_box(k)).unwrap();
                 algebra::sum_grouped(black_box(v), &groups).unwrap()
-            })
+            });
         });
     }
     g.finish();
@@ -95,7 +95,7 @@ fn bench_concat(c: &mut Criterion) {
         let parts: Vec<Bat> = (0..512).map(|i| make_int_bat(part, 100, i as u64)).collect();
         let refs: Vec<&Bat> = parts.iter().collect();
         g.bench_with_input(BenchmarkId::from_parameter(part), &refs, |bench, refs| {
-            bench.iter(|| algebra::concat(black_box(refs)).unwrap())
+            bench.iter(|| algebra::concat(black_box(refs)).unwrap());
         });
     }
     g.finish();
@@ -106,7 +106,7 @@ fn bench_sort_distinct(c: &mut Criterion) {
     let b = make_int_bat(100_000, 1_000, 5);
     g.bench_function("sort_100k", |bench| bench.iter(|| algebra::sort(black_box(&b)).unwrap()));
     g.bench_function("distinct_100k", |bench| {
-        bench.iter(|| algebra::distinct(black_box(&b)).unwrap())
+        bench.iter(|| algebra::distinct(black_box(&b)).unwrap());
     });
     g.finish();
 }

@@ -15,7 +15,7 @@ fn bench_fig4_q1(c: &mut Criterion) {
     let cfg = Q1Config { window: 65_536, step: 128, selectivity: 0.2, windows: 5, seed: 42 };
     for mode in [Mode::DataCell, Mode::DataCellR] {
         g.bench_with_input(BenchmarkId::new(mode.label(), "W=65536,n=512"), &cfg, |b, cfg| {
-            b.iter(|| run_q1(&mode, cfg))
+            b.iter(|| run_q1(&mode, cfg));
         });
     }
     g.finish();
@@ -28,7 +28,7 @@ fn bench_fig4_q2(c: &mut Criterion) {
     let cfg = Q2Config { window: 8_192, step: 128, key_domain: 10_000, windows: 5, seed: 42 };
     for mode in [Mode::DataCell, Mode::DataCellR] {
         g.bench_with_input(BenchmarkId::new(mode.label(), "W=8192,n=64"), &cfg, |b, cfg| {
-            b.iter(|| run_q2(&mode, cfg))
+            b.iter(|| run_q2(&mode, cfg));
         });
     }
     g.finish();
@@ -76,7 +76,7 @@ fn bench_fig6_window_size(c: &mut Criterion) {
         let cfg = Q1Config { window: w, step: w / 512, selectivity: 0.2, windows: 3, seed: 42 };
         for mode in [Mode::DataCell, Mode::DataCellR] {
             g.bench_with_input(BenchmarkId::new(mode.label(), format!("W={w}")), &cfg, |b, cfg| {
-                b.iter(|| run_q1(&mode, cfg))
+                b.iter(|| run_q1(&mode, cfg));
             });
         }
     }
@@ -90,7 +90,7 @@ fn bench_fig6_landmark(c: &mut Criterion) {
     let cfg = Q3Config { step: 8_192, selectivity: 0.2, windows: 8, seed: 42 };
     for mode in [Mode::DataCell, Mode::DataCellR] {
         g.bench_with_input(BenchmarkId::new(mode.label(), "w=8192x8"), &cfg, |b, cfg| {
-            b.iter(|| run_q3_landmark(&mode, cfg))
+            b.iter(|| run_q3_landmark(&mode, cfg));
         });
     }
     g.finish();
@@ -104,7 +104,7 @@ fn bench_fig7_basic_windows(c: &mut Criterion) {
         let cfg =
             Q1Config { window: 65_536, step: 65_536 / n, selectivity: 0.2, windows: 3, seed: 42 };
         g.bench_with_input(BenchmarkId::new("DataCell", format!("n={n}")), &cfg, |b, cfg| {
-            b.iter(|| run_q1(&Mode::DataCell, cfg))
+            b.iter(|| run_q1(&Mode::DataCell, cfg));
         });
     }
     g.finish();
@@ -117,7 +117,7 @@ fn bench_fig8_chunking(c: &mut Criterion) {
     let cfg = Q1Config { window: 65_536, step: 1_024, selectivity: 0.2, windows: 5, seed: 42 };
     for mode in [Mode::DataCell, Mode::Chunked(16), Mode::Adaptive { max_m: 64, probe_every: 2 }] {
         g.bench_with_input(BenchmarkId::new(mode.label(), "W=65536"), &cfg, |b, cfg| {
-            b.iter(|| run_q1(&mode, cfg))
+            b.iter(|| run_q1(&mode, cfg));
         });
     }
     g.finish();
@@ -130,11 +130,11 @@ fn bench_fig9_systems(c: &mut Criterion) {
     for w in [1_024usize, 16_384] {
         let cfg = Q2Config { window: w, step: w / 64, key_domain: 10_000, windows: 10, seed: 42 };
         g.bench_with_input(BenchmarkId::new("SystemX", format!("W={w}")), &cfg, |b, cfg| {
-            b.iter(|| run_sysx_q2(cfg))
+            b.iter(|| run_sysx_q2(cfg));
         });
         for mode in [Mode::DataCell, Mode::DataCellR] {
             g.bench_with_input(BenchmarkId::new(mode.label(), format!("W={w}")), &cfg, |b, cfg| {
-                b.iter(|| run_q2(&mode, cfg))
+                b.iter(|| run_q2(&mode, cfg));
             });
         }
     }

@@ -138,7 +138,7 @@ mod tests {
     use super::*;
 
     fn parse(v: &[&str]) -> Args {
-        Args::parse_from(v.iter().map(|s| s.to_string()))
+        Args::parse_from(v.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Repo-wide static-analysis harness: `cargo run -p datacell-bench --bin lint`.
+//!
+//! Three passes, all of which must come back clean for the binary to exit 0:
+//!
+//! 1. **Plan corpus verification** — every query in
+//!    [`datacell_sql::corpus`] is parsed, optimized, compiled, verified with
+//!    [`datacell_plan::verify_all`] against the corpus stream schemas, run
+//!    through the incremental rewriter under `checked_pass`, and the
+//!    resulting [`IncrementalPlan`] re-checked with
+//!    [`datacell_core::verify_incremental`]. Each query is also registered
+//!    on a live [`Engine`] with verification forced on, so the
+//!    registration-time typed analyzer sees it too.
+//! 2. **Stray-unwrap scan** — library crates (kernel, basket, plan, core,
+//!    sql, sysx) may not call `.unwrap()` outside `#[cfg(test)]` modules.
+//!    Error paths must flow through the crate error types; a deliberate
+//!    exception carries a `// lint: allow-unwrap` marker on the same line.
+//! 3. **Lock-discipline audit** — the concurrency hot spots
+//!    (`basket::sharded`, `kernel::par`, `core::scheduler`) are held to a
+//!    textual locking discipline: scoped fork-join only (no
+//!    `thread::spawn` outside tests), no shared-state locks at all inside
+//!    `kernel::par`, no lock guard created in an `if let`/`while let`
+//!    scrutinee (the guard silently lives for the whole body), and no
+//!    second lock acquired while a `Mutex` guard is live (the only
+//!    sanctioned nesting is the shard-table `RwLock` wrapping one shard
+//!    `Mutex` at a time).
+
+use datacell_core::{rewrite, verify_incremental, Engine};
+use datacell_plan::verify::{NoSchema, SchemaOverlay};
+use datacell_plan::{compile, optimize, verify_all};
+use datacell_sql::{corpus, corpus_streams, parse};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace layout").to_owned()
+}
+
+/// One failed check, with enough location to act on.
+struct Finding {
+    pass: &'static str,
+    site: String,
+    message: String,
+}
+
+impl Finding {
+    fn new(pass: &'static str, site: impl Into<String>, message: impl Into<String>) -> Finding {
+        Finding { pass, site: site.into(), message: message.into() }
+    }
+}
+
+fn main() {
+    // Force every gated verifier on, release build or not: compile/exec
+    // pre-checks, `checked_pass` around rewriter passes, and the
+    // incremental-safety check all key off this variable.
+    std::env::set_var("DATACELL_VERIFY", "1");
+
+    let mut findings = Vec::new();
+    let n_queries = lint_corpus(&mut findings);
+    let n_files = lint_unwraps(&mut findings);
+    let n_audited = lint_locks(&mut findings);
+
+    println!(
+        "lint: {n_queries} corpus queries verified, {n_files} library files scanned for unwrap, \
+         {n_audited} concurrency files audited"
+    );
+    if findings.is_empty() {
+        println!("lint: clean");
+        return;
+    }
+    for f in &findings {
+        eprintln!("lint[{}] {}: {}", f.pass, f.site, f.message);
+    }
+    eprintln!("lint: {} finding(s)", findings.len());
+    std::process::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: plan corpus verification.
+// ---------------------------------------------------------------------------
+
+fn lint_corpus(findings: &mut Vec<Finding>) -> usize {
+    let streams = corpus_streams();
+    let mut engine = Engine::new();
+    engine.set_verify(true);
+    for (name, schema) in &streams {
+        engine.create_stream(name, schema).expect("corpus stream registration");
+    }
+
+    let entries = corpus();
+    for (name, sql) in &entries {
+        // The standalone pipeline first: parse -> optimize -> compile ->
+        // verify_all with the corpus schemas, reporting *every* diagnostic
+        // (engine registration would stop at the first).
+        let q = match parse(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                findings.push(Finding::new("corpus", *name, format!("parse failed: {e}")));
+                continue;
+            }
+        };
+        let lp = optimize(q.plan);
+        let mal = match compile(&lp) {
+            Ok(m) => m,
+            Err(e) => {
+                findings.push(Finding::new("corpus", *name, format!("compile failed: {e}")));
+                continue;
+            }
+        };
+        let mut schema = SchemaOverlay::new(&NoSchema);
+        for (s, cols) in &streams {
+            schema = schema.with_stream(
+                (*s).to_owned(),
+                cols.iter().map(|&(c, t)| (c.to_owned(), t)).collect(),
+            );
+        }
+        for err in verify_all(&mal, &schema) {
+            let mut msg = format!("verifier diagnostic: {err}");
+            let _ = write!(msg, "\n{}", mal.explain());
+            findings.push(Finding::new("corpus", *name, msg));
+        }
+        // The rewriter runs fuse_group_agg and expand_avg under
+        // checked_pass (DATACELL_VERIFY is set above), then the
+        // incremental plan is re-checked for ring discipline.
+        match rewrite(&mal) {
+            Ok(inc) => {
+                if let Err(e) = verify_incremental(&inc) {
+                    findings.push(Finding::new("corpus", *name, format!("incremental: {e}")));
+                }
+            }
+            Err(e) => {
+                findings.push(Finding::new("corpus", *name, format!("rewrite failed: {e}")));
+            }
+        }
+        // And the full engine path: registration must accept every corpus
+        // query with the typed analyzer on.
+        if let Err(e) = engine.register_sql(sql) {
+            findings.push(Finding::new("corpus", *name, format!("engine rejected: {e}")));
+        }
+    }
+    entries.len()
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: stray-unwrap scan over library crates.
+// ---------------------------------------------------------------------------
+
+/// Library crates held to the no-unwrap rule. `bench` is exempt: its
+/// binaries are workload harnesses where aborting on malformed setup is the
+/// right behavior.
+const LIBRARY_CRATES: &[&str] = &["kernel", "basket", "plan", "core", "sql", "sysx"];
+
+fn lint_unwraps(findings: &mut Vec<Finding>) -> usize {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for krate in LIBRARY_CRATES {
+        collect_rs(&root.join("crates").join(krate).join("src"), &mut files);
+    }
+    files.sort();
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable source file");
+        let rel = path.strip_prefix(&root).unwrap_or(path).display().to_string();
+        for (lineno, line) in text.lines().enumerate() {
+            // Test modules sit at the tail of each file; everything from
+            // the marker down is exercised only under `cargo test`.
+            if line.contains("#[cfg(test)]") {
+                break;
+            }
+            if line.contains(".unwrap()") && !line.contains("lint: allow-unwrap") {
+                findings.push(Finding::new(
+                    "unwrap",
+                    format!("{rel}:{}", lineno + 1),
+                    "library code may not .unwrap(); return the crate error type \
+                     (or mark a proven-infallible site with `// lint: allow-unwrap`)",
+                ));
+            }
+        }
+    }
+    files.len()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: lock-discipline audit.
+// ---------------------------------------------------------------------------
+
+/// Files holding the engine's shared mutable state, relative to the repo
+/// root. `kernel::par` is additionally held to a no-locks rule: its
+/// parallelism is pure scoped fork-join over disjoint partitions.
+const AUDITED: &[(&str, bool)] = &[
+    ("crates/basket/src/sharded.rs", false),
+    ("crates/core/src/scheduler.rs", false),
+    ("crates/core/src/scheduler/parallel.rs", false),
+    ("crates/kernel/src/par/mod.rs", true),
+    ("crates/kernel/src/par/select.rs", true),
+    ("crates/kernel/src/par/join.rs", true),
+    ("crates/kernel/src/par/aggregate.rs", true),
+];
+
+fn lint_locks(findings: &mut Vec<Finding>) -> usize {
+    let root = repo_root();
+    for &(rel, lock_free) in AUDITED {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path).expect("audited file exists");
+        audit_file(rel, &text, lock_free, findings);
+    }
+    AUDITED.len()
+}
+
+/// A live let-bound lock guard: indentation of the binding plus whether it
+/// is a `Mutex` guard (exclusive leaf) or a `RwLock` guard (may wrap one
+/// shard `Mutex`).
+struct Guard {
+    indent: usize,
+    mutex: bool,
+    line: usize,
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+fn is_acquire(line: &str) -> Option<bool> {
+    // `.lock()` acquires a Mutex; `.read()`/`.write()` on parking_lot
+    // RwLocks only appear in these files as lock acquisitions.
+    if line.contains(".lock()") {
+        Some(true)
+    } else if line.contains(".read()") || line.contains(".write()") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn audit_file(rel: &str, text: &str, lock_free: bool, findings: &mut Vec<Finding>) {
+    let mut guards: Vec<Guard> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let site = format!("{rel}:{}", lineno + 1);
+        let trimmed = line.trim_start();
+
+        if trimmed.contains("thread::spawn") {
+            findings.push(Finding::new(
+                "locks",
+                site,
+                "unscoped thread::spawn in audited code; use std::thread::scope \
+                 so joins are enforced and borrows stay checked",
+            ));
+            continue;
+        }
+
+        // Close guards whose scope ended: a closing brace at or left of
+        // the binding's indentation.
+        if trimmed.starts_with('}') {
+            guards.retain(|g| g.indent < indent_of(line));
+        }
+
+        let Some(is_mutex) = is_acquire(line) else { continue };
+        if lock_free {
+            findings.push(Finding::new(
+                "locks",
+                site,
+                "kernel::par must stay lock-free: scoped fork-join over \
+                 disjoint partitions only",
+            ));
+            continue;
+        }
+        if trimmed.starts_with("if let") || trimmed.starts_with("while let") {
+            findings.push(Finding::new(
+                "locks",
+                site,
+                "lock acquired in an `if let`/`while let` scrutinee: the guard \
+                 lives for the whole body, not just the condition; bind and \
+                 drop it in its own statement",
+            ));
+            continue;
+        }
+        if let Some(holder) = guards.iter().find(|g| g.mutex) {
+            findings.push(Finding::new(
+                "locks",
+                site.clone(),
+                format!(
+                    "lock acquired while the Mutex guard from line {} is live; \
+                     Mutex guards are leaves in the lock order",
+                    holder.line + 1
+                ),
+            ));
+        }
+        if !is_mutex {
+            if let Some(holder) = guards.iter().find(|g| !g.mutex) {
+                findings.push(Finding::new(
+                    "locks",
+                    site,
+                    format!(
+                        "RwLock acquired while the RwLock guard from line {} is \
+                         live; only RwLock -> one Mutex nesting is sanctioned",
+                        holder.line + 1
+                    ),
+                ));
+            }
+        }
+        // Only let-bound guards outlive their statement; temporaries
+        // (`x.lock().field` chains) drop at the semicolon.
+        if trimmed.starts_with("let ") {
+            guards.push(Guard { indent: indent_of(line), mutex: is_mutex, line: lineno });
+        }
+    }
+}

@@ -36,8 +36,7 @@ fn sweep(label: &str, cfg: &ScaleConfig) {
         let out = run_scheduler_scale(workers, cfg);
         let speedup = baseline
             .as_ref()
-            .map(|b| b.wall.as_secs_f64() / out.wall.as_secs_f64().max(f64::EPSILON))
-            .unwrap_or(1.0);
+            .map_or(1.0, |b| b.wall.as_secs_f64() / out.wall.as_secs_f64().max(f64::EPSILON));
         if let Some(b) = &baseline {
             identical &= b.results == out.results;
         }

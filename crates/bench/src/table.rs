@@ -32,7 +32,7 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", fmt_row(header.iter().map(std::string::ToString::to_string).collect()));
     println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
     for row in rows {
         println!("{}", fmt_row(row.clone()));

@@ -17,7 +17,10 @@ use crate::scheduler::{workers_from_env, ParallelScheduler};
 use datacell_basket::{shards_from_env, Basket, ShardedBasket, Timestamp};
 use datacell_kernel::par::partitions_from_env;
 use datacell_kernel::{Catalog, Column, DataType, Table};
-use datacell_plan::{compile, optimize, LogicalPlan, MalOp, MalPlan, ResultSet, WindowSpec};
+use datacell_plan::{
+    compile, optimize, verify_all, LogicalPlan, MalOp, MalPlan, PlanError, ResultSet,
+    SchemaOverlay, WindowSpec,
+};
 use std::collections::HashMap;
 
 /// Identifier of a registered continuous query.
@@ -65,6 +68,10 @@ pub struct Engine {
     /// scale across factories, partitions inside operators, shards across
     /// *receptors* appending to one stream. 1 is the single-mutex path.
     basket_shards: usize,
+    /// Run the typed static analyzer (`plan::verify`) over every compiled
+    /// plan at registration, with the real stream/table schemas. Defaults
+    /// to on under `debug_assertions` or `DATACELL_VERIFY=1`.
+    verify: bool,
 }
 
 impl Default for Engine {
@@ -101,7 +108,20 @@ impl Engine {
             clock: 0,
             partitions: partitions_from_env(),
             basket_shards: shards_from_env(),
+            verify: datacell_plan::verify::enabled(),
         }
+    }
+
+    /// Is registration-time plan verification enabled?
+    pub fn verify(&self) -> bool {
+        self.verify
+    }
+
+    /// Toggle registration-time plan verification
+    /// ([`Engine::new`] seeds it from `debug_assertions` /
+    /// `DATACELL_VERIFY`; this setter always wins).
+    pub fn set_verify(&mut self, verify: bool) {
+        self.verify = verify;
     }
 
     /// Scheduler worker threads currently configured.
@@ -284,6 +304,13 @@ impl Engine {
         let plan = self.resolve_sources(plan);
         let plan = optimize(plan);
         let mal = compile(&plan)?;
+        // The registration-time verification pass: unlike the schema-less
+        // checks inside compile/rewrite, this one sees the real stream and
+        // table schemas, so column-type mismatches surface here — before
+        // the query is wired into the scheduler.
+        if self.verify {
+            self.verify_plan(&mal)?;
+        }
         // Validate stream references and build inputs in plan order.
         let mut inputs = Vec::new();
         for s in &mal.streams {
@@ -367,6 +394,22 @@ impl Engine {
                 LogicalPlan::Limit { input: Box::new(self.resolve_sources(*input)), n }
             }
             leaf => leaf,
+        }
+    }
+
+    /// Run the typed static analyzer over a compiled plan, seeding type
+    /// inference with the schemas of every stream the plan binds plus the
+    /// persistent catalog.
+    fn verify_plan(&self, mal: &MalPlan) -> Result<(), DataCellError> {
+        let mut schema = SchemaOverlay::new(&self.catalog);
+        for s in &mal.streams {
+            if let Some(b) = self.baskets.get(s) {
+                schema = schema.with_stream(s.clone(), b.with(|bk| bk.schema().to_vec()));
+            }
+        }
+        match verify_all(mal, &schema).into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(DataCellError::Plan(PlanError::Verify(Box::new(e)))),
         }
     }
 
@@ -602,7 +645,13 @@ mod tests {
             e.append("s", &[Column::Int(vec![1; 64]), Column::Int(vec![1; 64])]).unwrap();
             e.run_until_idle().unwrap();
             qs.into_iter()
-                .map(|q| e.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>())
+                .map(|q| {
+                    e.drain_results(q)
+                        .unwrap()
+                        .iter()
+                        .map(datacell_plan::ResultSet::rows)
+                        .collect::<Vec<_>>()
+                })
                 .collect::<Vec<_>>()
         };
         let seq = run(1);
@@ -640,7 +689,11 @@ mod tests {
             e.append("t", &[Column::Int((0..64).map(|i| i % 5).collect())]).unwrap();
             e.run_until_idle().unwrap();
             [q1, q2].map(|q| {
-                e.drain_results(q).unwrap().iter().map(|r| r.sorted_rows()).collect::<Vec<_>>()
+                e.drain_results(q)
+                    .unwrap()
+                    .iter()
+                    .map(datacell_plan::ResultSet::sorted_rows)
+                    .collect::<Vec<_>>()
             })
         };
         let seq = run(1);
@@ -685,7 +738,11 @@ mod tests {
                 .unwrap();
             }
             e.run_until_idle().unwrap();
-            e.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>()
+            e.drain_results(q)
+                .unwrap()
+                .iter()
+                .map(datacell_plan::ResultSet::rows)
+                .collect::<Vec<_>>()
         };
         let seq = run(1);
         assert!(!seq.is_empty());
@@ -872,6 +929,41 @@ mod tests {
         let out = e.drain_results(q).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rows(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn registration_verifies_against_real_schemas() {
+        use datacell_plan::Rule;
+        let mut e = Engine::new();
+        e.set_verify(true);
+        e.create_stream("logs", &[("level", DataType::Str), ("ms", DataType::Int)]).unwrap();
+
+        // sum over a string column: rejected at registration with a typed
+        // diagnostic naming the op and rule.
+        let err = e
+            .register_sql("SELECT sum(level) FROM logs WINDOW SIZE 2 SLIDE 2")
+            .expect_err("sum over a str column must not register");
+        let DataCellError::Plan(datacell_plan::PlanError::Verify(v)) = err else {
+            panic!("expected a verify diagnostic, got: {err}");
+        };
+        assert_eq!(v.rule, Rule::TypeMismatch);
+        assert!(v.instr.is_some());
+        assert!(v.to_string().contains("sum over a str column"), "{v}");
+
+        // An int predicate against the string column: also rejected.
+        let err = e
+            .register_sql("SELECT count(ms) FROM logs WHERE level > 3 WINDOW SIZE 2 SLIDE 2")
+            .expect_err("int predicate over a str column must not register");
+        assert!(matches!(err, DataCellError::Plan(datacell_plan::PlanError::Verify(_))), "{err}");
+
+        // The same queries with verification off register fine (and the
+        // well-typed variant registers either way).
+        e.set_verify(false);
+        assert!(!e.verify());
+        e.register_sql("SELECT sum(level) FROM logs WINDOW SIZE 2 SLIDE 2").unwrap();
+        e.set_verify(true);
+        e.register_sql("SELECT sum(ms) FROM logs WHERE level = 'err' WINDOW SIZE 2 SLIDE 2")
+            .unwrap();
     }
 
     #[test]

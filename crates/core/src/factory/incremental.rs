@@ -209,7 +209,7 @@ impl IncrementalFactory {
             n,
             advances: 0,
             emitted: 0,
-            current_m: chunker.as_ref().map_or(1, |c| c.m()),
+            current_m: chunker.as_ref().map_or(1, super::super::adaptive::AdaptiveChunker::m),
             chunker,
             chunk_rings: HashMap::new(),
             chunks_done: 0,
@@ -483,7 +483,7 @@ impl IncrementalFactory {
             .iter()
             .find(|&&v| matches!(self.plan.stages[v], Stage::PerBw(kk) if kk == k))
             .and_then(|v| self.rings.get(v))
-            .map_or(self.advances + 1, |r| r.len())
+            .map_or(self.advances + 1, std::collections::VecDeque::len)
     }
 
     /// Landmark fold: merge the new partials into the cumulative values.
@@ -709,9 +709,8 @@ impl IncrementalFactory {
         // Adapt m for the next basic window.
         if let Some(chunker) = &mut self.chunker {
             let next_m = chunker.observe(metrics.total);
-            let step = match self.window {
-                WindowSpec::CountSliding { step, .. } => step,
-                _ => unreachable!("chunking validated at construction"),
+            let WindowSpec::CountSliding { step, .. } = self.window else {
+                unreachable!("chunking validated at construction")
             };
             self.current_m = next_m.min(step).max(1);
         }
@@ -811,7 +810,7 @@ mod tests {
         loop {
             match f.fire(0).unwrap() {
                 FireOutcome::Produced { result, .. } => out.push(result),
-                FireOutcome::Progressed => continue,
+                FireOutcome::Progressed => {}
                 FireOutcome::NotReady => break,
             }
         }

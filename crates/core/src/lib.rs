@@ -39,7 +39,7 @@ pub use factory::incremental::IncrementalFactory;
 pub use factory::reeval::ReevalFactory;
 pub use factory::{Factory, FireOutcome, StreamInput};
 pub use metrics::{summarize, MetricsSummary, SlideMetrics};
-pub use rewrite::{rewrite, Cluster, IncrementalPlan, Stage, VarKind};
+pub use rewrite::{rewrite, verify_incremental, Cluster, IncrementalPlan, Stage, VarKind};
 pub use scheduler::{
     parse_workers, workers_from_env, Emission, FactoryId, ParallelScheduler, Scheduler,
 };

@@ -273,7 +273,18 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
     // Lower any hand-built Group/GroupKeys/GroupedAgg chains to the fused
     // GroupAgg form first (the SQL compiler already emits it), then
     // expand avg so every surviving aggregate has a compensating action.
-    let mal = expand_avg(&datacell_plan::fuse_group_agg(plan));
+    // Both passes run under the differential verifier (`checked_pass`):
+    // a structurally broken plan is rejected at the pass boundary that
+    // produced it, with the pass name in the diagnostic.
+    let mut fusion_diags = Vec::new();
+    let fused = datacell_plan::checked_pass("fuse_group_agg", plan, |p| {
+        let (out, diags) = datacell_plan::fuse_group_agg_diag(p);
+        fusion_diags = diags;
+        out
+    })
+    .map_err(DataCellError::Plan)?;
+    let mal = datacell_plan::checked_pass("expand_avg", &fused, expand_avg)
+        .map_err(DataCellError::Plan)?;
     mal.validate().map_err(DataCellError::Plan)?;
     let n_streams = mal.streams.len();
     let mut stages: Vec<Stage> = vec![Stage::Static; mal.nvars];
@@ -394,15 +405,22 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
             clusters.iter().any(|c| c.keys_var == v || c.agg_vars.iter().any(|&(av, _)| av == v));
         if !in_cluster && matches!(kinds[v], VarKind::GroupKeysPartial | VarKind::GroupedPartial(_))
         {
-            return Err(DataCellError::Unsupported(
+            // The fusion pass explained exactly why it declined this
+            // chain — surface that instead of a bare string.
+            let why = fusion_diags
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ");
+            let detail = if why.is_empty() { String::new() } else { format!(": {why}") };
+            return Err(DataCellError::Unsupported(format!(
                 "an unfused group/aggregate chain crosses the merge frontier; \
-                 restructure the query or use re-evaluation mode"
-                    .into(),
-            ));
+                 restructure the query or use re-evaluation mode{detail}"
+            )));
         }
     }
 
-    Ok(IncrementalPlan {
+    let inc = IncrementalPlan {
         mal,
         stages,
         kinds,
@@ -414,7 +432,166 @@ pub fn rewrite(plan: &MalPlan) -> Result<IncrementalPlan, DataCellError> {
         ring_only,
         clusters,
         matrix_pair,
-    })
+    };
+    // Close the loop: under the verifier, the classification itself is a
+    // pass whose output must satisfy the ring-variable discipline.
+    if datacell_plan::verify::enabled() {
+        verify_incremental(&inc)?;
+    }
+    Ok(inc)
+}
+
+/// Verify the ring-variable discipline and segment/stage consistency of an
+/// incremental plan — the `core`-side layer of the static analyzer (the
+/// `plan`-side layers are [`datacell_plan::verify_all`] and
+/// [`datacell_plan::lint_incremental`]).
+///
+/// Checks: stage/kind tables cover every variable; the four instruction
+/// segments partition the program and agree with the per-variable stages;
+/// every frontier variable is a flow variable with a mergeable kind;
+/// `ring_vars`/`matrix_ring_vars` are consistent with the stages; matrix
+/// instructions exist only alongside a joined stream pair; and every
+/// cluster member is a frontier variable whose kind matches its slot.
+pub fn verify_incremental(inc: &IncrementalPlan) -> Result<(), DataCellError> {
+    use datacell_plan::verify::{Rule, VerifyError};
+    let fail =
+        |e: VerifyError| Err(DataCellError::Plan(datacell_plan::PlanError::Verify(Box::new(e))));
+    let ring_err = |msg: String, var: Option<VarId>| {
+        let mut e = VerifyError::plan_level(Rule::RingDiscipline, msg);
+        if let Some(v) = var {
+            e = e.with_var(v);
+        }
+        fail(e)
+    };
+
+    let nvars = inc.mal.nvars;
+    if inc.stages.len() != nvars || inc.kinds.len() != nvars {
+        return ring_err(
+            format!(
+                "stage/kind tables cover {}/{} variables of {nvars}",
+                inc.stages.len(),
+                inc.kinds.len()
+            ),
+            None,
+        );
+    }
+
+    // Segments partition the instruction list and agree with the stages.
+    let mut seen = vec![0usize; inc.mal.instrs.len()];
+    let segments: Vec<(&str, &[usize])> = {
+        let mut s: Vec<(&str, &[usize])> = vec![
+            ("static", &inc.static_instrs),
+            ("matrix", &inc.matrix_instrs),
+            ("merge", &inc.merge_instrs),
+        ];
+        for per in &inc.perbw_instrs {
+            s.push(("per-bw", per));
+        }
+        s
+    };
+    for (seg_name, idxs) in segments {
+        for &i in idxs {
+            if i >= inc.mal.instrs.len() {
+                return ring_err(
+                    format!("{seg_name} segment references instr {i} out of range"),
+                    None,
+                );
+            }
+            seen[i] += 1;
+            let stage = inc.stages[inc.mal.instrs[i].dests[0]];
+            let matches_seg = match stage {
+                Stage::Static => seg_name == "static",
+                Stage::PerBw(_) => seg_name == "per-bw",
+                Stage::Matrix => seg_name == "matrix",
+                Stage::Merge => seg_name == "merge",
+            };
+            if !matches_seg {
+                return ring_err(
+                    format!("instr {i} sits in the {seg_name} segment but its stage is {stage:?}"),
+                    Some(inc.mal.instrs[i].dests[0]),
+                );
+            }
+        }
+    }
+    if let Some(i) = seen.iter().position(|&c| c != 1) {
+        return ring_err(
+            format!("instr {i} appears {} times across segments (want exactly 1)", seen[i]),
+            None,
+        );
+    }
+
+    // Frontier vars are flow variables with a merge rule.
+    for &v in &inc.frontier {
+        if !matches!(inc.stages[v], Stage::PerBw(_) | Stage::Matrix) {
+            return ring_err(
+                format!("frontier variable has non-flow stage {:?}", inc.stages[v]),
+                Some(v),
+            );
+        }
+        if inc.kinds[v] == VarKind::GroupsStruct {
+            return ring_err("a grouping structure is cached in a ring".into(), Some(v));
+        }
+    }
+
+    // Ring-var views derive from frontier/ring_only and the stage table.
+    for v in inc.ring_vars() {
+        if !matches!(inc.stages[v], Stage::PerBw(_)) {
+            return ring_err(
+                format!("ring variable has stage {:?}, want per-bw", inc.stages[v]),
+                Some(v),
+            );
+        }
+    }
+    for v in inc.matrix_ring_vars() {
+        if inc.stages[v] != Stage::Matrix {
+            return ring_err(
+                format!("matrix ring variable has stage {:?}, want matrix", inc.stages[v]),
+                Some(v),
+            );
+        }
+    }
+    if !inc.matrix_instrs.is_empty() && inc.matrix_pair.is_none() {
+        return ring_err("matrix instructions without a joined stream pair".into(), None);
+    }
+
+    // Cluster members live on the frontier with the kinds their slots
+    // require (keys partial + grouped partials) — the re-grouping merge
+    // rule reads all of them.
+    for c in &inc.clusters {
+        if !inc.frontier.contains(&c.keys_var) {
+            return ring_err(
+                "cluster keys variable is not cached on the frontier".into(),
+                Some(c.keys_var),
+            );
+        }
+        if inc.kinds[c.keys_var] != VarKind::GroupKeysPartial {
+            return ring_err(
+                format!(
+                    "cluster keys variable has kind {:?}, want group-keys partial",
+                    inc.kinds[c.keys_var]
+                ),
+                Some(c.keys_var),
+            );
+        }
+        for &(v, k) in &c.agg_vars {
+            if !inc.frontier.contains(&v) {
+                return ring_err(
+                    "cluster aggregate member is not cached on the frontier".into(),
+                    Some(v),
+                );
+            }
+            if inc.kinds[v] != VarKind::GroupedPartial(k) {
+                return ring_err(
+                    format!(
+                        "cluster member has kind {:?}, want grouped partial {k:?}",
+                        inc.kinds[v]
+                    ),
+                    Some(v),
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Classify one operator given the stages/kinds of its arguments.
@@ -780,6 +957,74 @@ mod tests {
         let join_idx =
             inc.mal.instrs.iter().position(|i| matches!(i.op, MalOp::Join { .. })).unwrap();
         assert!(inc.perbw_instrs[0].contains(&join_idx));
+    }
+
+    #[test]
+    fn verify_incremental_accepts_rewriter_output() {
+        for plan in [fig3a(), fig3b(), fig3c(), fig3d(), fig3e()] {
+            let inc = rewrite(&plan).unwrap();
+            verify_incremental(&inc).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_incremental_catches_tampered_ring_discipline() {
+        use datacell_plan::{PlanError, Rule};
+        let assert_ring_err = |res: Result<(), DataCellError>| {
+            let err = res.expect_err("tampered plan must be rejected");
+            let DataCellError::Plan(PlanError::Verify(v)) = err else {
+                panic!("expected a verify diagnostic, got {err}");
+            };
+            assert_eq!(v.rule, Rule::RingDiscipline);
+        };
+
+        // A frontier variable reclassified as merge-stage.
+        let mut inc = rewrite(&fig3b()).unwrap();
+        let f = inc.frontier[0];
+        inc.stages[f] = Stage::Merge;
+        assert_ring_err(verify_incremental(&inc));
+
+        // A grouping structure smuggled onto the frontier.
+        let mut inc = rewrite(&fig3b()).unwrap();
+        let f = inc.frontier[0];
+        inc.kinds[f] = VarKind::GroupsStruct;
+        assert_ring_err(verify_incremental(&inc));
+
+        // A cluster member dropped from the frontier cache.
+        let mut inc = rewrite(&fig3d()).unwrap();
+        let keys = inc.clusters[0].keys_var;
+        inc.frontier.retain(|&v| v != keys);
+        assert_ring_err(verify_incremental(&inc));
+
+        // An instruction moved into the wrong segment.
+        let mut inc = rewrite(&fig3c()).unwrap();
+        let i = inc.merge_instrs.pop().unwrap();
+        inc.static_instrs.push(i);
+        assert_ring_err(verify_incremental(&inc));
+
+        // Matrix instructions without a joined pair.
+        let mut inc = rewrite(&fig3e()).unwrap();
+        inc.matrix_pair = None;
+        assert_ring_err(verify_incremental(&inc));
+    }
+
+    #[test]
+    fn unfused_frontier_chain_error_carries_fusion_diagnostics() {
+        // A declined chain (member dest read before the fusion site) whose
+        // partials must cross the frontier: the error names the reason.
+        use datacell_plan::mal::MalBuilder;
+        let mut b = MalBuilder::new();
+        let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+        let g = b.emit(MalOp::Group { keys: k });
+        let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+        let srt = b.emit(MalOp::Sort { input: gk, desc: false });
+        let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: g });
+        let plan = b.finish(vec!["k".into(), "n".into()], vec![srt, n]);
+        let err = rewrite(&plan).expect_err("unfused chain cannot cross the frontier");
+        let text = err.to_string();
+        assert!(text.contains("unfused group/aggregate chain"), "{text}");
+        assert!(text.contains("open-group-chain"), "{text}");
+        assert!(text.contains("instr 3"), "{text}");
     }
 
     #[test]

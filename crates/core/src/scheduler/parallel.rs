@@ -352,7 +352,7 @@ impl ParallelScheduler {
 
     /// Ids of the factories reading `stream` (the Petri-net edge set).
     pub fn readers(&self, stream: &str) -> &[FactoryId] {
-        self.deps.get(stream).map(Vec::as_slice).unwrap_or(&[])
+        self.deps.get(stream).map_or(&[], Vec::as_slice)
     }
 
     /// Minimum consumed position across the factories that read `stream`
@@ -452,7 +452,7 @@ impl ParallelScheduler {
             }
         }
         cand.into_iter()
-            .filter(|&id| self.inner.factory(id).map(|f| f.ready(clock)).unwrap_or(false))
+            .filter(|&id| self.inner.factory(id).is_ok_and(|f| f.ready(clock)))
             .collect()
     }
 

@@ -240,9 +240,8 @@ pub fn select_slice(col: ColumnSlice<'_>, base: Oid, pred: &Predicate) -> Result
             }
         }
         (ColumnSlice::Float(v), Predicate::Range { lo, hi, lo_inc, hi_inc }) => {
-            let (lo, hi) = match (lo.as_f64(), hi.as_f64()) {
-                (Some(l), Some(h)) => (l, h),
-                _ => return select_generic(col, base, pred),
+            let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) else {
+                return select_generic(col, base, pred);
             };
             for (i, &x) in v.iter().enumerate() {
                 let ok_lo = if *lo_inc { x >= lo } else { x > lo };

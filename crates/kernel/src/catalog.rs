@@ -67,6 +67,17 @@ impl Table {
         self.cols.get(col).ok_or_else(|| KernelError::NotFound(format!("{}.{}", self.name, col)))
     }
 
+    /// The declared type of one attribute (plan verification seeds its
+    /// type inference from this at `sql.bind` sites).
+    pub fn column_type(&self, col: &str) -> Result<DataType> {
+        self.column(col).map(Column::data_type)
+    }
+
+    /// The full schema in declaration order.
+    pub fn schema(&self) -> Vec<(String, DataType)> {
+        self.order.iter().map(|n| (n.clone(), self.cols[n].data_type())).collect()
+    }
+
     /// Append one batch of aligned columns (in declaration order).
     pub fn append(&mut self, batch: &[Column]) -> Result<()> {
         if batch.len() != self.order.len() {
@@ -76,7 +87,7 @@ impl Table {
                 right: self.order.len(),
             });
         }
-        let n = batch.first().map_or(0, |c| c.len());
+        let n = batch.first().map_or(0, super::column::Column::len);
         for c in batch {
             if c.len() != n {
                 return Err(KernelError::LengthMismatch {
@@ -137,7 +148,7 @@ impl Catalog {
 
     /// Names of all registered tables (unsorted).
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
+        self.tables.keys().map(std::string::String::as_str)
     }
 }
 
@@ -160,6 +171,13 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.columns(), &["id".to_owned(), "loc".to_owned()]);
         assert_eq!(t.oid_range(), (0, 2));
+        assert_eq!(t.column_type("id").unwrap(), DataType::Int);
+        assert_eq!(t.column_type("loc").unwrap(), DataType::Str);
+        assert!(t.column_type("nope").is_err());
+        assert_eq!(
+            t.schema(),
+            vec![("id".to_owned(), DataType::Int), ("loc".to_owned(), DataType::Str)]
+        );
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub fn compile(plan: &LogicalPlan) -> crate::Result<MalPlan> {
         ));
     }
     let plan = c.b.finish(names, vars);
-    debug_assert!(plan.validate().is_ok(), "compiler produced invalid MAL:\n{}", plan.explain());
+    // Compilation is itself a pass boundary: a structurally or shape-wise
+    // broken program here is a compiler bug, caught before it can reach
+    // the optimizer or the executor.
+    if crate::verify::enabled() {
+        crate::verify::verify(&plan)?;
+    }
     Ok(plan)
 }
 

@@ -19,6 +19,9 @@ pub enum PlanError {
     Kernel(KernelError),
     /// Error surfaced from the basket layer.
     Basket(BasketError),
+    /// A static-analysis diagnostic from [`crate::verify`]: the plan
+    /// violated a structural, typing, or incremental-safety rule.
+    Verify(Box<crate::verify::VerifyError>),
 }
 
 impl fmt::Display for PlanError {
@@ -30,6 +33,7 @@ impl fmt::Display for PlanError {
             PlanError::Internal(m) => write!(f, "internal plan error: {m}"),
             PlanError::Kernel(e) => write!(f, "kernel: {e}"),
             PlanError::Basket(e) => write!(f, "basket: {e}"),
+            PlanError::Verify(e) => write!(f, "plan verification failed: {e}"),
         }
     }
 }

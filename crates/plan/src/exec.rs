@@ -259,6 +259,12 @@ fn reverse_bat(b: &Bat) -> Bat {
 
 /// Execute a whole MAL program against a context.
 pub fn execute(plan: &MalPlan, ctx: &dyn ExecCtx) -> crate::Result<ResultSet> {
+    // Last line of defense: under `debug_assertions` or `DATACELL_VERIFY`,
+    // refuse to interpret a plan the static analyzer rejects — a verifier
+    // diagnostic with an op index beats an executor panic mid-program.
+    if crate::verify::enabled() {
+        crate::verify::verify(plan)?;
+    }
     let mut env: Vec<Option<MalValue>> = vec![None; plan.nvars];
     for ins in &plan.instrs {
         let arg_ids = ins.op.args();

@@ -23,6 +23,7 @@ pub mod logical;
 pub mod mal;
 pub mod optimize;
 pub mod result;
+pub mod verify;
 pub mod window;
 
 pub use compile::compile;
@@ -30,8 +31,12 @@ pub use error::PlanError;
 pub use exec::{execute, ExecCtx};
 pub use logical::{AggExpr, ColumnRef, LogicalPlan};
 pub use mal::{Instr, MalOp, MalPlan, MalValue, VarId};
-pub use optimize::{fuse_group_agg, optimize};
+pub use optimize::{fuse_group_agg, fuse_group_agg_diag, optimize};
 pub use result::ResultSet;
+pub use verify::{
+    checked_pass, lint_incremental, partition_safety, verify_all, NoSchema, ParSafety, Rule,
+    SchemaOverlay, SchemaSource, VerifyError,
+};
 pub use window::WindowSpec;
 
 /// Result alias for plan operations.

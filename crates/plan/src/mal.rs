@@ -301,17 +301,21 @@ pub struct MalPlan {
 }
 
 impl MalPlan {
-    /// MAL-ish textual rendering, one instruction per line.
+    /// MAL-ish textual rendering, one instruction per line. Each line
+    /// leads with the instruction index in the same numbering the
+    /// [`crate::verify`] diagnostics use (`instr 2` points at the `[02]`
+    /// line), and every destination the op writes is listed, so explain
+    /// output and verifier output name the same `X_n` variables.
     ///
     /// ```text
-    /// X_0 := basket.bind(s, x1)
-    /// X_2 := algebra.select(X_0, > 10)
+    /// [00] X_0 := basket.bind(s, x1)
+    /// [01] X_1 := algebra.select(X_0, > 10)
     /// ...
     /// return sum_x2 := X_5
     /// ```
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        for ins in &self.instrs {
+        for (i, ins) in self.instrs.iter().enumerate() {
             let dests: Vec<String> = ins.dests.iter().map(|d| format!("X_{d}")).collect();
             let extra = match &ins.op {
                 MalOp::BindStream { stream, attr } => format!("({stream}, {attr})"),
@@ -344,7 +348,7 @@ impl MalPlan {
                     format!("({})", args.join(", "))
                 }
             };
-            out.push_str(&format!("{} := {}{}\n", dests.join(", "), ins.op.name(), extra));
+            out.push_str(&format!("[{i:02}] {} := {}{}\n", dests.join(", "), ins.op.name(), extra));
         }
         for (name, var) in self.result_names.iter().zip(&self.result_vars) {
             out.push_str(&format!("return {name} := X_{var}\n"));
@@ -353,43 +357,15 @@ impl MalPlan {
     }
 
     /// Sanity check the SSA-ish invariants: each var written once, reads
-    /// only after writes, result vars written. Used by tests and debug
-    /// builds of the rewriter.
+    /// only after writes, result vars written. Delegates to the structural
+    /// layer of [`crate::verify`] so there is a single implementation of
+    /// the rules; use [`crate::verify::verify_all`] for the full typed
+    /// analysis and the complete diagnostic list.
     pub fn validate(&self) -> crate::Result<()> {
-        let mut written = vec![false; self.nvars];
-        for (i, ins) in self.instrs.iter().enumerate() {
-            for a in ins.op.args() {
-                if a >= self.nvars || !written[a] {
-                    return Err(crate::PlanError::Internal(format!(
-                        "instr {i} reads unwritten X_{a}"
-                    )));
-                }
-            }
-            if ins.dests.len() != ins.op.n_dests() {
-                return Err(crate::PlanError::Internal(format!(
-                    "instr {i} has {} dests, op wants {}",
-                    ins.dests.len(),
-                    ins.op.n_dests()
-                )));
-            }
-            for &d in &ins.dests {
-                if d >= self.nvars {
-                    return Err(crate::PlanError::Internal(format!(
-                        "instr {i} writes X_{d} >= nvars"
-                    )));
-                }
-                if written[d] {
-                    return Err(crate::PlanError::Internal(format!("X_{d} written twice")));
-                }
-                written[d] = true;
-            }
+        match crate::verify::verify_structural(self).into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(crate::PlanError::Verify(Box::new(e))),
         }
-        for &v in &self.result_vars {
-            if v >= self.nvars || !written[v] {
-                return Err(crate::PlanError::Internal(format!("result X_{v} never written")));
-            }
-        }
-        Ok(())
     }
 }
 
@@ -507,7 +483,9 @@ mod tests {
     fn explain_renders_mal_text() {
         let p = tiny_plan();
         let e = p.explain();
-        assert!(e.contains("X_0 := basket.bind(s, x)"));
+        // Instruction lines carry the verifier's op-index numbering.
+        assert!(e.contains("[00] X_0 := basket.bind(s, x)"));
+        assert!(e.contains("[03] X_3 := aggr.scalar"));
         assert!(e.contains("algebra.select(X_0"));
         assert!(e.contains("aggr.scalar[sum](X_2)"));
         assert!(e.contains("return sum_x := X_3"));

@@ -23,6 +23,7 @@
 
 use crate::logical::LogicalPlan;
 use crate::mal::{Instr, MalOp, MalPlan, VarId};
+use crate::verify::{Rule, VerifyError};
 use datacell_kernel::algebra::Predicate;
 use std::collections::{HashMap, HashSet};
 
@@ -190,6 +191,17 @@ fn is_equality(p: &Predicate) -> bool {
 /// — the standalone nodes remain legal and executable; they just do not
 /// reach the fused parallel path.
 pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
+    fuse_group_agg_diag(plan).0
+}
+
+/// [`fuse_group_agg`] with diagnostics: alongside the (possibly) fused
+/// plan, return one [`VerifyError`] per grouping chain the pass had to
+/// *decline*, each naming the op index and variable that broke the
+/// closed-chain precondition. Declined chains are not errors — the
+/// standalone nodes still execute — but the incremental rewriter uses
+/// these diagnostics to explain *why* an unfused chain ended up crossing
+/// its merge frontier instead of reporting a bare string.
+pub fn fuse_group_agg_diag(plan: &MalPlan) -> (MalPlan, Vec<VerifyError>) {
     // Position of each instruction that writes a given variable, and the
     // set of (reader instr, arg) pairs per variable.
     let mut readers: HashMap<VarId, Vec<usize>> = HashMap::new();
@@ -202,11 +214,21 @@ pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
     let mut nvars = plan.nvars;
     let mut dropped: HashSet<usize> = HashSet::new();
     let mut fused_at: HashMap<usize, Instr> = HashMap::new();
+    let mut declined: Vec<VerifyError> = Vec::new();
 
     'groups: for (gi, gins) in plan.instrs.iter().enumerate() {
         let MalOp::Group { keys } = gins.op else { continue };
         let gvar = gins.dests[0];
         if plan.result_vars.contains(&gvar) {
+            declined.push(
+                VerifyError::at(
+                    plan,
+                    gi,
+                    Rule::OpenGroupChain,
+                    "not fused: grouping structure is a result variable",
+                )
+                .with_var(gvar),
+            );
             continue;
         }
         // Collect members; any non-member reader of the Groups var
@@ -214,18 +236,41 @@ pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
         let mut keys_member: Option<(usize, VarId)> = None;
         let mut agg_members: Vec<(usize, VarId, datacell_kernel::algebra::AggKind, Option<VarId>)> =
             Vec::new();
-        for &ri in readers.get(&gvar).map(|v| v.as_slice()).unwrap_or_default() {
+        for &ri in readers.get(&gvar).map(std::vec::Vec::as_slice).unwrap_or_default() {
             match &plan.instrs[ri].op {
                 MalOp::GroupKeys { groups, keys: k2 } if *groups == gvar && *k2 == keys => {
                     if keys_member.is_some() {
-                        continue 'groups; // two GroupKeys: ambiguous, skip
+                        declined.push(
+                            VerifyError::at(
+                                plan,
+                                ri,
+                                Rule::OpenGroupChain,
+                                "not fused: second group.keys on one grouping is ambiguous",
+                            )
+                            .with_var(gvar),
+                        );
+                        continue 'groups;
                     }
                     keys_member = Some((ri, plan.instrs[ri].dests[0]));
                 }
                 MalOp::GroupedAgg { kind, vals, groups } if *groups == gvar => {
                     agg_members.push((ri, plan.instrs[ri].dests[0], *kind, *vals));
                 }
-                _ => continue 'groups, // foreign consumer of the grouping
+                _ => {
+                    declined.push(
+                        VerifyError::at(
+                            plan,
+                            ri,
+                            Rule::OpenGroupChain,
+                            format!(
+                                "not fused: {} is a foreign consumer of the grouping",
+                                plan.instrs[ri].op.name()
+                            ),
+                        )
+                        .with_var(gvar),
+                    );
+                    continue 'groups;
+                }
             }
         }
         if agg_members.is_empty() && keys_member.is_none() {
@@ -249,8 +294,17 @@ pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
             .chain(agg_members.iter().map(|&(_, d, ..)| d))
             .collect();
         for d in member_dests {
-            for &ri in readers.get(&d).map(|v| v.as_slice()).unwrap_or_default() {
+            for &ri in readers.get(&d).map(std::vec::Vec::as_slice).unwrap_or_default() {
                 if ri <= site {
+                    declined.push(
+                        VerifyError::at(
+                            plan,
+                            ri,
+                            Rule::OpenGroupChain,
+                            "not fused: a member destination is read at or before the fusion site",
+                        )
+                        .with_var(d),
+                    );
                     continue 'groups;
                 }
             }
@@ -277,7 +331,7 @@ pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
     }
 
     if fused_at.is_empty() {
-        return plan.clone();
+        return (plan.clone(), declined);
     }
     let mut instrs = Vec::with_capacity(plan.instrs.len());
     for (i, ins) in plan.instrs.iter().enumerate() {
@@ -295,7 +349,7 @@ pub fn fuse_group_agg(plan: &MalPlan) -> MalPlan {
         streams: plan.streams.clone(),
     };
     debug_assert!(out.validate().is_ok(), "fusion produced invalid MAL:\n{}", out.explain());
-    out
+    (out, declined)
 }
 
 fn plan_has_source(plan: &LogicalPlan, source: &str) -> bool {
@@ -536,6 +590,43 @@ mod tests {
             fused.validate().unwrap();
             assert!(fused.instrs.iter().any(|i| matches!(i.op, MalOp::Group { .. })));
             assert!(!fused.instrs.iter().any(|i| matches!(i.op, MalOp::GroupAgg { .. })));
+        }
+
+        #[test]
+        fn declined_chains_report_located_diagnostics() {
+            use crate::verify::Rule;
+            // Result-var grouping: diagnostic anchored at the Group node.
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let mut plan = b.finish(vec!["k".into()], vec![gk]);
+            plan.result_vars = vec![g];
+            let (_, diags) = fuse_group_agg_diag(&plan);
+            assert_eq!(diags.len(), 1);
+            assert_eq!(diags[0].rule, Rule::OpenGroupChain);
+            assert_eq!(diags[0].instr, Some(1));
+            assert_eq!(diags[0].var, Some(g));
+            assert_eq!(diags[0].op, Some("group.new"));
+
+            // Member dest read before the fusion site: diagnostic anchored
+            // at the offending reader, naming the read variable.
+            let mut b = MalBuilder::new();
+            let k = b.emit(MalOp::BindStream { stream: "s".into(), attr: "k".into() });
+            let g = b.emit(MalOp::Group { keys: k });
+            let gk = b.emit(MalOp::GroupKeys { groups: g, keys: k });
+            let srt = b.emit(MalOp::Sort { input: gk, desc: false });
+            let n = b.emit(MalOp::GroupedAgg { kind: AggKind::Count, vals: None, groups: g });
+            let plan = b.finish(vec!["k".into(), "n".into()], vec![srt, n]);
+            let (_, diags) = fuse_group_agg_diag(&plan);
+            assert_eq!(diags.len(), 1);
+            assert_eq!(diags[0].rule, Rule::OpenGroupChain);
+            assert_eq!(diags[0].instr, Some(3));
+            assert_eq!(diags[0].var, Some(gk));
+
+            // A cleanly fused chain produces no diagnostics.
+            let (_, diags) = fuse_group_agg_diag(&unfused());
+            assert!(diags.is_empty());
         }
 
         #[test]

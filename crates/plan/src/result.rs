@@ -103,7 +103,7 @@ impl ResultSet {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.cols.first().map_or(0, |c| c.len())
+        self.cols.first().map_or(0, datacell_kernel::Column::len)
     }
 
     /// True when there are no rows.

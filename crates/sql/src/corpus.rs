@@ -1,0 +1,121 @@
+//! A named corpus of continuous queries covering the supported SQL surface.
+//!
+//! The corpus exists so static analysis has a fixed population of plans to
+//! chew on: the `lint` binary (and the verifier test-suite) compiles every
+//! entry and runs `datacell_plan::verify` over the result, end to end
+//! through the optimizer and the incremental rewriter. Every syntactic
+//! feature the parser accepts should appear in at least one entry; when the
+//! front-end grows a construct, add a query here so the verifier sees it.
+//!
+//! Queries are written against the canonical schemas returned by
+//! [`corpus_streams`]: a numeric stream `s`, a pair of joinable streams
+//! `a`/`b`, and a log stream `logs` with a string column.
+
+use datacell_kernel::DataType;
+
+/// One corpus entry: a short stable name (used in diagnostics) and the SQL.
+pub type CorpusEntry = (&'static str, &'static str);
+
+/// Stream schemas the corpus queries are written against.
+///
+/// Returns `(stream_name, [(column, type), ..])` tuples, suitable for
+/// registering streams on an engine or for seeding a
+/// [`datacell_plan::SchemaOverlay`].
+#[must_use]
+pub fn corpus_streams() -> Vec<(&'static str, Vec<(&'static str, DataType)>)> {
+    vec![
+        (
+            "s",
+            vec![
+                ("x1", DataType::Int),
+                ("x2", DataType::Int),
+                ("k", DataType::Int),
+                ("v", DataType::Int),
+                ("w", DataType::Float),
+            ],
+        ),
+        ("a", vec![("k", DataType::Int)]),
+        ("b", vec![("k", DataType::Int)]),
+        ("logs", vec![("level", DataType::Str), ("code", DataType::Int)]),
+    ]
+}
+
+/// Every SQL test query shape, deduplicated and renamed onto the canonical
+/// corpus schemas. Each entry must parse, compile, verify clean, and survive
+/// the incremental rewriter.
+#[must_use]
+pub fn corpus() -> Vec<CorpusEntry> {
+    vec![
+        // Plain filters and projections.
+        ("filter-lt", "SELECT x1 FROM s WHERE x1 < 10 WINDOW SIZE 4 SLIDE 2"),
+        ("project-three", "SELECT k, v, w FROM s WHERE v > 5 WINDOW SIZE 4 SLIDE 2"),
+        ("string-eq", "SELECT code FROM logs WHERE level = 'err' WINDOW SIZE 3 SLIDE 3"),
+        // Scalar aggregates, one per kind plus alias and count(*) forms.
+        ("sum-filtered", "SELECT sum(x2) FROM s WHERE x1 > 10 WINDOW SIZE 4 SLIDE 4"),
+        ("avg-filtered", "SELECT avg(x1) FROM s WHERE x1 < 10 WINDOW SIZE 4 SLIDE 2"),
+        (
+            "min-max-avg-float",
+            "SELECT min(w), max(w), avg(w) FROM s WHERE w >= 0.5 WINDOW SIZE 4 SLIDE 4",
+        ),
+        ("count-between", "SELECT count(k) FROM s WHERE k BETWEEN 2 AND 4 WINDOW SIZE 6 SLIDE 6"),
+        ("count-neq", "SELECT count(k) FROM s WHERE k <> 3 WINDOW SIZE 4 SLIDE 4"),
+        ("count-star", "SELECT count(*) FROM s WHERE k > 1 WINDOW SIZE 3 SLIDE 3"),
+        (
+            "conjunction",
+            "SELECT sum(v) FROM s WHERE k > 1 AND v < 50 AND w >= 0.0 WINDOW SIZE 4 SLIDE 4",
+        ),
+        ("aliases", "SELECT sum(v) AS total, count(v) AS n FROM s WINDOW SIZE 2 SLIDE 2"),
+        // Grouped aggregation, including the full five-aggregate fusion shape.
+        (
+            "group-all-aggs",
+            "SELECT k, sum(v), count(v), min(v), max(v), avg(v) FROM s GROUP BY k \
+             WINDOW SIZE 6 SLIDE 6",
+        ),
+        (
+            "group-filtered",
+            "SELECT x1, sum(x2) FROM s WHERE x1 > 2 GROUP BY x1 WINDOW SIZE 8 SLIDE 2",
+        ),
+        (
+            "group-str-key",
+            "SELECT level, count(code) FROM logs GROUP BY level WINDOW SIZE 4 SLIDE 4",
+        ),
+        // Ordering, limits, distinct.
+        ("order-by", "SELECT k FROM s ORDER BY k WINDOW SIZE 4 SLIDE 4"),
+        ("order-desc-limit", "SELECT x1 FROM s ORDER BY x1 DESC LIMIT 2 WINDOW SIZE 4 SLIDE 2"),
+        ("distinct", "SELECT DISTINCT x1 FROM s WINDOW SIZE 4 SLIDE 2"),
+        // Joins.
+        ("stream-join", "SELECT count(a.k) FROM a, b WHERE a.k = b.k WINDOW SIZE 2 SLIDE 1"),
+        // Window-clause variants: time range and landmark.
+        ("time-range", "SELECT count(x1) FROM s WINDOW RANGE 20 MS SLIDE 10 MS"),
+        ("landmark", "SELECT count(k) FROM s WINDOW LANDMARK SLIDE 10 MS"),
+        ("landmark-multi", "SELECT max(x1), sum(x2) FROM s WINDOW LANDMARK SLIDE 3"),
+        (
+            "landmark-filtered",
+            "SELECT max(x1), sum(x2) FROM s WHERE x1 > 0 WINDOW LANDMARK SLIDE 3",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_parses_and_names_are_unique() {
+        let mut seen = HashSet::new();
+        for (name, sql) in corpus() {
+            assert!(seen.insert(name), "duplicate corpus name {name}");
+            let q = crate::parse(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(q.window.is_some(), "{name}: corpus queries carry a window clause");
+        }
+    }
+
+    #[test]
+    fn corpus_columns_exist_in_declared_schemas() {
+        let streams = corpus_streams();
+        for (stream, cols) in &streams {
+            assert!(!cols.is_empty(), "stream {stream} has no columns");
+        }
+    }
+}

@@ -101,7 +101,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                         j += 1;
                     } else if d == '.'
                         && !is_float
-                        && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
                     {
                         is_float = true;
                         j += 1;
@@ -151,7 +151,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
 }
 
 fn starts_number(bytes: &[u8], i: usize) -> bool {
-    bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+    bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
 }
 
 #[cfg(test)]

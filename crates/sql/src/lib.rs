@@ -30,8 +30,10 @@
 //! [`datacell_plan::LogicalPlan`] plus an optional
 //! [`datacell_plan::WindowSpec`].
 
+pub mod corpus;
 mod lexer;
 mod parser;
 
+pub use corpus::{corpus, corpus_streams, CorpusEntry};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse, ContinuousQuery, SqlError};

@@ -117,7 +117,7 @@ fn empty_windows_emit_empty_results_not_errors() {
     e.run_until_idle().unwrap();
     let out = e.drain_results(q).unwrap();
     assert_eq!(out.len(), 3);
-    assert!(out.iter().all(|w| w.is_empty()));
+    assert!(out.iter().all(datacell::plan::ResultSet::is_empty));
 }
 
 #[test]
@@ -134,7 +134,7 @@ fn empty_window_scalar_aggregates_drop_the_row() {
         e.run_until_idle().unwrap();
         let out = e.drain_results(q).unwrap();
         assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|w| w.is_empty()), "{mode:?}");
+        assert!(out.iter().all(datacell::plan::ResultSet::is_empty), "{mode:?}");
     }
 }
 

@@ -117,7 +117,7 @@ fn golden_fused_aggregation_through_sharded_parallel_path() {
         .unwrap();
         e.run_until_idle().unwrap();
         let out = e.drain_results(q).unwrap();
-        out.iter().map(|r| r.rows()).collect::<Vec<_>>()
+        out.iter().map(datacell::plan::ResultSet::rows).collect::<Vec<_>>()
     };
 
     let golden = vec![

@@ -14,7 +14,7 @@ fn engine() -> Engine {
 }
 
 fn rows(out: &[datacell::plan::ResultSet]) -> Vec<Vec<Vec<Value>>> {
-    out.iter().map(|r| r.rows()).collect()
+    out.iter().map(datacell::plan::ResultSet::rows).collect()
 }
 
 /// The fixed arrival trace shared by the time-sliding goldens:

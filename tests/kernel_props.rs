@@ -150,7 +150,7 @@ proptest! {
             .into_iter()
             .flatten()
             .collect();
-        let merged_min = mins.iter().cloned().min_by(|x, y| x.total_cmp(y));
+        let merged_min = mins.iter().cloned().min_by(datacell::prelude::Value::total_cmp);
         prop_assert_eq!(algebra::min(&whole).unwrap(), merged_min);
     }
 

@@ -42,7 +42,12 @@ fn multi_query_results_identical_across_worker_counts() {
         queries
             .into_iter()
             .map(|(_, q)| {
-                engine.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>()
+                engine
+                    .drain_results(q)
+                    .unwrap()
+                    .iter()
+                    .map(datacell::plan::ResultSet::rows)
+                    .collect::<Vec<_>>()
             })
             .collect()
     };
@@ -160,7 +165,12 @@ fn time_windows_under_worker_pool() {
         }
         engine.advance_clock(100);
         engine.run_until_idle().unwrap();
-        engine.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>()
+        engine
+            .drain_results(q)
+            .unwrap()
+            .iter()
+            .map(datacell::plan::ResultSet::rows)
+            .collect::<Vec<_>>()
     };
     let sequential = run(1);
     assert!(!sequential.is_empty());

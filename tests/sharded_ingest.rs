@@ -137,7 +137,13 @@ fn factory_results_identical_to_single_shard_run() {
             e.append_at("s", &[Column::Int(xs), Column::Int(ys)], round).unwrap();
             e.run_until_idle().unwrap();
             for q in [qi, qr] {
-                out.push(e.drain_results(q).unwrap().iter().map(|r| r.rows()).collect::<Vec<_>>());
+                out.push(
+                    e.drain_results(q)
+                        .unwrap()
+                        .iter()
+                        .map(datacell::plan::ResultSet::rows)
+                        .collect::<Vec<_>>(),
+                );
             }
         }
         out

@@ -216,6 +216,7 @@ fn format_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
