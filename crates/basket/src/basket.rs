@@ -255,6 +255,51 @@ impl Basket {
         Ok(start)
     }
 
+    /// Append an owned batch with per-row timestamps, *moving* the column
+    /// payloads in (string values transfer ownership instead of cloning).
+    /// The sharded seal stitches staged segments into owned sub-batches on
+    /// worker threads and lands them here, so the serial tail of the seal
+    /// is a short splice rather than a second full copy.
+    pub fn append_stitched(
+        &mut self,
+        mut batch: Vec<Column>,
+        ts: Vec<Timestamp>,
+    ) -> crate::Result<Oid> {
+        let n = validate_batch(&self.name, &self.schema, &batch)?;
+        if n == 0 {
+            return Ok(self.end_oid());
+        }
+        if ts.len() != n {
+            return Err(BasketError::Malformed(format!(
+                "{}: {} timestamps for {} rows",
+                self.name,
+                ts.len(),
+                n
+            )));
+        }
+        let first_ts = ts[0];
+        if let Some(last) = self.last_ts {
+            if first_ts < last {
+                return Err(BasketError::Malformed(format!(
+                    "{}: timestamps must be non-decreasing ({} < {})",
+                    self.name, first_ts, last
+                )));
+            }
+        }
+        let start = self.end_oid();
+        for (dst, src) in self.cols.iter_mut().zip(&mut batch) {
+            // Cannot fail: `validate_batch` checked types above.
+            dst.append_owned(src)?;
+        }
+        debug_assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "per-row timestamps must be non-decreasing"
+        );
+        self.last_ts = Some(*ts.last().expect("n > 0"));
+        self.ts.extend(ts);
+        Ok(start)
+    }
+
     /// Append a single row of values (receptor convenience / tests).
     pub fn append_row(&mut self, row: &[Value], now: Timestamp) -> crate::Result<Oid> {
         let batch: Vec<Column> = row
@@ -619,5 +664,23 @@ mod tests {
             .unwrap();
         assert_eq!(b.ts_at(0), Some(10));
         assert_eq!(b.ts_at(2), Some(30));
+    }
+
+    #[test]
+    fn append_stitched_moves_batch_and_checks_shapes() {
+        let mut b = basket();
+        b.append(&batch(vec![1], vec![0.1]), 10).unwrap();
+        let start = b.append_stitched(batch(vec![2, 3], vec![0.2, 0.3]), vec![10, 12]).unwrap();
+        assert_eq!(start, 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ts_at(1), Some(10));
+        assert_eq!(b.ts_at(2), Some(12));
+        // Same rejections as the borrowing append: ts regression, ts/row
+        // count mismatch, schema mismatch. Empty batch is a no-op.
+        assert!(b.append_stitched(batch(vec![4], vec![0.4]), vec![5]).is_err());
+        assert!(b.append_stitched(batch(vec![4], vec![0.4]), vec![12, 13]).is_err());
+        assert!(b.append_stitched(vec![Column::Int(vec![4])], vec![12]).is_err());
+        assert_eq!(b.append_stitched(batch(vec![], vec![]), vec![]).unwrap(), 3);
+        assert_eq!(b.len(), 3);
     }
 }

@@ -22,6 +22,14 @@
 //!   first gap (an oid range allocated to an appender that has not staged
 //!   its batch yet). Factories keep reading the merged view through the
 //!   existing `SharedBasket` APIs — same ordered view, same expiry rules.
+//!   Large runs stitch their segments into sub-batches on scoped worker
+//!   threads (the workers own the segments — no locks), leaving only the
+//!   short dense-oid splice serial.
+//! * A **keyed append** path ([`ShardedBasket::append_keyed`]) splits a
+//!   batch by the canonical [`Placement`] key-hash so every row stages at
+//!   the shard its key owns — the same map `kernel::par` uses for radix
+//!   partitions and aligned aggregation morsels, so keyed ingest lands
+//!   pre-partitioned for the operators downstream.
 //!
 //! **`N = 1` dispatches to the existing single-mutex path**: appends go
 //! straight through [`SharedBasket::append`] with no allocator and no
@@ -49,7 +57,8 @@
 //! emitters, GC).
 
 use crate::basket::{Basket, BasketError, SharedBasket, Timestamp};
-use datacell_kernel::{Column, DataType, Oid};
+use datacell_kernel::par::stats;
+use datacell_kernel::{Column, DataType, Oid, Placement};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -270,6 +279,64 @@ impl ShardedBasket {
         self.stage_at(&shards, shard, batch, now, true)
     }
 
+    /// Key-hash placement append — the aligned-dataflow receptor path.
+    /// The batch is split by the canonical [`Placement`] map over the
+    /// live shard count (column `key_col` carries the keys): every row
+    /// stages at the shard its key-hash owns, so sealed per-shard
+    /// segments feed key-partitioned kernel operators without
+    /// re-partitioning. One allocator critical section covers the whole
+    /// batch (one contiguous oid range, one clamped stamp); within the
+    /// batch, rows land in shard order — stable within a shard — so the
+    /// merged view's row order is the documented placement scatter of the
+    /// input. Dispatches to the plain single-mutex append at 1 shard
+    /// (byte-identical, no reorder).
+    pub fn append_keyed(
+        &self,
+        key_col: usize,
+        batch: &[Column],
+        now: Timestamp,
+    ) -> crate::Result<Oid> {
+        let shards = self.state.shards.read();
+        if shards.len() == 1 {
+            return self.inner.append(batch, now);
+        }
+        let n = self.validate(batch)?;
+        if n == 0 {
+            return Ok(self.state.alloc.lock().next);
+        }
+        let keys = batch.get(key_col).ok_or_else(|| {
+            BasketError::Malformed(format!(
+                "{}: key column {} out of range for {} columns",
+                self.state.name,
+                key_col,
+                batch.len()
+            ))
+        })?;
+        let parts = Placement::new(shards.len()).scatter(&keys.as_slice());
+        // One critical section for the whole batch: a contiguous oid
+        // range, one clamped stamp. Sub-ranges are carved per shard in
+        // shard order below.
+        let (start, ts) = {
+            let mut alloc = self.state.alloc.lock();
+            let ts = now.max(alloc.last_ts);
+            let start = alloc.next;
+            alloc.next += n as u64;
+            alloc.last_ts = ts;
+            (start, ts)
+        };
+        let mut sub_start = start;
+        for (shard, pos) in shards.iter().zip(&parts) {
+            if pos.is_empty() {
+                continue;
+            }
+            let cols: Vec<Column> = batch.iter().map(|c| c.gather(pos)).collect();
+            let seg = Segment { cols, rows: pos.len(), ts };
+            shard.lock().segs.insert(sub_start, seg);
+            sub_start += pos.len() as u64;
+        }
+        Ok(start)
+    }
+
     /// Validate, allocate and stage one batch into the round-robin shard.
     fn stage(
         &self,
@@ -344,41 +411,85 @@ impl ShardedBasket {
     }
 
     fn seal_locked(&self, shards: &[Mutex<Shard>]) -> Oid {
+        // Phase 1 — collect the contiguous run of staged segments from
+        // the frontier. Each segment is taken under its shard lock, but
+        // only for a BTreeMap remove: a receptor pinned to a shard never
+        // waits behind a column copy. Safe under concurrent sealers
+        // because allocation starts are unique and only the holder of
+        // the segment keyed exactly at the current frontier can advance
+        // the frontier — a sealer that loses the `remove` race simply
+        // sees no progress. The guard must not ride along in a
+        // `while let` scrutinee — there it would live for the whole body.
         let mut frontier = self.inner.end_oid();
+        let mut run: Vec<Segment> = Vec::new();
         loop {
             let mut progressed = false;
             for shard in shards {
-                // Take each segment under the shard lock but append it to
-                // the inner basket with the lock *released*: a receptor
-                // pinned to this shard only ever waits behind a BTreeMap
-                // remove, never behind the merge's column copy. Safe
-                // because allocation starts are unique and only the
-                // holder of the segment keyed exactly at the current
-                // frontier can advance the frontier — a concurrent sealer
-                // that loses the `remove` race simply sees no progress.
-                // The guard must not ride along in a `while let`
-                // scrutinee — there it would live for the whole body and
-                // the receptor would wait behind the column copy after
-                // all.
                 loop {
                     let seg = {
                         let mut g = shard.lock();
                         g.segs.remove(&frontier)
                     };
                     let Some(seg) = seg else { break };
-                    // Cannot fail: arity/alignment/types were validated
-                    // at staging and the allocator stamps monotonically.
-                    self.inner
-                        .with(|b| b.append_with_ts(&seg.cols, |_| seg.ts))
-                        .expect("staged segments are pre-validated and stamped in oid order");
                     frontier += seg.rows as u64;
+                    run.push(seg);
                     progressed = true;
                 }
             }
             if !progressed {
-                return frontier;
+                break;
             }
         }
+        if run.is_empty() {
+            return frontier;
+        }
+        let total: usize = run.iter().map(|s| s.rows).sum();
+        let workers = shards.len().min(run.len());
+        if workers < 2 || total < PAR_SEAL_MIN_ROWS {
+            // Short run: serial per-segment appends (the historic path —
+            // fan-out would cost more than the copies it spreads).
+            stats::record_seal(false);
+            for seg in run {
+                // Cannot fail: arity/alignment/types were validated at
+                // staging and the allocator stamps monotonically.
+                self.inner
+                    .with(|b| b.append_with_ts(&seg.cols, |_| seg.ts))
+                    .expect("staged segments are pre-validated and stamped in oid order");
+            }
+            return frontier;
+        }
+        // Phase 2 — stitch contiguous segment ranges (balanced by rows)
+        // into owned sub-batches on scoped worker threads. The workers
+        // own their segments outright: no locks, no shared state.
+        let target = total.div_ceil(workers);
+        let mut ranges: Vec<Vec<Segment>> = Vec::with_capacity(workers);
+        let mut cur: Vec<Segment> = Vec::new();
+        let mut cur_rows = 0usize;
+        for seg in run {
+            cur_rows += seg.rows;
+            cur.push(seg);
+            if cur_rows >= target {
+                ranges.push(std::mem::take(&mut cur));
+                cur_rows = 0;
+            }
+        }
+        if !cur.is_empty() {
+            ranges.push(cur);
+        }
+        let stitched: Vec<(Vec<Column>, Vec<Timestamp>)> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                ranges.into_iter().map(|range| s.spawn(move || stitch_segments(range))).collect();
+            handles.into_iter().map(|h| h.join().expect("seal stitcher panicked")).collect()
+        });
+        stats::record_seal(true);
+        // Phase 3 — the short serial tail: splice each stitched sub-batch
+        // into the merged view in oid order, moving the payloads.
+        for (cols, ts) in stitched {
+            self.inner
+                .with(|b| b.append_stitched(cols, ts))
+                .expect("staged segments are pre-validated and stamped in oid order");
+        }
+        frontier
     }
 
     /// Change the shard count (clamped to ≥ 1). Waits out in-flight
@@ -411,6 +522,30 @@ impl ShardedBasket {
         }
         *guard = new;
     }
+}
+
+/// Seals shorter than this stay serial: below a few thousand rows the
+/// scoped-thread fan-out costs more than the column copies it spreads.
+const PAR_SEAL_MIN_ROWS: usize = 4096;
+
+/// Merge a contiguous range of staged segments into one owned sub-batch
+/// (columns spliced with [`Column::append_owned`], per-row timestamps
+/// expanded from the per-segment stamps). Runs on a seal worker thread;
+/// the segments are owned, so the stitch touches no locks.
+fn stitch_segments(range: Vec<Segment>) -> (Vec<Column>, Vec<Timestamp>) {
+    let rows: usize = range.iter().map(|s| s.rows).sum();
+    let mut it = range.into_iter();
+    let first = it.next().expect("stitch ranges are non-empty");
+    let mut ts = Vec::with_capacity(rows);
+    ts.resize(first.rows, first.ts);
+    let mut cols = first.cols;
+    for seg in it {
+        for (dst, mut src) in cols.iter_mut().zip(seg.cols) {
+            dst.append_owned(&mut src).expect("staged segments share one schema");
+        }
+        ts.resize(ts.len() + seg.rows, seg.ts);
+    }
+    (cols, ts)
 }
 
 /// Parse a `DATACELL_BASKET_SHARDS`-style override: a positive shard
@@ -624,6 +759,96 @@ mod tests {
         assert_eq!(parse_shards(Some("0")), None);
         assert_eq!(parse_shards(Some("1")), Some(1));
         assert_eq!(parse_shards(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn append_keyed_routes_rows_to_hash_owned_shards() {
+        let sb = ShardedBasket::new(basket(), 4);
+        let keys: Vec<i64> = (0..32).map(|i| i % 7).collect();
+        sb.append_keyed(0, &ints(&keys), 5).unwrap();
+        // Staged rows sit exactly where the canonical placement puts them.
+        let parts = Placement::new(4).scatter(&Column::Int(keys.clone()).as_slice());
+        {
+            let shards = sb.state.shards.read();
+            for (shard, pos) in shards.iter().zip(&parts) {
+                let staged: usize = shard.lock().segs.values().map(|s| s.rows).sum();
+                assert_eq!(staged, pos.len());
+            }
+        }
+        assert_eq!(sb.seal(), 32);
+        // The merged view is the documented stable scatter order.
+        let expect: Vec<i64> =
+            parts.iter().flat_map(|pos| pos.iter().map(|&p| keys[p as usize])).collect();
+        let (_, vals, ts) = snapshot_ints(&sb.shared());
+        assert_eq!(vals, expect);
+        assert!(ts.iter().all(|&t| t == 5), "one stamp for the whole batch");
+    }
+
+    #[test]
+    fn append_keyed_same_key_always_lands_on_one_shard() {
+        let sb = ShardedBasket::new(basket(), 4);
+        for round in 0..3 {
+            sb.append_keyed(0, &ints(&[42, 42, 42]), round).unwrap();
+        }
+        let shards = sb.state.shards.read();
+        let occupied: Vec<usize> = (0..4)
+            .filter(|&i| shards[i].lock().segs.values().map(|s| s.rows).sum::<usize>() > 0)
+            .collect();
+        assert_eq!(occupied.len(), 1, "all occurrences of one key share a shard");
+        assert_eq!(occupied[0], Placement::new(4).of_key(42i64));
+    }
+
+    #[test]
+    fn append_keyed_one_shard_is_byte_identical_to_shared() {
+        let plain = SharedBasket::new(basket());
+        let sb = ShardedBasket::new(basket(), 1);
+        for (vals, ts) in [(&[3i64, 1, 3][..], 2u64), (&[7], 2)] {
+            assert_eq!(plain.append(&ints(vals), ts), sb.append_keyed(0, &ints(vals), ts));
+        }
+        assert_eq!(snapshot_ints(&plain), snapshot_ints(&sb.shared()));
+    }
+
+    #[test]
+    fn append_keyed_validates_and_reports_frontier_on_empty() {
+        let sb = ShardedBasket::new(basket(), 2);
+        assert!(sb.append_keyed(0, &[Column::Float(vec![0.5])], 0).is_err());
+        assert!(sb.append_keyed(9, &ints(&[1]), 0).is_err(), "key column out of range");
+        sb.append_keyed(0, &ints(&[1, 2]), 0).unwrap();
+        assert_eq!(sb.append_keyed(0, &ints(&[]), 0).unwrap(), 2);
+        assert_eq!(sb.staged_len(), 2);
+    }
+
+    #[test]
+    fn seal_fans_out_past_the_threshold_and_stays_serial_below() {
+        // One test so the counter observations can't interleave: this is
+        // the only place in the process that seals ≥ PAR_SEAL_MIN_ROWS,
+        // so the par-seal counter moves exactly when this test seals big.
+        let small = ShardedBasket::new(basket(), 4);
+        small.append_shard(0, &ints(&[1, 2]), 0).unwrap();
+        small.append_shard(1, &ints(&[3]), 1).unwrap();
+        let p0 = stats::seal_par_calls();
+        assert_eq!(small.seal(), 3);
+        assert_eq!(stats::seal_par_calls(), p0, "short runs must not fan out");
+
+        let sb = ShardedBasket::new(basket(), 4);
+        // Stage 40 segments of 256 rows (10240 total, past the parallel
+        // threshold) in allocation order across shards.
+        let mut expect = Vec::new();
+        for seg in 0..40i64 {
+            let vals: Vec<i64> = (0..256).map(|i| seg * 1000 + i).collect();
+            sb.append_shard((seg % 4) as usize, &ints(&vals), seg as u64).unwrap();
+            expect.extend(vals);
+        }
+        let (s0, p1) = (stats::seal_calls(), stats::seal_par_calls());
+        assert_eq!(sb.seal(), 40 * 256);
+        assert!(stats::seal_calls() > s0);
+        assert!(stats::seal_par_calls() > p1, "large seal must fan out");
+        let (_, vals, ts) = snapshot_ints(&sb.shared());
+        assert_eq!(vals, expect);
+        // Per-segment stamps survive the stitch, monotone in oid order.
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ts[0], 0);
+        assert_eq!(*ts.last().unwrap(), 39);
     }
 
     #[test]

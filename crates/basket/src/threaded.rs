@@ -52,6 +52,51 @@ impl ReceptorHandle {
         ReceptorHandle::spawn_on_shard(basket, shard, queue, source)
     }
 
+    /// [`ReceptorHandle::spawn`] with key-hash placement: each batch is
+    /// split by the canonical `Placement` map over column `key_col`, so
+    /// every row stages at the shard its key owns (see
+    /// [`ShardedBasket::append_keyed`]) and sealed segments feed
+    /// key-partitioned kernel operators without re-partitioning. Streams
+    /// without a grouping key should keep [`ReceptorHandle::spawn`]'s
+    /// round-robin pinning.
+    pub fn spawn_keyed(
+        basket: impl Into<ShardedBasket>,
+        key_col: usize,
+        queue: usize,
+        mut source: impl FnMut() -> Option<TimedBatch> + Send + 'static,
+    ) -> ReceptorHandle {
+        let basket = basket.into();
+        let (tx, rx): (Sender<TimedBatch>, Receiver<TimedBatch>) = bounded(queue.max(1));
+        let (stop_tx, stop_rx) = bounded::<()>(0);
+
+        std::thread::spawn(move || {
+            while let Some(batch) = source() {
+                crossbeam::channel::select! {
+                    send(tx, batch) -> res => {
+                        if res.is_err() {
+                            break; // pump gone
+                        }
+                    }
+                    recv(stop_rx) -> _ => break,
+                }
+            }
+        });
+
+        // Pump thread: split each batch across its keys' home shards.
+        let join = std::thread::spawn(move || {
+            let mut delivered = 0usize;
+            while let Ok((ts, batch)) = rx.recv() {
+                let n = batch.first().map_or(0, datacell_kernel::Column::len);
+                if basket.append_keyed(key_col, &batch, ts).is_ok() {
+                    delivered += n;
+                }
+            }
+            delivered
+        });
+
+        ReceptorHandle { join: Some(join), shutdown: Some(stop_tx) }
+    }
+
     /// [`ReceptorHandle::spawn`] with an explicit staging shard — key- or
     /// placement-aware receptors pick their own shard (the index is taken
     /// modulo the basket's live shard count).
@@ -296,6 +341,65 @@ mod tests {
         vals.sort_unstable();
         let mut expect: Vec<i64> =
             (0..8).flat_map(|t| (0..40).flat_map(move |i| [t * 100 + i, t * 100 + i])).collect();
+        expect.sort_unstable();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn keyed_receptor_delivers_batches_in_placement_order() {
+        use crate::basket::Basket;
+        use datacell_kernel::Placement;
+
+        let sb = ShardedBasket::new(Basket::new("s", &[("k", DataType::Int)]), 4);
+        let batches: Vec<Vec<i64>> =
+            (0..6).map(|b| (0..16).map(|i| (b * 16 + i) % 7).collect()).collect();
+        let mut feed = batches.clone().into_iter();
+        let handle = ReceptorHandle::spawn_keyed(sb.clone(), 0, 2, move || {
+            feed.next().map(|vals| (0, vec![Column::Int(vals)]))
+        });
+        assert_eq!(handle.join().unwrap(), 6 * 16);
+        assert_eq!(sb.seal(), 96);
+        // One receptor delivers batches in order; within each batch the
+        // sealed row order is the canonical placement scatter (each row
+        // staged at its key's home shard, shards drained in oid order).
+        let expect: Vec<i64> = batches
+            .iter()
+            .flat_map(|vals| {
+                let parts = Placement::new(4).scatter(&Column::Int(vals.clone()).as_slice());
+                parts
+                    .into_iter()
+                    .flat_map(|pos| pos.into_iter().map(|p| vals[p as usize]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let vals = sb.with(|b| b.snapshot().col(0).unwrap().as_int().unwrap().to_vec());
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn keyed_receptor_fleet_loses_nothing() {
+        use crate::basket::Basket;
+
+        let sb = ShardedBasket::new(Basket::new("s", &[("k", DataType::Int)]), 4);
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let mut left = 30i64;
+                ReceptorHandle::spawn_keyed(sb.clone(), 0, 4, move || {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    Some((0, vec![Column::Int(vec![left % 5, tid * 100 + left])]))
+                })
+            })
+            .collect();
+        let delivered: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(delivered, 4 * 30 * 2);
+        assert_eq!(sb.seal(), 240);
+        let mut vals = sb.with(|b| b.snapshot().col(0).unwrap().as_int().unwrap().to_vec());
+        vals.sort_unstable();
+        let mut expect: Vec<i64> =
+            (0..4i64).flat_map(|t| (0..30).flat_map(move |i| [i % 5, t * 100 + i])).collect();
         expect.sort_unstable();
         assert_eq!(vals, expect);
     }

@@ -14,7 +14,13 @@
 //! * `--partitions n` — pin the kernel partition fan-out (`join_scale`
 //!   only: measure a single `P` instead of sweeping the default list);
 //! * `--shards n` — pin the basket shard count (`ingest_scale` only:
-//!   measure a single shard count instead of sweeping the default list).
+//!   measure a single shard count instead of sweeping the default list);
+//! * `--placement m` — pin the morsel placement mode (`aligned` or
+//!   `roundrobin`; `agg_scale`/`ingest_scale`: measure one mode instead
+//!   of sweeping both).
+
+use datacell_kernel::par::parse_placement;
+use datacell_kernel::PlacementMode;
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone)]
@@ -33,6 +39,8 @@ pub struct Args {
     pub partitions: Option<usize>,
     /// Override for the basket shard count.
     pub shards: Option<usize>,
+    /// Override for the morsel placement mode.
+    pub placement: Option<PlacementMode>,
 }
 
 impl Default for Args {
@@ -45,6 +53,7 @@ impl Default for Args {
             fire_cost_us: None,
             partitions: None,
             shards: None,
+            placement: None,
         }
     }
 }
@@ -109,6 +118,14 @@ impl Args {
                             .unwrap_or_else(|| usage("--shards needs a positive count")),
                     );
                 }
+                "--placement" => {
+                    // Same spellings DATACELL_PLACEMENT accepts
+                    // (kernel::par::parse_placement) — one config surface.
+                    args.placement = Some(
+                        parse_placement(it.next().as_deref())
+                            .unwrap_or_else(|| usage("--placement needs aligned or roundrobin")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -128,7 +145,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: fig* [--scale f] [--paper] [--windows n] [--seed n] [--fire-cost-us n] \
-         [--partitions n] [--shards n]"
+         [--partitions n] [--shards n] [--placement aligned|roundrobin]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -166,6 +183,8 @@ mod tests {
             "4",
             "--shards",
             "8",
+            "--placement",
+            "aligned",
         ]);
         assert_eq!(a.scale, 0.5);
         assert!(a.paper);
@@ -174,6 +193,17 @@ mod tests {
         assert_eq!(a.fire_cost_us, Some(150));
         assert_eq!(a.partitions, Some(4));
         assert_eq!(a.shards, Some(8));
+        assert_eq!(a.placement, Some(PlacementMode::Aligned));
+    }
+
+    #[test]
+    fn placement_accepts_both_spellings() {
+        assert_eq!(parse(&["--placement", "rr"]).placement, Some(PlacementMode::RoundRobin));
+        assert_eq!(
+            parse(&["--placement", "round-robin"]).placement,
+            Some(PlacementMode::RoundRobin)
+        );
+        assert_eq!(parse(&[]).placement, None);
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! `agg_scale` — throughput vs. partition fan-out for the fused
 //! `kernel::par` grouped aggregation (the `GroupAgg` MAL node's hot
 //! path): one grouping pass over N rows × K distinct keys feeding
-//! sum + count + avg, per partition count.
+//! sum + count + avg, per partition count × placement mode.
 //!
 //! For each `P` the harness runs `par::grouped_agg_multi` over the same
 //! key/value BATs; `P = 1` computes a single partial and finalizes it —
 //! the literal sequential group-then-aggregate chain, so it *is* the
-//! sequential baseline. The harness asserts every `P` produces
-//! byte-identical columns (integer sums/counts and their avg division
-//! are `P`-invariant, and re-grouping preserves first-occurrence key
-//! order), prints wall/iter, input rows/s and speedup per `P`, and
-//! reports the `par::stats` grouped-agg counters so a run doubles as
-//! proof the parallel path was actually exercised.
+//! sequential baseline. The sweep repeats per placement mode: round
+//! robin chunks rows and re-groups the partials at merge; aligned
+//! scatters rows by the canonical key-hash (`kernel::hash::Placement`)
+//! so every partial owns disjoint keys and the merge is pure
+//! concatenation. The harness asserts every `P` × mode produces
+//! byte-identical columns, prints wall/iter, input rows/s and speedup
+//! per point, and reports the `par::stats` grouped-agg and merge-path
+//! counters — an aligned sweep must take the concat fast path only
+//! (fallback delta 0), so a run doubles as proof of the merge-free path.
 //!
 //! Like `join_scale`, speedup tracks *physical cores*: on a single-core
 //! container the interesting number is the partial/merge overhead; on
@@ -19,24 +22,43 @@
 //! workload.
 //!
 //! Flags: `--scale f` resizes the input, `--partitions n` measures one
-//! fan-out against the `P = 1` baseline, `--windows n` overrides the
+//! fan-out against the `P = 1` baseline, `--placement m` pins one
+//! placement mode instead of sweeping both, `--windows n` overrides the
 //! iteration count, `--seed n` the data seed.
 
 use datacell_bench::{lcg_int_bat, print_table, Args};
 use datacell_kernel::algebra::AggKind;
 use datacell_kernel::par::{self, AggSpec, ParConfig};
-use datacell_kernel::{Bat, Column};
+use datacell_kernel::{Bat, Column, PlacementMode};
 use std::time::{Duration, Instant};
 
 const PARTITION_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn sweep(label: &str, keys: &Bat, vals: &Bat, partition_counts: &[usize], iters: usize) {
-    println!("{label}: |rows| = {}, {iters} iters/point", keys.len());
+fn mode_name(mode: PlacementMode) -> &'static str {
+    match mode {
+        PlacementMode::RoundRobin => "roundrobin",
+        PlacementMode::Aligned => "aligned",
+    }
+}
+
+/// Sweep one workload across `partition_counts` under `mode`; returns the
+/// (P-invariant) aggregate result for cross-mode identity checks.
+fn sweep(
+    label: &str,
+    keys: &Bat,
+    vals: &Bat,
+    partition_counts: &[usize],
+    mode: PlacementMode,
+    iters: usize,
+) -> (Column, Vec<Column>) {
+    println!("{label} [{}]: |rows| = {}, {iters} iters/point", mode_name(mode), keys.len());
     let rows_per_iter = keys.len() as f64;
     let mut rows = Vec::new();
     let mut baseline: Option<(Duration, (Column, Vec<Column>))> = None;
+    let concat0 = par::stats::merge_concat_fast_path();
+    let fallback0 = par::stats::merge_regroup_fallback();
     for &p in partition_counts {
-        let cfg = ParConfig::new(p);
+        let cfg = ParConfig::new(p).with_placement(mode);
         let specs: Vec<AggSpec> =
             vec![(AggKind::Sum, Some(vals)), (AggKind::Count, None), (AggKind::Avg, Some(vals))];
         // One untimed run for warm-up and the identity check.
@@ -54,7 +76,11 @@ fn sweep(label: &str, keys: &Bat, vals: &Bat, partition_counts: &[usize], iters:
             }
             None => (1.0, true),
         };
-        assert!(identical, "P={p} produced different aggregates than sequential");
+        assert!(
+            identical,
+            "P={p} ({}) produced different aggregates than sequential",
+            mode_name(mode)
+        );
         rows.push(vec![
             p.to_string(),
             format!("{wall:?}"),
@@ -67,7 +93,18 @@ fn sweep(label: &str, keys: &Bat, vals: &Bat, partition_counts: &[usize], iters:
         }
     }
     print_table(&["partitions", "wall/iter", "Mrows/s", "groups", "speedup"], &rows);
+    let concat = par::stats::merge_concat_fast_path() - concat0;
+    let fallback = par::stats::merge_regroup_fallback() - fallback0;
+    println!("merge paths: concat fast path +{concat}, re-group fallback +{fallback}");
+    if mode == PlacementMode::Aligned {
+        // The tentpole's acceptance check: aligned partials own disjoint
+        // keys, so the merge never falls back to re-grouping.
+        let ran_parallel = partition_counts.iter().any(|&p| p > 1);
+        assert!(!ran_parallel || concat > 0, "aligned sweep never took the concat fast path");
+        assert_eq!(fallback, 0, "aligned sweep fell back to merge-by-regroup");
+    }
     println!("aggregate columns identical across partition counts: yes\n");
+    baseline.expect("at least one partition count").1
 }
 
 fn main() {
@@ -79,6 +116,10 @@ fn main() {
         Some(_) => vec![1],
         None => PARTITION_COUNTS.to_vec(),
     };
+    let modes: Vec<PlacementMode> = match args.placement {
+        Some(m) => vec![m],
+        None => vec![PlacementMode::RoundRobin, PlacementMode::Aligned],
+    };
 
     let calls0 = par::stats::grouped_agg_calls();
     let par0 = par::stats::grouped_agg_par_calls();
@@ -87,14 +128,21 @@ fn main() {
     // aggregation loop dominates.
     let keys = lcg_int_bat(n, 100, args.seed);
     let vals = lcg_int_bat(n, 1_000_000, args.seed + 1);
-    sweep("100 keys (few heavy groups)", &keys, &vals, &sweep_list, iters);
+    let per_mode: Vec<_> = modes
+        .iter()
+        .map(|&m| sweep("100 keys (few heavy groups)", &keys, &vals, &sweep_list, m, iters))
+        .collect();
+    assert!(per_mode.windows(2).all(|w| w[0] == w[1]), "placement modes diverged");
 
-    // Many light groups: grouping (hashing) dominates, merge re-group
-    // cost is visible.
+    // Many light groups: grouping (hashing) dominates, merge cost —
+    // re-group vs. concat — is visible.
     let domain = (n as i64 / 10).max(100);
     let keys = lcg_int_bat(n, domain, args.seed + 2);
     let vals = lcg_int_bat(n, 1_000_000, args.seed + 3);
-    sweep(&format!("{domain} keys (many light groups)"), &keys, &vals, &sweep_list, iters);
+    let label = format!("{domain} keys (many light groups)");
+    let per_mode: Vec<_> =
+        modes.iter().map(|&m| sweep(&label, &keys, &vals, &sweep_list, m, iters)).collect();
+    assert!(per_mode.windows(2).all(|w| w[0] == w[1]), "placement modes diverged");
 
     println!(
         "kernel stats: grouped_agg calls +{}, parallel fan-outs +{}",
@@ -104,6 +152,8 @@ fn main() {
     println!(
         "shape check: speedup tracks physical cores (≈1x minus partial/merge \
          overhead on a single-core container);\nP=1 computes one partial and \
-         finalizes it — the sequential group-then-aggregate chain."
+         finalizes it — the sequential group-then-aggregate chain;\naligned \
+         placement trades a hash scatter before the morsels for a merge-free \
+         concat after them."
     );
 }

@@ -1,18 +1,23 @@
 //! `ingest_scale` — append throughput vs. basket shard count × receptor
-//! thread count.
+//! thread count × placement mode.
 //!
 //! For each (shards, receptors) point the harness hammers one
-//! `ShardedBasket` with `receptors` appender threads, each pinned to its
-//! round-robin shard, then seals and verifies the stream: dense oids,
-//! exact tuple count, exact value checksum — the same invariants
-//! `tests/sharded_ingest.rs` asserts. `shards = 1` dispatches to the
-//! literal single-mutex `SharedBasket` path, so it *is* the contention
-//! baseline the sharded path is measured against.
+//! `ShardedBasket` with `receptors` appender threads, then seals and
+//! verifies the stream: dense oids, exact tuple count, exact value
+//! checksum — the same invariants `tests/sharded_ingest.rs` asserts.
+//! `shards = 1` dispatches to the literal single-mutex `SharedBasket`
+//! path, so it *is* the contention baseline the sharded path is measured
+//! against. The sweep repeats per placement mode: `roundrobin` pins each
+//! receptor to its round-robin shard (`append_shard`), `aligned` routes
+//! every batch through `append_keyed`, scattering rows to shards by the
+//! canonical key-hash (`kernel::hash::Placement`) — the same map the
+//! kernel uses to carve aligned aggregation morsels downstream.
 //!
 //! Reported per point: wall time of the append phase, appends/s and
 //! Mtuples/s (append phase only — the contention under test), the
-//! trailing seal's cost, and speedup vs. 1 shard at the same receptor
-//! count.
+//! trailing seal's cost and whether it fanned out per shard (the
+//! `par::stats` seal counters), and speedup vs. 1 shard at the same
+//! receptor count.
 //!
 //! Like `scheduler_scale`/`join_scale`, thread-level speedup tracks
 //! *physical cores*: on a single-core container the interesting numbers
@@ -21,12 +26,14 @@
 //! monotonically from 1 → 4 shards.
 //!
 //! Flags: `--scale f` resizes the per-receptor batch count, `--shards n`
-//! measures one shard count instead of the default sweep, `--windows n`
+//! measures one shard count instead of the default sweep, `--placement m`
+//! pins one placement mode instead of sweeping both, `--windows n`
 //! overrides batches/receptor, `--seed n` the value seed.
 
 use datacell_basket::{Basket, ShardedBasket};
 use datacell_bench::{print_table, Args};
-use datacell_kernel::{Column, DataType};
+use datacell_kernel::par::stats;
+use datacell_kernel::{Column, DataType, PlacementMode};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -37,12 +44,26 @@ const ROWS_PER_BATCH: usize = 64;
 struct Point {
     append_wall: Duration,
     seal_wall: Duration,
+    seal_parallel: bool,
     appends_per_s: f64,
     tuples_per_s: f64,
 }
 
+fn mode_name(mode: PlacementMode) -> &'static str {
+    match mode {
+        PlacementMode::RoundRobin => "roundrobin",
+        PlacementMode::Aligned => "aligned",
+    }
+}
+
 /// One measured point: `receptors` threads × `batches` appends each.
-fn run_point(shards: usize, receptors: usize, batches: usize, seed: u64) -> Point {
+fn run_point(
+    shards: usize,
+    receptors: usize,
+    batches: usize,
+    mode: PlacementMode,
+    seed: u64,
+) -> Point {
     let sb = ShardedBasket::new(Basket::new("s", &[("x", DataType::Int)]), shards);
     let barrier = Arc::new(Barrier::new(receptors));
     // Each appender clocks its own span; the phase wall is the envelope
@@ -60,8 +81,20 @@ fn run_point(shards: usize, receptors: usize, batches: usize, seed: u64) -> Poin
                 let batch = [Column::Int(vals)];
                 barrier.wait();
                 let start = Instant::now();
-                for _ in 0..batches {
-                    sb.append_shard(shard, &batch, 0).unwrap();
+                match mode {
+                    PlacementMode::RoundRobin => {
+                        for _ in 0..batches {
+                            sb.append_shard(shard, &batch, 0).unwrap();
+                        }
+                    }
+                    PlacementMode::Aligned => {
+                        // Key-hash routing on the single Int column: the
+                        // same rows land on the same shards the kernel's
+                        // aligned morsels will own.
+                        for _ in 0..batches {
+                            sb.append_keyed(0, &batch, 0).unwrap();
+                        }
+                    }
                 }
                 (start, Instant::now())
             })
@@ -71,11 +104,15 @@ fn run_point(shards: usize, receptors: usize, batches: usize, seed: u64) -> Poin
     let first = spans.iter().map(|(s, _)| *s).min().unwrap();
     let last = spans.iter().map(|(_, e)| *e).max().unwrap();
     let append_wall = last - first;
+    let par_seals0 = stats::seal_par_calls();
     let t1 = Instant::now();
     let end = sb.seal();
     let seal_wall = t1.elapsed();
+    let seal_parallel = stats::seal_par_calls() > par_seals0;
 
-    // Verify: no tuple lost or duplicated, oids dense from 0.
+    // Verify: no tuple lost or duplicated, oids dense from 0, and the
+    // exact per-point value checksum — placement reorders rows within a
+    // batch, never loses or rewrites them.
     let total = (receptors * batches * ROWS_PER_BATCH) as u64;
     assert_eq!(end, total, "sealed end != appended total");
     assert_eq!(sb.len() as u64, total);
@@ -92,6 +129,7 @@ fn run_point(shards: usize, receptors: usize, batches: usize, seed: u64) -> Poin
     Point {
         append_wall,
         seal_wall,
+        seal_parallel,
         appends_per_s: (receptors * batches) as f64 / secs,
         tuples_per_s: total as f64 / secs,
     }
@@ -105,36 +143,55 @@ fn main() {
         Some(_) => vec![1],
         None => SHARD_COUNTS.to_vec(),
     };
+    let modes: Vec<PlacementMode> = match args.placement {
+        Some(m) => vec![m],
+        None => vec![PlacementMode::RoundRobin, PlacementMode::Aligned],
+    };
     println!(
         "ingest_scale: {batches} batches/receptor × {ROWS_PER_BATCH} rows, \
-         shards {shard_list:?} × receptors {RECEPTOR_COUNTS:?}\n"
+         shards {shard_list:?} × receptors {RECEPTOR_COUNTS:?} × modes {:?}\n",
+        modes.iter().map(|&m| mode_name(m)).collect::<Vec<_>>()
     );
-    for &receptors in &RECEPTOR_COUNTS {
-        let mut rows = Vec::new();
-        let mut baseline: Option<f64> = None;
-        for &shards in &shard_list {
-            // Warm-up pass (first-touch allocation, thread spawn paths).
-            run_point(shards, receptors, (batches / 10).max(1), args.seed);
-            let p = run_point(shards, receptors, batches, args.seed);
-            let speedup = match baseline {
-                Some(base) => p.appends_per_s / base,
-                None => 1.0,
-            };
-            if baseline.is_none() {
-                baseline = Some(p.appends_per_s);
+    for &mode in &modes {
+        for &receptors in &RECEPTOR_COUNTS {
+            let mut rows = Vec::new();
+            let mut baseline: Option<f64> = None;
+            for &shards in &shard_list {
+                // Warm-up pass (first-touch allocation, thread spawn paths).
+                run_point(shards, receptors, (batches / 10).max(1), mode, args.seed);
+                let p = run_point(shards, receptors, batches, mode, args.seed);
+                let speedup = match baseline {
+                    Some(base) => p.appends_per_s / base,
+                    None => 1.0,
+                };
+                if baseline.is_none() {
+                    baseline = Some(p.appends_per_s);
+                }
+                rows.push(vec![
+                    shards.to_string(),
+                    format!("{:?}", p.append_wall),
+                    format!("{:.0}", p.appends_per_s),
+                    format!("{:.2}", p.tuples_per_s / 1.0e6),
+                    format!("{:?}", p.seal_wall),
+                    if p.seal_parallel { "parallel" } else { "serial" }.to_string(),
+                    format!("{speedup:.2}x"),
+                ]);
             }
-            rows.push(vec![
-                shards.to_string(),
-                format!("{:?}", p.append_wall),
-                format!("{:.0}", p.appends_per_s),
-                format!("{:.2}", p.tuples_per_s / 1.0e6),
-                format!("{:?}", p.seal_wall),
-                format!("{speedup:.2}x"),
-            ]);
+            println!("mode = {}, receptors = {receptors}", mode_name(mode));
+            print_table(
+                &[
+                    "shards",
+                    "append wall",
+                    "appends/s",
+                    "Mtuples/s",
+                    "seal",
+                    "seal path",
+                    "speedup",
+                ],
+                &rows,
+            );
+            println!();
         }
-        println!("receptors = {receptors}");
-        print_table(&["shards", "append wall", "appends/s", "Mtuples/s", "seal", "speedup"], &rows);
-        println!();
     }
     println!(
         "shape check: with 4+ receptor threads, appends/s should improve \
@@ -142,6 +199,10 @@ fn main() {
          single-core container the 1-shard path has no second core to \
          lose to, so the table bounds the sharding overhead instead.\n\
          shards=1 dispatches to the literal single-mutex SharedBasket \
-         path; every point verifies dense oids and an exact checksum."
+         path; every point verifies dense oids and an exact checksum.\n\
+         aligned mode routes rows by key-hash (append_keyed) — same \
+         totals, placement-scatter order; seals past {} staged rows \
+         stitch shards on parallel threads.",
+        4096
     );
 }

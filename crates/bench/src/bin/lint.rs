@@ -19,10 +19,13 @@
 //!    textual locking discipline: scoped fork-join only (no
 //!    `thread::spawn` outside tests), no shared-state locks at all inside
 //!    `kernel::par`, no lock guard created in an `if let`/`while let`
-//!    scrutinee (the guard silently lives for the whole body), and no
+//!    scrutinee (the guard silently lives for the whole body), no
 //!    second lock acquired while a `Mutex` guard is live (the only
 //!    sanctioned nesting is the shard-table `RwLock` wrapping one shard
-//!    `Mutex` at a time).
+//!    `Mutex` at a time), and no lock acquired inside a
+//!    `thread::scope` fan-out block — scoped workers must own their
+//!    data outright (the parallel seal collects staged segments
+//!    *before* spawning its stitchers for exactly this reason).
 
 use datacell_core::{rewrite, verify_incremental, Engine};
 use datacell_plan::verify::{NoSchema, SchemaOverlay};
@@ -245,6 +248,8 @@ fn is_acquire(line: &str) -> Option<bool> {
 
 fn audit_file(rel: &str, text: &str, lock_free: bool, findings: &mut Vec<Finding>) {
     let mut guards: Vec<Guard> = Vec::new();
+    // Indentation of each open `thread::scope(` fan-out block.
+    let mut scopes: Vec<usize> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.contains("#[cfg(test)]") {
             break;
@@ -262,10 +267,14 @@ fn audit_file(rel: &str, text: &str, lock_free: bool, findings: &mut Vec<Finding
             continue;
         }
 
-        // Close guards whose scope ended: a closing brace at or left of
-        // the binding's indentation.
+        // Close guards/scopes whose scope ended: a closing brace at or
+        // left of the binding's indentation.
         if trimmed.starts_with('}') {
             guards.retain(|g| g.indent < indent_of(line));
+            scopes.retain(|&ind| ind < indent_of(line));
+        }
+        if line.contains("thread::scope(") {
+            scopes.push(indent_of(line));
         }
 
         let Some(is_mutex) = is_acquire(line) else { continue };
@@ -277,6 +286,15 @@ fn audit_file(rel: &str, text: &str, lock_free: bool, findings: &mut Vec<Finding
                  disjoint partitions only",
             ));
             continue;
+        }
+        if !scopes.is_empty() {
+            findings.push(Finding::new(
+                "locks",
+                site.clone(),
+                "lock acquired inside a thread::scope fan-out block; collect \
+                 shared state before spawning — scoped workers must own \
+                 their data outright (see the parallel seal's phase split)",
+            ));
         }
         if trimmed.starts_with("if let") || trimmed.starts_with("while let") {
             findings.push(Finding::new(

@@ -15,8 +15,8 @@ use crate::metrics::SlideMetrics;
 use crate::rewrite::{rewrite, IncrementalPlan};
 use crate::scheduler::{workers_from_env, ParallelScheduler};
 use datacell_basket::{shards_from_env, Basket, ShardedBasket, Timestamp};
-use datacell_kernel::par::partitions_from_env;
-use datacell_kernel::{Catalog, Column, DataType, Table};
+use datacell_kernel::par::{partitions_from_env, placement_from_env};
+use datacell_kernel::{Catalog, Column, DataType, PlacementMode, Table};
 use datacell_plan::{
     compile, optimize, verify_all, LogicalPlan, MalOp, MalPlan, PlanError, ResultSet,
     SchemaOverlay, WindowSpec,
@@ -68,6 +68,12 @@ pub struct Engine {
     /// scale across factories, partitions inside operators, shards across
     /// *receptors* appending to one stream. 1 is the single-mutex path.
     basket_shards: usize,
+    /// Explicit placement-mode override (`DATACELL_PLACEMENT` or
+    /// [`Engine::set_placement`]). `None` auto-resolves: `Aligned` when
+    /// the basket shard count equals the partition fan-out (morsels then
+    /// inherit the shard key-hash so partial merges are pure concat),
+    /// `RoundRobin` otherwise.
+    placement_override: Option<PlacementMode>,
     /// Run the typed static analyzer (`plan::verify`) over every compiled
     /// plan at registration, with the real stream/table schemas. Defaults
     /// to on under `debug_assertions` or `DATACELL_VERIFY=1`.
@@ -108,6 +114,7 @@ impl Engine {
             clock: 0,
             partitions: partitions_from_env(),
             basket_shards: shards_from_env(),
+            placement_override: placement_from_env(),
             verify: datacell_plan::verify::enabled(),
         }
     }
@@ -150,11 +157,7 @@ impl Engine {
     /// select results are byte-identical either way.
     pub fn set_partitions(&mut self, partitions: usize) {
         self.partitions = partitions.max(1);
-        for id in self.scheduler.ids() {
-            if let Ok(f) = self.scheduler.factory_mut(id) {
-                f.set_partitions(self.partitions);
-            }
-        }
+        self.push_par_config();
     }
 
     /// Staging shards per basket currently configured.
@@ -174,6 +177,46 @@ impl Engine {
         self.basket_shards = shards.max(1);
         for b in self.baskets.values() {
             b.set_shards(self.basket_shards);
+        }
+        // Resharding can flip the auto-resolved placement mode.
+        self.push_par_config();
+    }
+
+    /// The morsel placement mode in effect: the explicit override
+    /// (`DATACELL_PLACEMENT` / [`Engine::set_placement`]) when present,
+    /// otherwise `Aligned` iff `basket_shards == partitions` — the one
+    /// configuration where staging shards and kernel morsels can share
+    /// the canonical key-hash map, making grouped-aggregation partial
+    /// merges pure concatenation. Both modes are byte-identical to the
+    /// sequential result.
+    pub fn placement(&self) -> PlacementMode {
+        self.placement_override.unwrap_or({
+            if self.basket_shards == self.partitions {
+                PlacementMode::Aligned
+            } else {
+                PlacementMode::RoundRobin
+            }
+        })
+    }
+
+    /// Pin the placement mode explicitly, disabling auto-resolution
+    /// (this setter and `DATACELL_PLACEMENT` always win over the
+    /// shards == partitions heuristic). Applies to every registered
+    /// factory — current and future.
+    pub fn set_placement(&mut self, placement: PlacementMode) {
+        self.placement_override = Some(placement);
+        self.push_par_config();
+    }
+
+    /// Re-plumb the partition fan-out and resolved placement mode into
+    /// every registered factory.
+    fn push_par_config(&mut self) {
+        let placement = self.placement();
+        for id in self.scheduler.ids() {
+            if let Ok(f) = self.scheduler.factory_mut(id) {
+                f.set_partitions(self.partitions);
+                f.set_placement(placement);
+            }
         }
     }
 
@@ -352,6 +395,7 @@ impl Engine {
             }
         }
         f.set_partitions(self.partitions);
+        f.set_placement(self.placement());
         let baskets = &self.baskets;
         let id = self.scheduler.register(f, |s| baskets.get(s).cloned());
         self.outputs.insert(id, Vec::new());
@@ -747,6 +791,61 @@ mod tests {
         let seq = run(1);
         assert!(!seq.is_empty());
         assert_eq!(run(4), seq, "shards=4 diverged from the single-mutex path");
+    }
+
+    #[test]
+    fn placement_auto_resolves_and_override_wins() {
+        if placement_from_env().is_some() {
+            // A DATACELL_PLACEMENT override pins every engine in this
+            // process; auto-resolution is unobservable here.
+            return;
+        }
+        let mut e = Engine::new();
+        // Defaults: shards == partitions (1 == 1) -> auto-aligned (inert
+        // at 1 partition: the sequential path runs regardless).
+        assert_eq!(e.placement(), PlacementMode::Aligned);
+        e.set_partitions(4);
+        assert_eq!(e.placement(), PlacementMode::RoundRobin); // 1 shard != 4 parts
+        e.set_basket_shards(4);
+        assert_eq!(e.placement(), PlacementMode::Aligned); // 4 == 4
+        e.set_placement(PlacementMode::RoundRobin);
+        assert_eq!(e.placement(), PlacementMode::RoundRobin);
+        e.set_basket_shards(8);
+        e.set_basket_shards(4); // shards == partitions again...
+        assert_eq!(e.placement(), PlacementMode::RoundRobin); // ...but the override is pinned
+    }
+
+    #[test]
+    fn aligned_placement_reaches_factories_and_matches_roundrobin() {
+        use datacell_kernel::par::stats;
+        let sql = "SELECT x1, sum(x2) FROM s GROUP BY x1 WINDOW SIZE 16 SLIDE 16";
+        let mut per_mode = Vec::new();
+        for mode in [PlacementMode::RoundRobin, PlacementMode::Aligned] {
+            let mut e = engine_with_stream();
+            e.set_partitions(4);
+            e.set_placement(mode);
+            let q = e.register_sql(sql).unwrap();
+            let xs: Vec<i64> = (0..32).map(|i| i % 7).collect();
+            let ys: Vec<i64> = (0..32).collect();
+            let concat_before = stats::merge_concat_fast_path();
+            e.append("s", &[Column::Int(xs), Column::Int(ys)]).unwrap();
+            e.run_until_idle().unwrap();
+            if mode == PlacementMode::Aligned {
+                // The concat fast path firing proves the mode reached the
+                // factory's kernel execution, not just the engine field.
+                assert!(
+                    stats::merge_concat_fast_path() > concat_before,
+                    "aligned engine must take the merge-free concat path"
+                );
+            }
+            per_mode.push(e.drain_results(q).unwrap());
+        }
+        let (rr, al) = (&per_mode[0], &per_mode[1]);
+        assert_eq!(rr.len(), al.len());
+        assert!(!rr.is_empty());
+        for (a, b) in rr.iter().zip(al) {
+            assert_eq!(a.rows(), b.rows(), "placement modes diverged");
+        }
     }
 
     #[test]

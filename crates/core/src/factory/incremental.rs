@@ -25,7 +25,7 @@ use crate::merge::{merge_cluster, merge_var};
 use crate::metrics::SlideMetrics;
 use crate::rewrite::{IncrementalPlan, Stage};
 use datacell_basket::{BasicWindow, Timestamp};
-use datacell_kernel::{Oid, ParConfig, Table};
+use datacell_kernel::{Oid, ParConfig, PlacementMode, Table};
 use datacell_plan::exec::{eval_op, ExecCtx};
 use datacell_plan::{MalValue, PlanError, ResultSet, VarId, WindowSpec};
 use std::collections::{HashMap, VecDeque};
@@ -772,7 +772,11 @@ impl Factory for IncrementalFactory {
     }
 
     fn set_partitions(&mut self, partitions: usize) {
-        self.par = ParConfig::new(partitions);
+        self.par = ParConfig::new(partitions).with_placement(self.par.placement());
+    }
+
+    fn set_placement(&mut self, placement: PlacementMode) {
+        self.par = self.par.with_placement(placement);
     }
 }
 

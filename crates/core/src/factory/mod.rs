@@ -17,7 +17,7 @@ pub mod reeval;
 use crate::error::DataCellError;
 use crate::metrics::SlideMetrics;
 use datacell_basket::{BasicWindow, SharedBasket, Timestamp};
-use datacell_kernel::{Oid, ParConfig, Table};
+use datacell_kernel::{Oid, ParConfig, PlacementMode, Table};
 use datacell_plan::exec::ExecCtx;
 use datacell_plan::ResultSet;
 use std::collections::HashMap;
@@ -74,6 +74,13 @@ pub trait Factory: Send {
     /// default is a no-op so custom factories that never execute MAL
     /// plans are unaffected.
     fn set_partitions(&mut self, _partitions: usize) {}
+    /// Set the morsel placement mode (`kernel::par`): `Aligned` carves
+    /// grouped-aggregation morsels by the canonical key-hash so partial
+    /// merges are pure concatenation; `RoundRobin` is the contiguous-chunk
+    /// split. The engine resolves the mode from `DATACELL_PLACEMENT` (or
+    /// auto-aligns when basket shards == partitions) and plumbs it through
+    /// here; the default is a no-op, like [`Factory::set_partitions`].
+    fn set_placement(&mut self, _placement: PlacementMode) {}
 }
 
 /// One input stream endpoint: the shared basket plus the factory's private

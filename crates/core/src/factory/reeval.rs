@@ -12,7 +12,7 @@ use super::{Factory, FireOutcome, SnapshotCtx, StreamInput};
 use crate::error::DataCellError;
 use crate::metrics::SlideMetrics;
 use datacell_basket::{BasicWindow, Timestamp};
-use datacell_kernel::{Oid, ParConfig, Table};
+use datacell_kernel::{Oid, ParConfig, PlacementMode, Table};
 use datacell_plan::{execute, MalPlan, WindowSpec};
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -179,7 +179,11 @@ impl Factory for ReevalFactory {
     }
 
     fn set_partitions(&mut self, partitions: usize) {
-        self.par = ParConfig::new(partitions);
+        self.par = ParConfig::new(partitions).with_placement(self.par.placement());
+    }
+
+    fn set_placement(&mut self, placement: PlacementMode) {
+        self.par = self.par.with_placement(placement);
     }
 }
 

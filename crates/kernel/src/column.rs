@@ -130,6 +130,45 @@ impl Column {
         Ok(())
     }
 
+    /// Move all values of `other` (same type) onto `self`, leaving `other`
+    /// empty. Unlike [`Column::append`] this transfers ownership, so
+    /// string payloads are moved rather than cloned — the merge step of
+    /// parallel operators uses it to stitch owned partials without a
+    /// second copy.
+    pub fn append_owned(&mut self, other: &mut Column) -> Result<()> {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a.append(b),
+            (Column::Float(a), Column::Float(b)) => a.append(b),
+            (Column::Str(a), Column::Str(b)) => a.append(b),
+            (Column::Bool(a), Column::Bool(b)) => a.append(b),
+            (Column::Oid(a), Column::Oid(b)) => a.append(b),
+            (a, b) => {
+                return Err(KernelError::TypeMismatch {
+                    op: "append_owned",
+                    expected: a.data_type(),
+                    found: b.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the values at `positions` (in order) into a new column.
+    ///
+    /// Panics if any position is out of bounds (an internal invariant
+    /// violation — callers produce positions from the column itself).
+    pub fn gather(&self, positions: &[u32]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(positions.iter().map(|&p| v[p as usize]).collect()),
+            Column::Float(v) => Column::Float(positions.iter().map(|&p| v[p as usize]).collect()),
+            Column::Str(v) => {
+                Column::Str(positions.iter().map(|&p| v[p as usize].clone()).collect())
+            }
+            Column::Bool(v) => Column::Bool(positions.iter().map(|&p| v[p as usize]).collect()),
+            Column::Oid(v) => Column::Oid(positions.iter().map(|&p| v[p as usize]).collect()),
+        }
+    }
+
     /// Borrow the whole column as a slice view.
     pub fn as_slice(&self) -> ColumnSlice<'_> {
         self.slice(0, self.len())
@@ -391,6 +430,23 @@ mod tests {
         assert_eq!(s.to_column(), Column::Int(vec![20, 30]));
         let ss = s.subslice(1, 1);
         assert_eq!(ss.to_column(), Column::Int(vec![30]));
+    }
+
+    #[test]
+    fn append_owned_moves_values() {
+        let mut a = Column::Str(vec!["a".into()]);
+        let mut b = Column::Str(vec!["b".into(), "c".into()]);
+        a.append_owned(&mut b).unwrap();
+        assert_eq!(a, Column::Str(vec!["a".into(), "b".into(), "c".into()]));
+        assert!(b.is_empty());
+        assert!(a.append_owned(&mut Column::Int(vec![1])).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_and_repeats() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.gather(&[2, 0, 0]), Column::Str(vec!["c".into(), "a".into(), "a".into()]));
+        assert_eq!(Column::Int(vec![5, 6]).gather(&[]), Column::Int(vec![]));
     }
 
     #[test]

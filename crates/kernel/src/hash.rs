@@ -7,8 +7,9 @@
 //! multiply-xor hasher (the `fxhash` construction) and table aliases used
 //! throughout the kernel.
 
+use crate::column::ColumnSlice;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
 
 /// Multiply-xor hasher: `state = (state ^ word) * K` per 8-byte word, with
 /// `K` the 64-bit golden-ratio constant. Not DoS-resistant — kernel hash
@@ -84,6 +85,90 @@ where
     FastMap::with_capacity_and_hasher(cap, FastBuild::default())
 }
 
+/// The canonical key-hash → partition map.
+///
+/// One definition of "which partition owns this key" shared by every
+/// layer that splits data by key: basket staging-shard choice, radix-join
+/// partitioning, and aligned grouped-aggregation morsels. Because they
+/// all agree, data keyed at ingest lands pre-partitioned for the kernel
+/// operators — per-partition partials own disjoint key sets and merges
+/// degenerate to concatenation.
+///
+/// The map takes the *upper* 32 bits of the [`FastHasher`] value modulo
+/// the partition count, so it stays uncorrelated with the low bits hash
+/// tables use for bucket indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    parts: usize,
+}
+
+impl Placement {
+    /// A placement over `parts` partitions (clamped to at least 1).
+    pub fn new(parts: usize) -> Placement {
+        Placement { parts: parts.max(1) }
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Partition owning a precomputed [`FastHasher`] hash.
+    #[inline]
+    pub fn of_hash(&self, h: u64) -> usize {
+        ((h >> 32) as usize) % self.parts
+    }
+
+    /// Partition owning `key`. String keys must be hashed as `&str` so
+    /// `String` and `&str` forms of the same key agree (both delegate to
+    /// `str::hash`); float keys must be hashed by bit pattern
+    /// (`f64::to_bits`), matching the group-by's key identity.
+    #[inline]
+    pub fn of_key<K: std::hash::Hash>(&self, key: K) -> usize {
+        self.of_hash(FastBuild::default().hash_one(key))
+    }
+
+    /// Scatter a column of keys: position lists per partition, each
+    /// ascending, covering every input position exactly once. This is the
+    /// one typed hash loop behind keyed basket staging and aligned kernel
+    /// partitioning.
+    pub fn scatter(&self, keys: &ColumnSlice<'_>) -> Vec<Vec<u32>> {
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); self.parts];
+        if self.parts == 1 {
+            parts[0] = (0..keys.len() as u32).collect();
+            return parts;
+        }
+        match keys {
+            ColumnSlice::Int(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    parts[self.of_key(k)].push(i as u32);
+                }
+            }
+            ColumnSlice::Oid(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    parts[self.of_key(k)].push(i as u32);
+                }
+            }
+            ColumnSlice::Bool(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    parts[self.of_key(k)].push(i as u32);
+                }
+            }
+            ColumnSlice::Str(v) => {
+                for (i, k) in v.iter().enumerate() {
+                    parts[self.of_key(k.as_str())].push(i as u32);
+                }
+            }
+            ColumnSlice::Float(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    parts[self.of_key(k.to_bits())].push(i as u32);
+                }
+            }
+        }
+        parts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +215,81 @@ mod tests {
         m.insert("x2".into(), 2);
         assert_eq!(m["x1"], 1);
         assert_eq!(m["x2"], 2);
+    }
+
+    #[test]
+    fn placement_is_the_upper_half_of_the_fast_hash() {
+        // The one formula every layer must agree on: upper 32 bits of the
+        // fast hash, modulo the partition count.
+        for p in [1usize, 2, 4, 8] {
+            let pl = Placement::new(p);
+            for k in [0i64, 1, -1, 42, 1 << 40] {
+                assert_eq!(pl.of_key(k), ((hash_of(k) >> 32) as usize) % p);
+            }
+            assert_eq!(pl.of_key("basket"), ((hash_of("basket") >> 32) as usize) % p);
+        }
+        assert_eq!(Placement::new(0).parts(), 1, "clamps to one partition");
+    }
+
+    #[test]
+    fn placement_pins_the_key_to_partition_mapping() {
+        // Literal pins: if these move, ingest-time shard choice and
+        // kernel-partition choice silently diverge across versions.
+        let p4 = Placement::new(4);
+        let ints: Vec<usize> = (0i64..8).map(|k| p4.of_key(k)).collect();
+        assert_eq!(ints, PINNED_INT_P4);
+        let strs: Vec<usize> =
+            ["a", "b", "c", "stream", "basket"].iter().map(|s| p4.of_key(*s)).collect();
+        assert_eq!(strs, PINNED_STR_P4);
+    }
+
+    /// `Placement::new(4).of_key(k)` for `k in 0i64..8`.
+    const PINNED_INT_P4: [usize; 8] = [0, 3, 3, 3, 3, 2, 2, 2];
+    /// `Placement::new(4).of_key(s)` for `["a", "b", "c", "stream", "basket"]`.
+    const PINNED_STR_P4: [usize; 5] = [0, 3, 1, 2, 3];
+
+    #[test]
+    fn placement_string_and_str_forms_agree() {
+        let pl = Placement::new(8);
+        for s in ["", "a", "stream-key", "x1"] {
+            assert_eq!(pl.of_key(s), pl.of_key(String::from(s).as_str()));
+        }
+    }
+
+    #[test]
+    fn scatter_partitions_every_position_once_in_order() {
+        use crate::column::Column;
+        let cols = [
+            Column::Int((0..100).map(|i| i * 7 - 50).collect()),
+            Column::Str((0..100).map(|i| format!("k{}", i % 13)).collect()),
+            Column::Float((0..100).map(|i| i as f64 / 3.0).collect()),
+            Column::Oid((0..100).collect()),
+            Column::Bool((0..100).map(|i| i % 2 == 0).collect()),
+        ];
+        for col in &cols {
+            for p in [1usize, 3, 8] {
+                let parts = Placement::new(p).scatter(&col.as_slice());
+                assert_eq!(parts.len(), p);
+                let mut seen: Vec<u32> = Vec::new();
+                for part in &parts {
+                    assert!(part.windows(2).all(|w| w[0] < w[1]), "positions ascend");
+                    seen.extend_from_slice(part);
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, (0..100u32).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_routes_equal_keys_to_one_partition() {
+        let col = crate::column::Column::Int(vec![5, 9, 5, 9, 5]);
+        let parts = Placement::new(8).scatter(&col.as_slice());
+        let home5 = Placement::new(8).of_key(5i64);
+        let home9 = Placement::new(8).of_key(9i64);
+        assert_eq!(parts[home5], if home5 == home9 { vec![0, 1, 2, 3, 4] } else { vec![0, 2, 4] });
+        if home5 != home9 {
+            assert_eq!(parts[home9], vec![1, 3]);
+        }
     }
 }

@@ -44,7 +44,8 @@ pub use bat::Bat;
 pub use catalog::{Catalog, Table};
 pub use column::{Column, ColumnSlice};
 pub use error::KernelError;
-pub use par::ParConfig;
+pub use hash::Placement;
+pub use par::{ParConfig, PlacementMode};
 pub use value::{DataType, Value};
 
 /// Object identifier: the position of a tuple in its (possibly unbounded)

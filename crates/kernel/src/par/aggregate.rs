@@ -36,9 +36,10 @@
 //! `P`-invariant.
 
 use super::{stats, ParConfig};
-use crate::algebra::{self, concat_columns, AggKind, ArithOp};
+use crate::algebra::{self, concat_columns, AggKind, ArithOp, Groups};
 use crate::column::Column;
 use crate::error::KernelError;
+use crate::hash::Placement;
 use crate::{Bat, Result};
 
 /// One aggregate request over a shared grouping: the function plus the
@@ -86,6 +87,13 @@ fn req(kind: AggKind, vals: Option<&Bat>) -> Result<&Bat> {
 /// piece's distinct keys plus one partial column per internal slot
 /// (`avg` expanded to sum + count).
 pub fn grouped_agg_partials(keys: &Bat, specs: &[AggSpec]) -> Result<GroupAggPartial> {
+    partial_with_groups(keys, specs).map(|(_, p)| p)
+}
+
+/// [`grouped_agg_partials`] plus the grouping itself — the aligned merge
+/// needs each piece's group extents to recover global first-occurrence
+/// positions.
+fn partial_with_groups(keys: &Bat, specs: &[AggSpec]) -> Result<(Groups, GroupAggPartial)> {
     for (_, vals) in specs {
         if let Some(v) = vals {
             if v.len() != keys.len() {
@@ -112,7 +120,7 @@ pub fn grouped_agg_partials(keys: &Bat, specs: &[AggSpec]) -> Result<GroupAggPar
             }
         }
     }
-    Ok(GroupAggPartial { keys: out_keys, slots })
+    Ok((groups, GroupAggPartial { keys: out_keys, slots }))
 }
 
 /// Merge per-piece partials: concat keys and slots in piece order,
@@ -153,7 +161,84 @@ pub fn merge_partials(
         };
         merged_slots.push(merged);
     }
+    stats::record_merge(false);
     Ok((out_keys, finalize(kinds, merged_slots)?))
+}
+
+/// Key-hash-aligned parallel grouped aggregation: scatter rows by the
+/// canonical [`Placement`] map (every occurrence of a key lands in one
+/// partition, in input order), aggregate each partition independently,
+/// then merge by pure concatenation — partials own disjoint key sets, so
+/// no re-group and no compensating pass. Emitting groups in ascending
+/// global first-occurrence position reproduces the sequential key order,
+/// and per-key folds run over the same rows in the same order as the
+/// sequential pass, so the output is byte-identical at every `P` — float
+/// sums included (the round-robin carve-out does not apply).
+fn grouped_agg_aligned(
+    keys: &Bat,
+    specs: &[AggSpec],
+    kinds: &[AggKind],
+    p: usize,
+) -> Result<(Column, Vec<Column>)> {
+    let parts = Placement::new(p).scatter(&keys.tail.as_slice());
+
+    let partials: Vec<Result<(GroupAggPartial, Vec<u32>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|pos| {
+                s.spawn(move || {
+                    let kb = Bat::transient(keys.tail.gather(pos));
+                    let vbats: Vec<Option<Bat>> = specs
+                        .iter()
+                        .map(|(_, vals)| vals.map(|v| Bat::transient(v.tail.gather(pos))))
+                        .collect();
+                    let part_specs: Vec<AggSpec> =
+                        kinds.iter().zip(&vbats).map(|(&k, v)| (k, v.as_ref())).collect();
+                    let (groups, partial) = partial_with_groups(&kb, &part_specs)?;
+                    // Global input position where each group first occurs.
+                    let first_pos: Vec<u32> =
+                        groups.extents.iter().map(|&e| pos[e as usize]).collect();
+                    Ok((partial, first_pos))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("aligned morsel panicked")).collect()
+    });
+    let partials: Vec<(GroupAggPartial, Vec<u32>)> = partials.into_iter().collect::<Result<_>>()?;
+
+    // Concat-merge: order all groups by global first occurrence. The
+    // positions are distinct (each is one input row), so the sort is a
+    // total order and matches sequential first-occurrence group order.
+    let mut ord: Vec<(u32, u32, u32)> = Vec::new();
+    for (pi, (_, first)) in partials.iter().enumerate() {
+        for (g, &fp) in first.iter().enumerate() {
+            ord.push((fp, pi as u32, g as u32));
+        }
+    }
+    ord.sort_unstable();
+    let ord: Vec<(u32, u32)> = ord.into_iter().map(|(_, pi, g)| (pi, g)).collect();
+
+    let key_cols: Vec<&Column> = partials.iter().map(|(pp, _)| &pp.keys).collect();
+    let out_keys = interleave(&key_cols, &ord)?;
+    let nslots = slot_kinds(kinds).len();
+    let mut merged_slots = Vec::with_capacity(nslots);
+    for i in 0..nslots {
+        let cols: Vec<&Column> = partials.iter().map(|(pp, _)| &pp.slots[i]).collect();
+        merged_slots.push(interleave(&cols, &ord)?);
+    }
+    stats::record_merge(true);
+    Ok((out_keys, finalize(kinds, merged_slots)?))
+}
+
+/// Stitch per-partial columns into one output column following `ord`:
+/// each entry names (partial index, row within that partial).
+fn interleave(cols: &[&Column], ord: &[(u32, u32)]) -> Result<Column> {
+    let dt = cols.first().expect("at least one partial").data_type();
+    let mut out = Column::with_capacity(dt, ord.len());
+    for &(pi, g) in ord {
+        out.push(cols[pi as usize].get(g as usize).expect("group in range"))?;
+    }
+    Ok(out)
 }
 
 /// Collapse internal slots back to one column per user-level spec: `avg`
@@ -185,8 +270,11 @@ fn finalize(kinds: &[AggKind], slots: Vec<Column>) -> Result<Vec<Column>> {
 /// aggregates)` in first-occurrence key order with one output column per
 /// spec. `P = 1` computes a single partial and finalizes it directly —
 /// the literal sequential group-then-aggregate chain; `P > 1` computes
-/// per-morsel partials on scoped threads and merges them (float sums
-/// reassociate, see the module docs).
+/// per-morsel partials on scoped threads and merges them. Round-robin
+/// placement carves contiguous morsels and re-groups at the merge (float
+/// sums reassociate, see the module docs); aligned placement scatters by
+/// the canonical key-hash and concat-merges (byte-identical to
+/// sequential at every `P`, float sums included).
 pub fn grouped_agg_multi(
     keys: &Bat,
     specs: &[AggSpec],
@@ -212,6 +300,10 @@ pub fn grouped_agg_multi(
                 });
             }
         }
+    }
+
+    if cfg.is_aligned() {
+        return grouped_agg_aligned(keys, specs, &kinds, p);
     }
 
     // Per-morsel partials on scoped threads. Morsel views are zero-copy;
@@ -385,6 +477,58 @@ mod tests {
         assert!(merge_partials(&[AggKind::Sum], &[]).is_err());
         let bad = GroupAggPartial { keys: Column::Int(vec![1]), slots: vec![] };
         assert!(merge_partials(&[AggKind::Sum], &[bad]).is_err());
+    }
+
+    fn aligned(p: usize) -> ParConfig {
+        ParConfig::new(p).with_placement(super::super::PlacementMode::Aligned)
+    }
+
+    #[test]
+    fn aligned_matches_sequential_for_every_kind_and_p() {
+        let (keys, vals) = keys_vals(97);
+        for kind in [AggKind::Sum, AggKind::Count, AggKind::Min, AggKind::Max, AggKind::Avg] {
+            let vals_arg = (kind != AggKind::Count).then_some(&vals);
+            let expect = seq(&keys, vals_arg, kind);
+            for p in [1, 2, 3, 8] {
+                let par = grouped_agg(&keys, vals_arg, kind, &aligned(p)).unwrap();
+                assert_eq!(par, expect, "kind={kind:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_string_keys_match_sequential() {
+        let keys = Bat::transient(Column::Str((0..60).map(|i| format!("g{}", i % 7)).collect()));
+        let vals = Bat::transient(Column::Float((0..60).map(|i| i as f64 / 2.0).collect()));
+        for kind in [AggKind::Sum, AggKind::Avg] {
+            let expect = seq(&keys, Some(&vals), kind);
+            for p in [2, 4, 8] {
+                assert_eq!(grouped_agg(&keys, Some(&vals), kind, &aligned(p)).unwrap(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_float_sum_is_byte_identical_to_sequential() {
+        // The round-robin carve-out does not apply: all occurrences of a
+        // key fold in input order inside one partition, so even the
+        // catastrophic-cancellation input reproduces the sequential fold.
+        let keys = Bat::transient(Column::Int(vec![0, 7, 0, 7, 0, 7, 0, 7]));
+        let vals = Bat::transient(Column::Float(vec![1e16, 5.0, 1.0, 5.0, -1e16, 5.0, 1.0, 5.0]));
+        let expect = seq(&keys, Some(&vals), AggKind::Sum);
+        for p in [2, 4, 8] {
+            assert_eq!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &aligned(p)).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn aligned_merge_takes_the_concat_fast_path() {
+        let (keys, vals) = keys_vals(97);
+        let (c0, r0) = (stats::merge_concat_fast_path(), stats::merge_regroup_fallback());
+        grouped_agg(&keys, Some(&vals), AggKind::Sum, &aligned(4)).unwrap();
+        assert!(stats::merge_concat_fast_path() > c0, "aligned merge must concat");
+        grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(4)).unwrap();
+        assert!(stats::merge_regroup_fallback() > r0, "round-robin merge must re-group");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use super::ParConfig;
 use crate::column::Column;
 use crate::error::KernelError;
-use crate::hash::{fast_map_with_capacity, FastBuild, FastMap};
+use crate::hash::{fast_map_with_capacity, FastBuild, FastMap, Placement};
 use crate::{Bat, Oid, Result};
 use std::hash::{BuildHasher, Hash};
 
@@ -69,11 +69,14 @@ fn dispatch(build: &Bat, probe: &Bat, p: usize) -> Result<(Vec<Oid>, Vec<Oid>)> 
     }
 }
 
-/// Assign every value a partition in `[0, p)` by key hash. Returns the
-/// positions of each partition's members, ascending within a partition
-/// (the scatter is stable). The partition is taken from the hash's upper
-/// half so it stays uncorrelated with the bucket index the in-partition
-/// hash table derives from the lower bits of the same hash function.
+/// Assign every value a partition in `[0, p)` by the canonical
+/// [`Placement`] key-hash map — the same map that picks basket staging
+/// shards and aligned aggregation morsels, so keyed ingest lands
+/// pre-partitioned for the join. Returns the positions of each
+/// partition's members, ascending within a partition (the scatter is
+/// stable). The placement uses the hash's upper half so it stays
+/// uncorrelated with the bucket index the in-partition hash table derives
+/// from the lower bits of the same hash function.
 fn partition_positions<'a, T, K>(
     vals: &'a [T],
     p: usize,
@@ -82,11 +85,12 @@ fn partition_positions<'a, T, K>(
 where
     K: Hash,
 {
+    let placement = Placement::new(p);
     let hasher = FastBuild::default();
     let mut part_of = Vec::with_capacity(vals.len());
     let mut counts = vec![0usize; p];
     for v in vals {
-        let part = ((hasher.hash_one(key_of(v)) >> 32) as usize) % p;
+        let part = placement.of_hash(hasher.hash_one(key_of(v)));
         part_of.push(part as u32);
         counts[part] += 1;
     }
@@ -255,6 +259,23 @@ mod tests {
         let (plo, pro) = hashjoin(&l, &r, &ParConfig::new(4)).unwrap();
         assert_eq!(sorted_pairs(&plo, &pro), sorted_pairs(&slo, &sro));
         assert_eq!(plo.len(), 20);
+    }
+
+    #[test]
+    fn join_partitioning_agrees_with_placement_scatter() {
+        // Satellite: "same key ⇒ same partition" is one definition. The
+        // join's per-type scatter must place every value exactly where
+        // Placement::scatter places the equivalent column.
+        let ints: Vec<i64> = (0..64).map(|i| (i * 13) % 10 - 5).collect();
+        assert_eq!(
+            partition_positions(&ints, 4, |&k| k),
+            Placement::new(4).scatter(&Column::Int(ints.clone()).as_slice())
+        );
+        let strs: Vec<String> = (0..40).map(|i| format!("key-{}", i % 9)).collect();
+        assert_eq!(
+            partition_positions(&strs, 8, |k: &String| k.as_str()),
+            Placement::new(8).scatter(&Column::Str(strs.clone()).as_slice())
+        );
     }
 
     #[test]

@@ -25,9 +25,13 @@
 //! canonical order — while `select` and `grouped_agg` outputs are
 //! byte-identical to sequential at every `P` (morsels are ascending, and
 //! re-grouping preserves first-occurrence key order), with one carve-out:
-//! float `sum` partials reassociate non-associative additions, so they
-//! are deterministic per `P` but not `P`-invariant (see
-//! [`mod@aggregate`]'s module docs).
+//! under round-robin placement, float `sum` partials reassociate
+//! non-associative additions, so they are deterministic per `P` but not
+//! `P`-invariant (see [`mod@aggregate`]'s module docs). Under
+//! [`PlacementMode::Aligned`] morsels are carved by the canonical
+//! [`crate::hash::Placement`] key-hash instead: partials own disjoint
+//! keys, the merge is pure concatenation, and even float sums are
+//! byte-identical to sequential at every `P`.
 
 mod aggregate;
 mod join;
@@ -51,6 +55,10 @@ pub mod stats {
 
     static GROUPED_AGG_CALLS: AtomicU64 = AtomicU64::new(0);
     static GROUPED_AGG_PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+    static MERGE_CONCAT_FAST_PATH: AtomicU64 = AtomicU64::new(0);
+    static MERGE_REGROUP_FALLBACK: AtomicU64 = AtomicU64::new(0);
+    static SEAL_CALLS: AtomicU64 = AtomicU64::new(0);
+    static SEAL_PAR_CALLS: AtomicU64 = AtomicU64::new(0);
 
     /// Record one grouped-aggregate kernel call; `parallel` marks calls
     /// that actually fanned morsels out over `P > 1` scoped threads
@@ -59,6 +67,28 @@ pub mod stats {
         GROUPED_AGG_CALLS.fetch_add(1, Ordering::Relaxed);
         if parallel {
             GROUPED_AGG_PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one partial-merge; `concat` marks merges whose inputs were
+    /// placement-aligned (disjoint key sets per partial), so the merge
+    /// was a pure concatenation with no re-group or compensation pass.
+    pub(crate) fn record_merge(concat: bool) {
+        if concat {
+            MERGE_CONCAT_FAST_PATH.fetch_add(1, Ordering::Relaxed);
+        } else {
+            MERGE_REGROUP_FALLBACK.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one multi-segment basket seal; `parallel` marks seals that
+    /// fanned segment stitching out over scoped worker threads. Public
+    /// because the basket crate (a kernel dependent) reports its seals
+    /// through the same stats surface the benches read.
+    pub fn record_seal(parallel: bool) {
+        SEAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        if parallel {
+            SEAL_PAR_CALLS.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -71,6 +101,27 @@ pub mod stats {
     /// morsel threads.
     pub fn grouped_agg_par_calls() -> u64 {
         GROUPED_AGG_PAR_CALLS.load(Ordering::Relaxed)
+    }
+
+    /// Partial-merges that took the aligned concat fast path.
+    pub fn merge_concat_fast_path() -> u64 {
+        MERGE_CONCAT_FAST_PATH.load(Ordering::Relaxed)
+    }
+
+    /// Partial-merges that fell back to the concat + re-group +
+    /// compensation path.
+    pub fn merge_regroup_fallback() -> u64 {
+        MERGE_REGROUP_FALLBACK.load(Ordering::Relaxed)
+    }
+
+    /// Total multi-segment basket seals.
+    pub fn seal_calls() -> u64 {
+        SEAL_CALLS.load(Ordering::Relaxed)
+    }
+
+    /// Basket seals that stitched segments on parallel worker threads.
+    pub fn seal_par_calls() -> u64 {
+        SEAL_PAR_CALLS.load(Ordering::Relaxed)
     }
 }
 
@@ -85,12 +136,38 @@ pub mod stats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParConfig {
     partitions: usize,
+    placement: PlacementMode,
+}
+
+/// How grouped-aggregation morsels are carved from the input.
+///
+/// `RoundRobin` is the historic contiguous-chunk split: morsel `i` is
+/// rows `[i·⌈n/P⌉, (i+1)·⌈n/P⌉)`, so partials share keys and the merge
+/// re-groups. `Aligned` scatters rows by the canonical
+/// [`crate::hash::Placement`] key-hash instead: each partial owns a
+/// disjoint key set and the merge is a pure concatenation — and because
+/// every per-key fold still happens in input order inside one partition,
+/// even float sums are byte-identical to the sequential result at every
+/// `P` (the round-robin float-sum carve-out does not apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// Contiguous round-robin morsels; merge re-groups (historic path).
+    #[default]
+    RoundRobin,
+    /// Key-hash-aligned morsels; merge is concatenation.
+    Aligned,
 }
 
 impl ParConfig {
-    /// A config with `partitions` fan-out (clamped to at least 1).
+    /// A config with `partitions` fan-out (clamped to at least 1) and
+    /// round-robin placement.
     pub fn new(partitions: usize) -> ParConfig {
-        ParConfig { partitions: partitions.max(1) }
+        ParConfig { partitions: partitions.max(1), placement: PlacementMode::RoundRobin }
+    }
+
+    /// The same config with `placement` selected.
+    pub fn with_placement(self, placement: PlacementMode) -> ParConfig {
+        ParConfig { placement, ..self }
     }
 
     /// The sequential configuration (`P = 1`).
@@ -98,9 +175,11 @@ impl ParConfig {
         ParConfig::new(1)
     }
 
-    /// Partition count from `DATACELL_PARTITIONS`, 1 when unset/invalid.
+    /// Partition count from `DATACELL_PARTITIONS` (1 when unset/invalid)
+    /// and placement from `DATACELL_PLACEMENT` (round-robin when unset).
     pub fn from_env() -> ParConfig {
         ParConfig::new(partitions_from_env())
+            .with_placement(placement_from_env().unwrap_or_default())
     }
 
     /// The partition fan-out `P` (≥ 1).
@@ -108,9 +187,19 @@ impl ParConfig {
         self.partitions
     }
 
+    /// The morsel placement mode.
+    pub fn placement(&self) -> PlacementMode {
+        self.placement
+    }
+
     /// True when operators should split work (`P > 1`).
     pub fn is_parallel(&self) -> bool {
         self.partitions > 1
+    }
+
+    /// True when parallel operators should carve key-hash-aligned morsels.
+    pub fn is_aligned(&self) -> bool {
+        self.placement == PlacementMode::Aligned
     }
 }
 
@@ -130,6 +219,25 @@ pub fn parse_partitions(raw: Option<&str>) -> Option<usize> {
 /// falling back to 1 (sequential) when unset or invalid.
 pub fn partitions_from_env() -> usize {
     parse_partitions(std::env::var("DATACELL_PARTITIONS").ok().as_deref()).unwrap_or(1)
+}
+
+/// Parse a `DATACELL_PLACEMENT`-style override. Accepts `aligned` and
+/// `roundrobin` (also `round-robin`/`rr`), case-insensitively. Returns
+/// `None` for unset, empty or unrecognized values — callers fall back to
+/// their own default (the engine auto-aligns when shard count equals
+/// partition count).
+pub fn parse_placement(raw: Option<&str>) -> Option<PlacementMode> {
+    match raw?.trim().to_ascii_lowercase().as_str() {
+        "aligned" => Some(PlacementMode::Aligned),
+        "roundrobin" | "round-robin" | "rr" => Some(PlacementMode::RoundRobin),
+        _ => None,
+    }
+}
+
+/// Placement mode from the `DATACELL_PLACEMENT` environment variable,
+/// `None` when unset or invalid.
+pub fn placement_from_env() -> Option<PlacementMode> {
+    parse_placement(std::env::var("DATACELL_PLACEMENT").ok().as_deref())
 }
 
 #[cfg(test)]
@@ -153,5 +261,26 @@ mod tests {
         assert_eq!(parse_partitions(Some("0")), None);
         assert_eq!(parse_partitions(Some("1")), Some(1));
         assert_eq!(parse_partitions(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn placement_defaults_to_round_robin_and_is_selectable() {
+        assert_eq!(ParConfig::new(4).placement(), PlacementMode::RoundRobin);
+        assert!(!ParConfig::new(4).is_aligned());
+        let aligned = ParConfig::new(4).with_placement(PlacementMode::Aligned);
+        assert!(aligned.is_aligned());
+        assert_eq!(aligned.partitions(), 4);
+    }
+
+    #[test]
+    fn parse_placement_accepts_both_modes() {
+        assert_eq!(parse_placement(None), None);
+        assert_eq!(parse_placement(Some("")), None);
+        assert_eq!(parse_placement(Some("diagonal")), None);
+        assert_eq!(parse_placement(Some("aligned")), Some(PlacementMode::Aligned));
+        assert_eq!(parse_placement(Some(" Aligned ")), Some(PlacementMode::Aligned));
+        assert_eq!(parse_placement(Some("roundrobin")), Some(PlacementMode::RoundRobin));
+        assert_eq!(parse_placement(Some("round-robin")), Some(PlacementMode::RoundRobin));
+        assert_eq!(parse_placement(Some("rr")), Some(PlacementMode::RoundRobin));
     }
 }

@@ -7,7 +7,7 @@
 
 use datacell::basket::{Basket, ShardedBasket, SharedBasket};
 use datacell::kernel::algebra::{self, AggKind, Predicate};
-use datacell::kernel::par::{self, ParConfig};
+use datacell::kernel::par::{self, ParConfig, PlacementMode};
 use datacell::kernel::{Bat, Column, DataType, Value};
 use proptest::prelude::*;
 
@@ -66,6 +66,41 @@ fn fused_vs_unfused(
     let ctx = WindowCtx::new().with_stream("s", w).with_partitions(p);
     let got = execute(&fused, &ctx).unwrap();
     prop_assert_eq!(got.rows(), reference.rows(), "P={}", p);
+    Ok(())
+}
+
+/// Grouped sum/count/avg over `kb`/`vb` under both placement modes at
+/// P ∈ {1, 2, 8} must equal the sequential group-then-aggregate chain
+/// *exactly* — values, key order, column layout. Aligned placement
+/// scatters rows by the canonical key-hash (merge-free concat); round
+/// robin chunks and re-groups; neither may be observable in the result.
+fn placement_tri_equivalence(
+    kb: &Bat,
+    vb: &Bat,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let g = algebra::group(kb).unwrap();
+    let seq_keys = g.keys(kb).unwrap();
+    let seq_sums = algebra::sum_grouped(vb, &g).unwrap();
+    let seq_counts = algebra::count_grouped(&g);
+    let seq_avgs = algebra::map_arith(
+        &Bat::transient(seq_sums.clone()),
+        &Bat::transient(seq_counts.clone()),
+        algebra::ArithOp::Div,
+    )
+    .unwrap()
+    .tail;
+    let specs: Vec<par::AggSpec> =
+        vec![(AggKind::Sum, Some(vb)), (AggKind::Count, None), (AggKind::Avg, Some(vb))];
+    for p in [1usize, 2, 8] {
+        for mode in [PlacementMode::RoundRobin, PlacementMode::Aligned] {
+            let cfg = ParConfig::new(p).with_placement(mode);
+            let (pk, cols) = par::grouped_agg_multi(kb, &specs, &cfg).unwrap();
+            prop_assert_eq!(&pk, &seq_keys, "keys P={} {:?}", p, mode);
+            prop_assert_eq!(&cols[0], &seq_sums, "sums P={} {:?}", p, mode);
+            prop_assert_eq!(&cols[1], &seq_counts, "counts P={} {:?}", p, mode);
+            prop_assert_eq!(&cols[2], &seq_avgs, "avgs P={} {:?}", p, mode);
+        }
+    }
     Ok(())
 }
 
@@ -543,6 +578,65 @@ proptest! {
             sharded.with(|b| b.expire_upto(front));
             reference.with(|b| b.expire_upto(front));
             prop_assert_eq!(suffix(&sharded.shared()), suffix(&reference), "shards={}", shards);
+        }
+    }
+
+    #[test]
+    fn placement_modes_agree_with_sequential_int_keys(
+        keys in prop::collection::vec(-20i64..20, 0..150),
+    ) {
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, k)| k * 7 + i as i64).collect();
+        placement_tri_equivalence(&int_bat(&keys, 0), &int_bat(&vals, 0))?;
+    }
+
+    #[test]
+    fn placement_modes_agree_with_sequential_string_keys(
+        keys in prop::collection::vec(0u8..5, 0..120),
+    ) {
+        let names = ["a", "b", "aa", "stream", "basket"];
+        let ks: Vec<String> = keys.iter().map(|&c| names[c as usize].to_string()).collect();
+        let vals: Vec<i64> = (0..ks.len() as i64).map(|i| i * 3 - 40).collect();
+        placement_tri_equivalence(
+            &Bat::transient(Column::Str(ks)),
+            &int_bat(&vals, 0),
+        )?;
+    }
+
+    #[test]
+    fn placement_modes_agree_with_sequential_skewed_keys(
+        raw in prop::collection::vec(0u8..100, 1..200),
+        hot in -5i64..5,
+    ) {
+        // ~90% of rows share one hot key — every partition map sends them
+        // to a single morsel, so the aligned path degenerates toward
+        // sequential on one thread while the others starve. Results must
+        // not care.
+        let keys: Vec<i64> = raw.iter().map(|&r| if r < 90 { hot } else { i64::from(r) }).collect();
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, k)| k + i as i64).collect();
+        placement_tri_equivalence(&int_bat(&keys, 0), &int_bat(&vals, 0))?;
+    }
+
+    #[test]
+    fn placement_modes_agree_on_join_pair_sets(
+        l in prop::collection::vec(0i64..8, 0..50),
+        r in prop::collection::vec(0i64..8, 0..40),
+    ) {
+        // The radix join partitions by the same canonical Placement map in
+        // both modes — outputs must be byte-identical across modes and
+        // match the nested-loop pair set at every P.
+        let lb = int_bat(&l, 0);
+        let rb = int_bat(&r, 300);
+        let expect = nested_loop(&l, &r, 0, 300);
+        for p in [1usize, 2, 8] {
+            let (rlo, rro) = par::hashjoin(&lb, &rb, &ParConfig::new(p)).unwrap();
+            let (alo, aro) = par::hashjoin(
+                &lb,
+                &rb,
+                &ParConfig::new(p).with_placement(PlacementMode::Aligned),
+            ).unwrap();
+            prop_assert_eq!(&alo, &rlo, "left P={}", p);
+            prop_assert_eq!(&aro, &rro, "right P={}", p);
+            prop_assert_eq!(pair_set(&alo, &aro), expect.clone(), "P={}", p);
         }
     }
 
