@@ -101,6 +101,9 @@ struct Segment {
 #[derive(Default)]
 struct Shard {
     segs: BTreeMap<Oid, Segment>,
+    /// Cumulative rows ever staged here (monotone; bumped under the shard
+    /// lock). Telemetry reads it to compute the shard-imbalance ratio.
+    total_rows: u64,
 }
 
 /// The global oid/clock allocator: one short critical section per append
@@ -236,6 +239,27 @@ impl ShardedBasket {
             .sum()
     }
 
+    /// Point-in-time staging telemetry, one entry per shard in shard
+    /// order: current staged depth plus the cumulative staged-row counter
+    /// (which [`ShardedBasket::set_shards`] resets along with the staging
+    /// array). `Engine::telemetry_snapshot` turns these into per-shard
+    /// gauges and the shard-imbalance ratio.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.state
+            .shards
+            .read()
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                ShardStats {
+                    staged_rows: g.segs.values().map(|seg| seg.rows).sum(),
+                    staged_segments: g.segs.len(),
+                    total_rows: g.total_rows,
+                }
+            })
+            .collect()
+    }
+
     /// Pick a shard for a new writer (round-robin) — the "shard per
     /// receptor handle" policy. Key-hash placement is just
     /// `append_shard(hash as usize, ..)`; the index is taken modulo the
@@ -331,7 +355,11 @@ impl ShardedBasket {
             }
             let cols: Vec<Column> = batch.iter().map(|c| c.gather(pos)).collect();
             let seg = Segment { cols, rows: pos.len(), ts };
-            shard.lock().segs.insert(sub_start, seg);
+            {
+                let mut g = shard.lock();
+                g.total_rows += pos.len() as u64;
+                g.segs.insert(sub_start, seg);
+            }
             sub_start += pos.len() as u64;
         }
         Ok(start)
@@ -386,7 +414,11 @@ impl ShardedBasket {
             (start, ts)
         };
         let seg = Segment { cols: batch.to_vec(), rows: n, ts };
-        shards[shard % shards.len()].lock().segs.insert(start, seg);
+        {
+            let mut g = shards[shard % shards.len()].lock();
+            g.total_rows += n as u64;
+            g.segs.insert(start, seg);
+        }
         Ok(start)
     }
 
@@ -420,6 +452,7 @@ impl ShardedBasket {
         // the frontier — a sealer that loses the `remove` race simply
         // sees no progress. The guard must not ride along in a
         // `while let` scrutinee — there it would live for the whole body.
+        let start = datacell_telemetry::timer();
         let mut frontier = self.inner.end_oid();
         let mut run: Vec<Segment> = Vec::new();
         loop {
@@ -456,6 +489,7 @@ impl ShardedBasket {
                     .with(|b| b.append_with_ts(&seg.cols, |_| seg.ts))
                     .expect("staged segments are pre-validated and stamped in oid order");
             }
+            seal_metrics().serial.record_since(start);
             return frontier;
         }
         // Phase 2 — stitch contiguous segment ranges (balanced by rows)
@@ -489,6 +523,7 @@ impl ShardedBasket {
                 .with(|b| b.append_stitched(cols, ts))
                 .expect("staged segments are pre-validated and stamped in oid order");
         }
+        seal_metrics().parallel.record_since(start);
         frontier
     }
 
@@ -527,6 +562,44 @@ impl ShardedBasket {
 /// Seals shorter than this stay serial: below a few thousand rows the
 /// scoped-thread fan-out costs more than the column copies it spreads.
 const PAR_SEAL_MIN_ROWS: usize = 4096;
+
+/// Staging telemetry for one shard (see [`ShardedBasket::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Rows currently staged (allocated but not yet sealed).
+    pub staged_rows: usize,
+    /// Segments currently staged.
+    pub staged_segments: usize,
+    /// Cumulative rows ever staged in this shard (monotone until a
+    /// reshard rebuilds the staging array).
+    pub total_rows: u64,
+}
+
+/// Seal-duration histograms, registered process-wide with the kernel's
+/// counters: seals are a process-scoped signal like `par::stats`, and the
+/// basket crate sits below `core`, so the global registry is the one
+/// shared surface.
+struct SealMetrics {
+    serial: datacell_telemetry::Histogram,
+    parallel: datacell_telemetry::Histogram,
+}
+
+fn seal_metrics() -> &'static SealMetrics {
+    static METRICS: std::sync::OnceLock<SealMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = datacell_telemetry::global();
+        let help =
+            "Wall time of one non-empty basket seal (staged segments merged into the ordered view).";
+        SealMetrics {
+            serial: r.histogram_with("datacell_basket_seal_seconds", help, &[("path", "serial")]),
+            parallel: r.histogram_with(
+                "datacell_basket_seal_seconds",
+                help,
+                &[("path", "parallel")],
+            ),
+        }
+    })
+}
 
 /// Merge a contiguous range of staged segments into one owned sub-batch
 /// (columns spliced with [`Column::append_owned`], per-row timestamps

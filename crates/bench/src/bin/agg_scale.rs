@@ -55,8 +55,7 @@ fn sweep(
     let rows_per_iter = keys.len() as f64;
     let mut rows = Vec::new();
     let mut baseline: Option<(Duration, (Column, Vec<Column>))> = None;
-    let concat0 = par::stats::merge_concat_fast_path();
-    let fallback0 = par::stats::merge_regroup_fallback();
+    let stats0 = par::stats::snapshot();
     for &p in partition_counts {
         let cfg = ParConfig::new(p).with_placement(mode);
         let specs: Vec<AggSpec> =
@@ -93,8 +92,8 @@ fn sweep(
         }
     }
     print_table(&["partitions", "wall/iter", "Mrows/s", "groups", "speedup"], &rows);
-    let concat = par::stats::merge_concat_fast_path() - concat0;
-    let fallback = par::stats::merge_regroup_fallback() - fallback0;
+    let delta = par::stats::snapshot().delta(&stats0);
+    let (concat, fallback) = (delta.merge_concat_fast_path, delta.merge_regroup_fallback);
     println!("merge paths: concat fast path +{concat}, re-group fallback +{fallback}");
     if mode == PlacementMode::Aligned {
         // The tentpole's acceptance check: aligned partials own disjoint
@@ -121,8 +120,7 @@ fn main() {
         None => vec![PlacementMode::RoundRobin, PlacementMode::Aligned],
     };
 
-    let calls0 = par::stats::grouped_agg_calls();
-    let par0 = par::stats::grouped_agg_par_calls();
+    let stats0 = par::stats::snapshot();
 
     // Few heavy groups: the per-morsel hash tables stay tiny, the
     // aggregation loop dominates.
@@ -144,10 +142,10 @@ fn main() {
         modes.iter().map(|&m| sweep(&label, &keys, &vals, &sweep_list, m, iters)).collect();
     assert!(per_mode.windows(2).all(|w| w[0] == w[1]), "placement modes diverged");
 
+    let delta = par::stats::snapshot().delta(&stats0);
     println!(
         "kernel stats: grouped_agg calls +{}, parallel fan-outs +{}",
-        par::stats::grouped_agg_calls() - calls0,
-        par::stats::grouped_agg_par_calls() - par0
+        delta.grouped_agg_calls, delta.grouped_agg_par_calls
     );
     println!(
         "shape check: speedup tracks physical cores (≈1x minus partial/merge \

@@ -104,11 +104,11 @@ fn run_point(
     let first = spans.iter().map(|(s, _)| *s).min().unwrap();
     let last = spans.iter().map(|(_, e)| *e).max().unwrap();
     let append_wall = last - first;
-    let par_seals0 = stats::seal_par_calls();
+    let stats0 = stats::snapshot();
     let t1 = Instant::now();
     let end = sb.seal();
     let seal_wall = t1.elapsed();
-    let seal_parallel = stats::seal_par_calls() > par_seals0;
+    let seal_parallel = stats::snapshot().delta(&stats0).seal_par_calls > 0;
 
     // Verify: no tuple lost or duplicated, oids dense from 0, and the
     // exact per-point value checksum — placement reorders rows within a

@@ -1,6 +1,6 @@
 //! Repo-wide static-analysis harness: `cargo run -p datacell-bench --bin lint`.
 //!
-//! Three passes, all of which must come back clean for the binary to exit 0:
+//! Four passes, all of which must come back clean for the binary to exit 0:
 //!
 //! 1. **Plan corpus verification** — every query in
 //!    [`datacell_sql::corpus`] is parsed, optimized, compiled, verified with
@@ -26,11 +26,20 @@
 //!    `thread::scope` fan-out block — scoped workers must own their
 //!    data outright (the parallel seal collects staged segments
 //!    *before* spawning its stitchers for exactly this reason).
+//! 4. **Exposition conformance** — a live engine runs a small
+//!    three-axis workload, its telemetry snapshot is rendered to
+//!    Prometheus text and re-parsed with the strict
+//!    `datacell_telemetry::parse_text` validator, and every exposed
+//!    family must carry help text (a counter registered without help is
+//!    a finding, not a style nit: the help line is the only
+//!    documentation an operator's scrape ever sees).
 
 use datacell_core::{rewrite, verify_incremental, Engine};
+use datacell_kernel::{Column, DataType};
 use datacell_plan::verify::{NoSchema, SchemaOverlay};
 use datacell_plan::{compile, optimize, verify_all};
 use datacell_sql::{corpus, corpus_streams, parse};
+use datacell_telemetry::{parse_text, render_text};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -62,10 +71,11 @@ fn main() {
     let n_queries = lint_corpus(&mut findings);
     let n_files = lint_unwraps(&mut findings);
     let n_audited = lint_locks(&mut findings);
+    let n_families = lint_exposition(&mut findings);
 
     println!(
         "lint: {n_queries} corpus queries verified, {n_files} library files scanned for unwrap, \
-         {n_audited} concurrency files audited"
+         {n_audited} concurrency files audited, {n_families} telemetry families checked"
     );
     if findings.is_empty() {
         println!("lint: clean");
@@ -151,7 +161,7 @@ fn lint_corpus(findings: &mut Vec<Finding>) -> usize {
 /// Library crates held to the no-unwrap rule. `bench` is exempt: its
 /// binaries are workload harnesses where aborting on malformed setup is the
 /// right behavior.
-const LIBRARY_CRATES: &[&str] = &["kernel", "basket", "plan", "core", "sql", "sysx"];
+const LIBRARY_CRATES: &[&str] = &["telemetry", "kernel", "basket", "plan", "core", "sql", "sysx"];
 
 fn lint_unwraps(findings: &mut Vec<Finding>) -> usize {
     let root = repo_root();
@@ -336,4 +346,48 @@ fn audit_file(rel: &str, text: &str, lock_free: bool, findings: &mut Vec<Finding
             guards.push(Guard { indent: indent_of(line), mutex: is_mutex, line: lineno });
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: exposition conformance.
+// ---------------------------------------------------------------------------
+
+/// Run a small three-axis workload and hold the engine's exposition to the
+/// strict parser plus the every-family-has-help rule. Returns the number of
+/// families checked.
+fn lint_exposition(findings: &mut Vec<Finding>) -> usize {
+    let mut e = Engine::with_workers(2);
+    e.set_basket_shards(2);
+    e.set_partitions(2);
+    e.create_stream("lint_s", &[("k", DataType::Int), ("v", DataType::Int)])
+        .expect("lint stream registration");
+    e.register_sql("SELECT k, sum(v) FROM lint_s GROUP BY k WINDOW SIZE 32 SLIDE 16")
+        .expect("lint query registration");
+    let ks: Vec<i64> = (0..128).map(|i| i % 4).collect();
+    let vs: Vec<i64> = (0..128).collect();
+    e.append("lint_s", &[Column::Int(ks), Column::Int(vs)]).expect("lint append");
+    e.run_until_idle().expect("lint drain");
+
+    let text = render_text(&e.telemetry_snapshot());
+    let parsed = match parse_text(&text) {
+        Ok(p) => p,
+        Err(err) => {
+            findings.push(Finding::new(
+                "exposition",
+                "Engine::telemetry_snapshot",
+                format!("rendered exposition rejected by the strict parser: {err}"),
+            ));
+            return 0;
+        }
+    };
+    for name in parsed.families_without_help() {
+        findings.push(Finding::new(
+            "exposition",
+            name,
+            "metric family exposed without help text; register it with a \
+             one-line description — the HELP line is the only documentation \
+             an operator's scrape ever sees",
+        ));
+    }
+    parsed.families.len()
 }

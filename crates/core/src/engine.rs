@@ -21,7 +21,9 @@ use datacell_plan::{
     compile, optimize, verify_all, LogicalPlan, MalOp, MalPlan, PlanError, ResultSet,
     SchemaOverlay, WindowSpec,
 };
+use datacell_telemetry::{Counter, Family, Histogram, MetricKind, Snapshot};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Identifier of a registered continuous query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,12 +54,64 @@ impl Default for RegisterOptions {
     }
 }
 
+/// Per-query telemetry series, folded from each slide's [`SlideMetrics`]
+/// at the engine's emission-collection point ([`Engine::run_until_idle`]).
+/// Engine-owned (not globally registered), so `query` labels never
+/// collide across engines in one process; lives exactly as long as the
+/// query's registration.
+struct QuerySeries {
+    /// The factory label (`q0`, `q1`, …) — the `query` label value.
+    label: String,
+    slides: Counter,
+    rows: Counter,
+    /// Nanosecond totals of the paper's Fig. 7 cost decomposition.
+    total_ns: Counter,
+    main_plan_ns: Counter,
+    merge_ns: Counter,
+    /// Distribution of per-slide total latency.
+    latency: Histogram,
+}
+
+impl QuerySeries {
+    fn new(label: String) -> QuerySeries {
+        QuerySeries {
+            label,
+            slides: Counter::new(),
+            rows: Counter::new(),
+            total_ns: Counter::new(),
+            main_plan_ns: Counter::new(),
+            merge_ns: Counter::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Fold one slide in. The timings come from the factory's own
+    /// (always-on) [`SlideMetrics`] clock, so per-query series stay
+    /// populated even under the `DATACELL_TELEMETRY` kill switch.
+    fn observe(&self, m: &SlideMetrics) {
+        self.slides.inc();
+        self.rows.add(m.rows as u64);
+        self.total_ns.add(duration_ns(m.total));
+        self.main_plan_ns.add(duration_ns(m.main_plan));
+        self.merge_ns.add(duration_ns(m.merge));
+        self.latency.record(m.total);
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+const NS_PER_SEC: f64 = 1e9;
+
 /// The engine: baskets + catalog + scheduler + per-query outputs.
 pub struct Engine {
     baskets: HashMap<String, ShardedBasket>,
     catalog: Catalog,
     scheduler: ParallelScheduler,
     outputs: HashMap<usize, Vec<ResultSet>>,
+    /// Telemetry series per registered query, keyed like `outputs`.
+    series: HashMap<usize, QuerySeries>,
     clock: Timestamp,
     /// Intra-operator partition fan-out (`kernel::par`) applied to every
     /// registered factory. Orthogonal to the scheduler's worker count:
@@ -111,6 +165,7 @@ impl Engine {
             catalog: Catalog::default(),
             scheduler: ParallelScheduler::new(workers),
             outputs: HashMap::new(),
+            series: HashMap::new(),
             clock: 0,
             partitions: partitions_from_env(),
             basket_shards: shards_from_env(),
@@ -396,9 +451,11 @@ impl Engine {
         }
         f.set_partitions(self.partitions);
         f.set_placement(self.placement());
+        let label = f.label().to_owned();
         let baskets = &self.baskets;
         let id = self.scheduler.register(f, |s| baskets.get(s).cloned());
         self.outputs.insert(id, Vec::new());
+        self.series.insert(id, QuerySeries::new(label));
         Ok(QueryId(id))
     }
 
@@ -475,6 +532,7 @@ impl Engine {
     pub fn deregister(&mut self, q: QueryId) -> Result<(), DataCellError> {
         self.scheduler.deregister(q.0)?;
         self.outputs.remove(&q.0);
+        self.series.remove(&q.0);
         Ok(())
     }
 
@@ -493,6 +551,9 @@ impl Engine {
     pub fn run_until_idle(&mut self) -> Result<(), DataCellError> {
         let emissions = self.scheduler.run_until_idle(self.clock)?;
         for e in emissions {
+            if let Some(s) = self.series.get(&e.factory) {
+                s.observe(&e.metrics);
+            }
             self.outputs.entry(e.factory).or_default().push(e.result);
         }
         self.gc();
@@ -529,6 +590,178 @@ impl Engine {
         q: QueryId,
     ) -> Result<Option<Vec<(usize, std::time::Duration)>>, DataCellError> {
         Ok(self.scheduler.factory(q.0)?.chunker_history())
+    }
+
+    // -- telemetry ---------------------------------------------------------
+
+    /// One coherent snapshot of every telemetry signal: the process-wide
+    /// registry (kernel aggregation and basket-seal internals) merged
+    /// with this engine's own series — per-query slide latency and the
+    /// paper's Fig. 7 main-plan/merge cost split, scheduler worker-pool
+    /// utilization, and per-shard basket depth. Render it with
+    /// [`datacell_telemetry::render_text`].
+    ///
+    /// Engine-local families are assembled from engine-owned handles
+    /// (never registered globally), so `query` labels cannot collide
+    /// across engines in one process. Between two quiesced drains with
+    /// no appends, consecutive snapshots of the engine-local families
+    /// are identical.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = datacell_telemetry::global().snapshot();
+        self.query_families(&mut snap);
+        self.scheduler_families(&mut snap);
+        self.basket_families(&mut snap);
+        snap
+    }
+
+    /// Per-query series: one sample per registered query, labelled
+    /// `query="<label>"`, in label order.
+    fn query_families(&self, snap: &mut Snapshot) {
+        let mut series: Vec<&QuerySeries> = self.series.values().collect();
+        series.sort_by(|a, b| a.label.cmp(&b.label));
+        let mut slides = Family::new(
+            "datacell_query_slides_total",
+            "Window slides produced by a continuous query.",
+            MetricKind::Counter,
+        );
+        let mut rows = Family::new(
+            "datacell_query_rows_total",
+            "Result rows emitted by a continuous query.",
+            MetricKind::Counter,
+        );
+        let mut total = Family::new(
+            "datacell_query_total_seconds_total",
+            "Total slide execution time of a continuous query.",
+            MetricKind::Counter,
+        );
+        let mut main_plan = Family::new(
+            "datacell_query_main_plan_seconds_total",
+            "Time in the original plan's operators (Fig. 7 main-plan component).",
+            MetricKind::Counter,
+        );
+        let mut merge = Family::new(
+            "datacell_query_merge_seconds_total",
+            "Time in incremental merge machinery (Fig. 7 merge component).",
+            MetricKind::Counter,
+        );
+        let mut latency = Family::new(
+            "datacell_query_slide_seconds",
+            "Per-slide total latency distribution of a continuous query.",
+            MetricKind::Histogram,
+        );
+        for s in series {
+            let lbl = [("query", s.label.as_str())];
+            slides.push_value(&lbl, s.slides.get() as f64);
+            rows.push_value(&lbl, s.rows.get() as f64);
+            total.push_value(&lbl, s.total_ns.get() as f64 / NS_PER_SEC);
+            main_plan.push_value(&lbl, s.main_plan_ns.get() as f64 / NS_PER_SEC);
+            merge.push_value(&lbl, s.merge_ns.get() as f64 / NS_PER_SEC);
+            latency.push_histogram(&lbl, s.latency.snapshot());
+        }
+        // A family declared with zero samples (no queries registered) is
+        // noise the strict parser rightly rejects — drop it instead.
+        for fam in [slides, rows, total, main_plan, merge, latency] {
+            if !fam.samples.is_empty() {
+                snap.push(fam);
+            }
+        }
+    }
+
+    /// Scheduler worker-pool series: queue depth, wake-to-fire latency
+    /// and per-worker utilization (the latter only while a pool is live —
+    /// the one-worker sequential path has no workers to report).
+    fn scheduler_families(&self, snap: &mut Snapshot) {
+        let mut depth = Family::new(
+            "datacell_scheduler_queue_depth",
+            "Factories dispatched to the worker pool and not yet picked up; 0 when quiesced.",
+            MetricKind::Gauge,
+        );
+        depth.push_value(&[], self.scheduler.queue_depth() as f64);
+        snap.push(depth);
+        let mut wake = Family::new(
+            "datacell_scheduler_wake_to_fire_seconds",
+            "Time a dispatched factory waited in the work queue before a worker fired it.",
+            MetricKind::Histogram,
+        );
+        wake.push_histogram(&[], self.scheduler.wake_to_fire());
+        snap.push(wake);
+        let stats = self.scheduler.worker_stats();
+        if stats.is_empty() {
+            return;
+        }
+        let mut fires = Family::new(
+            "datacell_scheduler_worker_fires_total",
+            "Factory fire calls executed, per pool worker.",
+            MetricKind::Counter,
+        );
+        let mut busy = Family::new(
+            "datacell_scheduler_worker_busy_seconds_total",
+            "Time spent firing factories, per pool worker.",
+            MetricKind::Counter,
+        );
+        let mut idle = Family::new(
+            "datacell_scheduler_worker_idle_seconds_total",
+            "Time spent waiting between jobs, per pool worker (recorded when the wait ends).",
+            MetricKind::Counter,
+        );
+        for (i, w) in stats.iter().enumerate() {
+            let worker = i.to_string();
+            let lbl = [("worker", worker.as_str())];
+            fires.push_value(&lbl, w.fires() as f64);
+            busy.push_value(&lbl, w.busy_ns() as f64 / NS_PER_SEC);
+            idle.push_value(&lbl, w.idle_ns() as f64 / NS_PER_SEC);
+        }
+        for fam in [fires, busy, idle] {
+            snap.push(fam);
+        }
+    }
+
+    /// Basket ingest-edge series: per-shard staged depth, cumulative rows
+    /// and a per-stream shard-imbalance ratio (max over mean of
+    /// cumulative rows; 1.0 is perfectly balanced, 0 when nothing has
+    /// been staged since the last reshard).
+    fn basket_families(&self, snap: &mut Snapshot) {
+        let mut names: Vec<&String> = self.baskets.keys().collect();
+        names.sort();
+        let mut staged_rows = Family::new(
+            "datacell_basket_staged_rows",
+            "Rows currently staged (appended, not yet sealed) per basket shard.",
+            MetricKind::Gauge,
+        );
+        let mut staged_segs = Family::new(
+            "datacell_basket_staged_segments",
+            "Staged append segments awaiting seal, per basket shard.",
+            MetricKind::Gauge,
+        );
+        let mut shard_rows = Family::new(
+            "datacell_basket_shard_rows_total",
+            "Rows ever staged into a basket shard (resets on reshard).",
+            MetricKind::Counter,
+        );
+        let mut imbalance = Family::new(
+            "datacell_basket_shard_imbalance_ratio",
+            "Max-over-mean of cumulative rows across a basket's shards; 1.0 is balanced.",
+            MetricKind::Gauge,
+        );
+        for name in names {
+            let stats = self.baskets[name].shard_stats();
+            let sum: u64 = stats.iter().map(|s| s.total_rows).sum();
+            let max = stats.iter().map(|s| s.total_rows).max().unwrap_or(0);
+            let ratio = if sum == 0 { 0.0 } else { max as f64 * stats.len() as f64 / sum as f64 };
+            imbalance.push_value(&[("stream", name)], ratio);
+            for (i, s) in stats.iter().enumerate() {
+                let shard = i.to_string();
+                let lbl = [("stream", name.as_str()), ("shard", shard.as_str())];
+                staged_rows.push_value(&lbl, s.staged_rows as f64);
+                staged_segs.push_value(&lbl, s.staged_segments as f64);
+                shard_rows.push_value(&lbl, s.total_rows as f64);
+            }
+        }
+        for fam in [staged_rows, staged_segs, shard_rows, imbalance] {
+            if !fam.samples.is_empty() {
+                snap.push(fam);
+            }
+        }
     }
 
     /// EXPLAIN: show all three plan levels for a continuous query — the

@@ -19,10 +19,11 @@
 
 pub mod parallel;
 
-pub use parallel::{parse_workers, workers_from_env, ParallelScheduler};
+pub use parallel::{parse_workers, workers_from_env, ParallelScheduler, WorkerStats};
 
 use crate::error::DataCellError;
 use crate::factory::{Factory, FireOutcome};
+use crate::metrics::SlideMetrics;
 use datacell_basket::Timestamp;
 use datacell_plan::ResultSet;
 
@@ -38,6 +39,12 @@ pub struct Emission {
     pub result: ResultSet,
     /// The engine clock when it was produced.
     pub at: Timestamp,
+    /// The slide's cost decomposition (paper Fig. 7: main plan vs. merge,
+    /// rows emitted), carried along so the engine can fold it into the
+    /// per-query telemetry series at the one deterministic collection
+    /// point — both scheduler paths fill it from the factory's
+    /// [`FireOutcome::Produced`].
+    pub metrics: SlideMetrics,
 }
 
 /// Round-robin Petri-net scheduler over a set of factories.
@@ -103,9 +110,9 @@ impl Scheduler {
                 continue;
             }
             match f.fire(clock)? {
-                FireOutcome::Produced { result, .. } => {
+                FireOutcome::Produced { result, metrics } => {
                     progressed = true;
-                    emissions.push(Emission { factory: id, result, at: clock });
+                    emissions.push(Emission { factory: id, result, at: clock, metrics });
                 }
                 FireOutcome::Progressed => progressed = true,
                 FireOutcome::NotReady => {}

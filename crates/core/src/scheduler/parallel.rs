@@ -46,9 +46,11 @@ use crate::error::DataCellError;
 use crate::factory::{Factory, FireOutcome};
 use datacell_basket::{ShardedBasket, Timestamp};
 use datacell_kernel::Oid;
+use datacell_telemetry::{Counter, Gauge, Histogram};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Parse a `DATACELL_WORKERS`-style override: a positive worker count.
 /// Returns `None` for unset, empty, non-numeric or zero values.
@@ -68,6 +70,9 @@ struct Job {
     id: FactoryId,
     factory: Box<dyn Factory>,
     clock: Timestamp,
+    /// When the job entered the queue — the start of the wake-to-fire
+    /// latency window. `None` under the telemetry kill switch.
+    enqueued: Option<Instant>,
 }
 
 /// What workers send back to the draining thread.
@@ -86,10 +91,15 @@ enum Reply {
 
 /// The shared work queue: pending jobs plus a shutdown flag, under one
 /// mutex so workers can sleep on the condvar until either changes.
-#[derive(Default)]
 struct WorkQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    /// Jobs pushed but not yet popped. The gauge handle is the
+    /// scheduler's persistent one, so the reading always survives pool
+    /// rebuilds; it is kept outside the mutex (atomics only), so the
+    /// reading is monotone-consistent but momentarily ahead of/behind
+    /// the queue by at most one in-flight push/pop.
+    depth: Gauge,
 }
 
 #[derive(Default)]
@@ -99,7 +109,12 @@ struct QueueState {
 }
 
 impl WorkQueue {
+    fn new(depth: Gauge) -> WorkQueue {
+        WorkQueue { state: Mutex::new(QueueState::default()), ready: Condvar::new(), depth }
+    }
+
     fn push(&self, job: Job) {
+        self.depth.inc();
         self.state.lock().expect("queue lock").jobs.push_back(job);
         self.ready.notify_one();
     }
@@ -112,6 +127,7 @@ impl WorkQueue {
                 return None;
             }
             if let Some(j) = g.jobs.pop_front() {
+                self.depth.dec();
                 return Some(j);
             }
             g = self.ready.wait(g).expect("queue lock");
@@ -124,29 +140,68 @@ impl WorkQueue {
     }
 }
 
+/// Per-worker utilization counters, shared between the worker thread and
+/// the scheduler (read by `Engine::telemetry_snapshot`). Fire counts are
+/// unconditional; busy/idle time obeys the `DATACELL_TELEMETRY` kill
+/// switch, like every timed signal.
+#[derive(Default)]
+pub struct WorkerStats {
+    fires: Counter,
+    busy_ns: Counter,
+    idle_ns: Counter,
+}
+
+impl WorkerStats {
+    /// Individual `Factory::fire` calls this worker executed.
+    #[must_use]
+    pub fn fires(&self) -> u64 {
+        self.fires.get()
+    }
+
+    /// Nanoseconds spent firing factories (dispatch to factory-return).
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.get()
+    }
+
+    /// Nanoseconds spent waiting on the work queue between jobs. Recorded
+    /// only when a wait actually yields a job — never while still blocked
+    /// — so a quiesced pool reports stable totals between reads.
+    #[must_use]
+    pub fn idle_ns(&self) -> u64 {
+        self.idle_ns.get()
+    }
+}
+
 /// Persistent worker threads popping the shared queue. Lives across drains
 /// so thread spawn cost is paid once per engine, not per scheduling round.
 struct WorkerPool {
     queue: Arc<WorkQueue>,
     reply_rx: mpsc::Receiver<Reply>,
     handles: Vec<JoinHandle<()>>,
+    /// One entry per worker thread, index-aligned with `handles`.
+    stats: Vec<Arc<WorkerStats>>,
 }
 
 impl WorkerPool {
-    fn new(size: usize) -> WorkerPool {
-        let queue = Arc::new(WorkQueue::default());
+    fn new(size: usize, depth: Gauge, wake_to_fire: Histogram) -> WorkerPool {
+        let queue = Arc::new(WorkQueue::new(depth));
         let (reply_tx, reply_rx) = mpsc::channel();
+        let stats: Vec<Arc<WorkerStats>> =
+            (0..size).map(|_| Arc::new(WorkerStats::default())).collect();
         let handles = (0..size)
             .map(|i| {
                 let q = Arc::clone(&queue);
                 let tx = reply_tx.clone();
+                let st = Arc::clone(&stats[i]);
+                let wake = wake_to_fire.clone();
                 std::thread::Builder::new()
                     .name(format!("datacell-worker-{i}"))
-                    .spawn(move || worker_loop(&q, &tx))
+                    .spawn(move || worker_loop(&q, &tx, &st, &wake))
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { queue, reply_rx, handles }
+        WorkerPool { queue, reply_rx, handles, stats }
     }
 
     fn size(&self) -> usize {
@@ -173,11 +228,22 @@ impl Drop for WorkerPool {
 /// reply would deadlock `run_until_idle`. Panics are caught and surfaced
 /// as drain errors (the sequential path propagates them instead; either
 /// way the caller finds out).
-fn worker_loop(queue: &WorkQueue, replies: &mpsc::Sender<Reply>) {
-    while let Some(Job { id, mut factory, clock }) = queue.pop() {
+fn worker_loop(
+    queue: &WorkQueue,
+    replies: &mpsc::Sender<Reply>,
+    stats: &WorkerStats,
+    wake_to_fire: &Histogram,
+) {
+    loop {
+        let wait = datacell_telemetry::timer();
+        let Some(Job { id, mut factory, clock, enqueued }) = queue.pop() else { return };
+        stats.idle_ns.add_nanos_since(wait);
+        wake_to_fire.record_since(enqueued);
+        let busy = datacell_telemetry::timer();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            fire_to_quiescence(id, &mut factory, clock, replies)
+            fire_to_quiescence(id, &mut factory, clock, replies, &stats.fires)
         }));
+        stats.busy_ns.add_nanos_since(busy);
         let (progressed, error) = match outcome {
             Ok(Ok(res)) => res,
             Ok(Err(SchedulerGone)) => return,
@@ -202,14 +268,16 @@ fn fire_to_quiescence(
     factory: &mut Box<dyn Factory>,
     clock: Timestamp,
     replies: &mpsc::Sender<Reply>,
+    fires: &Counter,
 ) -> Result<(bool, Option<DataCellError>), SchedulerGone> {
     let mut progressed = false;
     while factory.ready(clock) {
+        fires.inc();
         match factory.fire(clock) {
-            Ok(FireOutcome::Produced { result, .. }) => {
+            Ok(FireOutcome::Produced { result, metrics }) => {
                 progressed = true;
                 if replies
-                    .send(Reply::Emission(Emission { factory: id, result, at: clock }))
+                    .send(Reply::Emission(Emission { factory: id, result, at: clock, metrics }))
                     .is_err()
                 {
                     return Err(SchedulerGone);
@@ -257,6 +325,12 @@ pub struct ParallelScheduler {
     last_clock: Option<Timestamp>,
     workers: usize,
     pool: Option<WorkerPool>,
+    /// Work-queue depth (jobs dispatched, not yet popped). Persistent
+    /// across pool rebuilds; always 0 when the scheduler is quiesced.
+    queue_depth: Gauge,
+    /// Wake-to-fire latency: time a dispatched job spent in the queue
+    /// before a worker picked it up. Persistent across pool rebuilds.
+    wake_to_fire: Histogram,
 }
 
 impl Default for ParallelScheduler {
@@ -277,7 +351,33 @@ impl ParallelScheduler {
             last_clock: None,
             workers: workers.max(1),
             pool: None,
+            queue_depth: Gauge::new(),
+            wake_to_fire: Histogram::new(),
         }
+    }
+
+    /// Current depth of the shared work queue: transitions dispatched to
+    /// the pool but not yet picked up by a worker. Always 0 between
+    /// drains (quiescence means nothing is queued or in flight).
+    #[must_use]
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.get()
+    }
+
+    /// Wake-to-fire latency distribution: time each dispatched job spent
+    /// in the work queue before a worker popped it. Empty when the
+    /// telemetry kill switch is on or no pooled drain has run.
+    #[must_use]
+    pub fn wake_to_fire(&self) -> datacell_telemetry::HistogramSnapshot {
+        self.wake_to_fire.snapshot()
+    }
+
+    /// Per-worker utilization counters for the live pool, index-aligned
+    /// with worker ids. Empty on the sequential one-worker path (no pool)
+    /// or before the first pooled drain.
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<Arc<WorkerStats>> {
+        self.pool.as_ref().map(|p| p.stats.clone()).unwrap_or_default()
     }
 
     /// Current worker count.
@@ -462,7 +562,11 @@ impl ParallelScheduler {
     fn run_pooled(&mut self, clock: Timestamp) -> Result<Vec<Emission>, DataCellError> {
         if self.pool.as_ref().map(WorkerPool::size) != Some(self.workers) {
             self.pool = None; // drop (joins old threads) before respawning
-            self.pool = Some(WorkerPool::new(self.workers));
+            self.pool = Some(WorkerPool::new(
+                self.workers,
+                self.queue_depth.clone(),
+                self.wake_to_fire.clone(),
+            ));
         }
 
         let mut emissions = Vec::new();
@@ -499,6 +603,7 @@ impl ParallelScheduler {
                                 id,
                                 factory,
                                 clock,
+                                enqueued: datacell_telemetry::timer(),
                             });
                             outstanding += 1;
                         }
@@ -536,7 +641,12 @@ impl ParallelScheduler {
         let mut dispatched = 0;
         for id in self.scan_candidates(clock) {
             if let Some(factory) = self.inner.take_slot(id) {
-                self.pool.as_ref().expect("pool exists").queue.push(Job { id, factory, clock });
+                self.pool.as_ref().expect("pool exists").queue.push(Job {
+                    id,
+                    factory,
+                    clock,
+                    enqueued: datacell_telemetry::timer(),
+                });
                 dispatched += 1;
             }
         }

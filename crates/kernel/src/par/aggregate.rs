@@ -280,6 +280,21 @@ pub fn grouped_agg_multi(
     specs: &[AggSpec],
     cfg: &ParConfig,
 ) -> Result<(Column, Vec<Column>)> {
+    // Call-granularity morsel timing: one clock pair per kernel call (not
+    // per row, not per morsel), so the telemetry overhead stays in the
+    // noise; `timer()` is `None` under the DATACELL_TELEMETRY kill switch.
+    let parallel = cfg.partitions() > 1 && keys.len() >= cfg.partitions();
+    let start = datacell_telemetry::timer();
+    let out = grouped_agg_multi_inner(keys, specs, cfg);
+    stats::record_grouped_agg_time(parallel, start);
+    out
+}
+
+fn grouped_agg_multi_inner(
+    keys: &Bat,
+    specs: &[AggSpec],
+    cfg: &ParConfig,
+) -> Result<(Column, Vec<Column>)> {
     let kinds: Vec<AggKind> = specs.iter().map(|&(k, _)| k).collect();
     let p = cfg.partitions();
     if p <= 1 || keys.len() < p {

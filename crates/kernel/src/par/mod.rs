@@ -43,30 +43,94 @@ pub use aggregate::{
 pub use join::hashjoin;
 pub use select::select;
 
-/// Lightweight observability counters for the parallel kernel entry
-/// points. Process-wide monotone `AtomicU64`s: cheap enough to bump on
-/// every call, precise enough for tests and bench harnesses to prove a
-/// query actually reached the partitioned code paths (read a counter,
-/// run the query, assert the delta). Counters only ever increase;
-/// compare deltas rather than absolute values — other threads may be
-/// aggregating concurrently.
+/// Lightweight observability for the parallel kernel entry points:
+/// process-wide monotone counters plus call-granularity latency
+/// histograms, all registered (with help text) in the
+/// [`datacell_telemetry::global`] registry so they surface in
+/// `Engine::telemetry_snapshot` and the Prometheus text exposition.
+///
+/// The counter accessors are thin shims over the registry handles — cheap
+/// enough to bump on every call, precise enough for tests and bench
+/// harnesses to prove a query actually reached the partitioned code paths.
+/// Counters only ever increase; compare [`snapshot`] deltas rather than
+/// absolute values — other threads may be aggregating concurrently.
 pub mod stats {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use datacell_telemetry::{global, Counter, Histogram};
+    use std::sync::OnceLock;
+    use std::time::Instant;
 
-    static GROUPED_AGG_CALLS: AtomicU64 = AtomicU64::new(0);
-    static GROUPED_AGG_PAR_CALLS: AtomicU64 = AtomicU64::new(0);
-    static MERGE_CONCAT_FAST_PATH: AtomicU64 = AtomicU64::new(0);
-    static MERGE_REGROUP_FALLBACK: AtomicU64 = AtomicU64::new(0);
-    static SEAL_CALLS: AtomicU64 = AtomicU64::new(0);
-    static SEAL_PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+    struct Metrics {
+        grouped_agg_calls: Counter,
+        grouped_agg_par_calls: Counter,
+        merge_concat: Counter,
+        merge_regroup: Counter,
+        seal_calls: Counter,
+        seal_par_calls: Counter,
+        agg_seconds_seq: Histogram,
+        agg_seconds_par: Histogram,
+    }
+
+    fn metrics() -> &'static Metrics {
+        static METRICS: OnceLock<Metrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = global();
+            Metrics {
+                grouped_agg_calls: r.counter(
+                    "datacell_kernel_grouped_agg_calls_total",
+                    "Grouped-aggregate kernel calls (any partition count).",
+                ),
+                grouped_agg_par_calls: r.counter(
+                    "datacell_kernel_grouped_agg_par_calls_total",
+                    "Grouped-aggregate kernel calls that fanned morsels out over P > 1 threads.",
+                ),
+                merge_concat: r.counter(
+                    "datacell_kernel_merge_concat_total",
+                    "Partial-merges that took the placement-aligned concat fast path.",
+                ),
+                merge_regroup: r.counter(
+                    "datacell_kernel_merge_regroup_total",
+                    "Partial-merges that fell back to concat + re-group + compensation.",
+                ),
+                seal_calls: r.counter("datacell_kernel_seal_total", "Multi-segment basket seals."),
+                seal_par_calls: r.counter(
+                    "datacell_kernel_seal_par_total",
+                    "Basket seals that stitched segments on parallel worker threads.",
+                ),
+                agg_seconds_seq: r.histogram_with(
+                    "datacell_kernel_grouped_agg_seconds",
+                    "Wall time of one grouped-aggregate kernel call, morsel fan-out included.",
+                    &[("path", "seq")],
+                ),
+                agg_seconds_par: r.histogram_with(
+                    "datacell_kernel_grouped_agg_seconds",
+                    "Wall time of one grouped-aggregate kernel call, morsel fan-out included.",
+                    &[("path", "par")],
+                ),
+            }
+        })
+    }
 
     /// Record one grouped-aggregate kernel call; `parallel` marks calls
     /// that actually fanned morsels out over `P > 1` scoped threads
     /// (rather than dispatching to the sequential single-partial path).
     pub(crate) fn record_grouped_agg(parallel: bool) {
-        GROUPED_AGG_CALLS.fetch_add(1, Ordering::Relaxed);
+        let m = metrics();
+        m.grouped_agg_calls.inc();
         if parallel {
-            GROUPED_AGG_PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+            m.grouped_agg_par_calls.inc();
+        }
+    }
+
+    /// Record the wall time of one grouped-aggregate kernel call into the
+    /// per-path morsel-timing histogram. `start` comes from
+    /// [`datacell_telemetry::timer`]; under the `DATACELL_TELEMETRY=0`
+    /// kill switch it is `None` and this is a no-op.
+    pub(crate) fn record_grouped_agg_time(parallel: bool, start: Option<Instant>) {
+        let m = metrics();
+        if parallel {
+            m.agg_seconds_par.record_since(start);
+        } else {
+            m.agg_seconds_seq.record_since(start);
         }
     }
 
@@ -74,10 +138,11 @@ pub mod stats {
     /// placement-aligned (disjoint key sets per partial), so the merge
     /// was a pure concatenation with no re-group or compensation pass.
     pub(crate) fn record_merge(concat: bool) {
+        let m = metrics();
         if concat {
-            MERGE_CONCAT_FAST_PATH.fetch_add(1, Ordering::Relaxed);
+            m.merge_concat.inc();
         } else {
-            MERGE_REGROUP_FALLBACK.fetch_add(1, Ordering::Relaxed);
+            m.merge_regroup.inc();
         }
     }
 
@@ -86,42 +151,100 @@ pub mod stats {
     /// because the basket crate (a kernel dependent) reports its seals
     /// through the same stats surface the benches read.
     pub fn record_seal(parallel: bool) {
-        SEAL_CALLS.fetch_add(1, Ordering::Relaxed);
+        let m = metrics();
+        m.seal_calls.inc();
         if parallel {
-            SEAL_PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+            m.seal_par_calls.inc();
         }
     }
 
     /// Total grouped-aggregate kernel calls (any `P`).
     pub fn grouped_agg_calls() -> u64 {
-        GROUPED_AGG_CALLS.load(Ordering::Relaxed)
+        metrics().grouped_agg_calls.get()
     }
 
     /// Grouped-aggregate kernel calls that fanned out over `P > 1`
     /// morsel threads.
     pub fn grouped_agg_par_calls() -> u64 {
-        GROUPED_AGG_PAR_CALLS.load(Ordering::Relaxed)
+        metrics().grouped_agg_par_calls.get()
     }
 
     /// Partial-merges that took the aligned concat fast path.
     pub fn merge_concat_fast_path() -> u64 {
-        MERGE_CONCAT_FAST_PATH.load(Ordering::Relaxed)
+        metrics().merge_concat.get()
     }
 
     /// Partial-merges that fell back to the concat + re-group +
     /// compensation path.
     pub fn merge_regroup_fallback() -> u64 {
-        MERGE_REGROUP_FALLBACK.load(Ordering::Relaxed)
+        metrics().merge_regroup.get()
     }
 
     /// Total multi-segment basket seals.
     pub fn seal_calls() -> u64 {
-        SEAL_CALLS.load(Ordering::Relaxed)
+        metrics().seal_calls.get()
     }
 
     /// Basket seals that stitched segments on parallel worker threads.
     pub fn seal_par_calls() -> u64 {
-        SEAL_PAR_CALLS.load(Ordering::Relaxed)
+        metrics().seal_par_calls.get()
+    }
+
+    /// All six kernel counters read at one instant. The idiom for proving
+    /// a code path was reached is `let before = stats::snapshot(); ...;
+    /// let d = stats::snapshot().delta(&before);` followed by asserts on
+    /// the fields of `d` — replacing hand-rolled read-before/read-after
+    /// pairs per counter.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct StatsSnapshot {
+        /// Total grouped-aggregate kernel calls.
+        pub grouped_agg_calls: u64,
+        /// Grouped-aggregate calls that fanned out over `P > 1` threads.
+        pub grouped_agg_par_calls: u64,
+        /// Partial-merges on the aligned concat fast path.
+        pub merge_concat_fast_path: u64,
+        /// Partial-merges on the re-group fallback path.
+        pub merge_regroup_fallback: u64,
+        /// Total multi-segment basket seals.
+        pub seal_calls: u64,
+        /// Basket seals that stitched on parallel threads.
+        pub seal_par_calls: u64,
+    }
+
+    impl StatsSnapshot {
+        /// Field-wise `self - earlier` (saturating): the counter movement
+        /// between two snapshots.
+        #[must_use]
+        pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+            StatsSnapshot {
+                grouped_agg_calls: self.grouped_agg_calls.saturating_sub(earlier.grouped_agg_calls),
+                grouped_agg_par_calls: self
+                    .grouped_agg_par_calls
+                    .saturating_sub(earlier.grouped_agg_par_calls),
+                merge_concat_fast_path: self
+                    .merge_concat_fast_path
+                    .saturating_sub(earlier.merge_concat_fast_path),
+                merge_regroup_fallback: self
+                    .merge_regroup_fallback
+                    .saturating_sub(earlier.merge_regroup_fallback),
+                seal_calls: self.seal_calls.saturating_sub(earlier.seal_calls),
+                seal_par_calls: self.seal_par_calls.saturating_sub(earlier.seal_par_calls),
+            }
+        }
+    }
+
+    /// Read all counters at one instant.
+    #[must_use]
+    pub fn snapshot() -> StatsSnapshot {
+        let m = metrics();
+        StatsSnapshot {
+            grouped_agg_calls: m.grouped_agg_calls.get(),
+            grouped_agg_par_calls: m.grouped_agg_par_calls.get(),
+            merge_concat_fast_path: m.merge_concat.get(),
+            merge_regroup_fallback: m.merge_regroup.get(),
+            seal_calls: m.seal_calls.get(),
+            seal_par_calls: m.seal_par_calls.get(),
+        }
     }
 }
 

@@ -1,0 +1,468 @@
+//! Prometheus text-format exposition: a renderer for [`Snapshot`] and a
+//! strict validating parser used by the lint harness and `metrics_dump`'s
+//! self-check.
+
+use crate::{MetricKind, SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Render a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` headers per family, one line per sample,
+/// histograms expanded into `_bucket{le=...}` / `_sum` / `_count` series.
+#[must_use]
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for fam in &snap.families {
+        let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+        let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+        for sample in &fam.samples {
+            let labels: Vec<(&str, &str)> =
+                sample.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            match &sample.value {
+                SampleValue::Value(v) => {
+                    let _ = writeln!(out, "{}{} {}", fam.name, label_block(&labels, None), fmt(*v));
+                }
+                SampleValue::Histogram(h) => {
+                    for &(le, cum) in &h.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cum}",
+                            fam.name,
+                            label_block(&labels, Some(le))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        fam.name,
+                        label_block(&labels, None),
+                        fmt(h.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        fam.name,
+                        label_block(&labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects: `+Inf`/`-Inf` for infinities,
+/// shortest-roundtrip decimal otherwise.
+fn fmt(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(&str, &str)], le: Option<f64>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|&(k, v)| format!("{k}=\"{}\"", escape(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", fmt(le)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+// ---------------------------------------------------------------------------
+// Parser / validator.
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name as it appears on the line (so `foo_bucket` for a
+    /// histogram bucket of family `foo`).
+    pub name: String,
+    /// Label pairs in line order (including `le` for buckets).
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+/// One `# TYPE` family declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedFamily {
+    /// Family name.
+    pub name: String,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// Help text from the matching `# HELP` line (empty if the help text
+    /// itself was empty — the lint harness flags that).
+    pub help: String,
+}
+
+/// A validated parse of a Prometheus text exposition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Parsed {
+    /// Declared families, in document order.
+    pub families: Vec<ParsedFamily>,
+    /// All samples, in document order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl Parsed {
+    /// The first sample with this exact name and label subset (every pair
+    /// in `labels` must be present on the sample).
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|&(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every sample with this exact name, across label sets.
+    #[must_use]
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// Names of declared families whose help text is empty.
+    #[must_use]
+    pub fn families_without_help(&self) -> Vec<String> {
+        self.families.iter().filter(|f| f.help.is_empty()).map(|f| f.name.clone()).collect()
+    }
+}
+
+/// Parse and validate a Prometheus text exposition. Beyond line-level
+/// syntax, this enforces the structural rules the renderer guarantees:
+/// every sample belongs to a family declared by a preceding `# TYPE` (with
+/// `_bucket`/`_sum`/`_count` expansion for histograms), every `# TYPE` has a
+/// matching `# HELP`, histogram buckets carry `le` labels with
+/// non-decreasing cumulative counts, and the `+Inf` bucket equals `_count`.
+///
+/// Returns a description of the first violation on failure.
+pub fn parse_text(text: &str) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut helps: Vec<(String, String)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            parse_comment(rest.trim_start(), n, &mut parsed, &mut helps)?;
+        } else {
+            parsed.samples.push(parse_sample(line, n, &parsed.families)?);
+        }
+    }
+    for fam in &parsed.families {
+        validate_family(fam, &parsed.samples)?;
+    }
+    Ok(parsed)
+}
+
+fn parse_comment(
+    rest: &str,
+    lineno: usize,
+    parsed: &mut Parsed,
+    helps: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    if let Some(decl) = rest.strip_prefix("HELP ") {
+        let (name, help) = decl.split_once(' ').unwrap_or((decl, ""));
+        check_name(name, lineno)?;
+        helps.push((name.to_owned(), help.to_owned()));
+    } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+        let (name, kind) = decl
+            .split_once(' ')
+            .ok_or_else(|| format!("line {lineno}: # TYPE needs a name and a kind"))?;
+        check_name(name, lineno)?;
+        let kind = match kind.trim() {
+            "counter" => MetricKind::Counter,
+            "gauge" => MetricKind::Gauge,
+            "histogram" => MetricKind::Histogram,
+            other => return Err(format!("line {lineno}: unknown metric type `{other}`")),
+        };
+        let help = helps
+            .iter()
+            .find(|(h, _)| h == name)
+            .map(|(_, text)| text.clone())
+            .ok_or_else(|| format!("line {lineno}: # TYPE {name} has no preceding # HELP"))?;
+        parsed.families.push(ParsedFamily { name: name.to_owned(), kind, help });
+    }
+    // Other `#` lines are plain comments.
+    Ok(())
+}
+
+fn parse_sample(
+    line: &str,
+    lineno: usize,
+    families: &[ParsedFamily],
+) -> Result<ParsedSample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("line {lineno}: sample line has no value"))?;
+    let name = &line[..name_end];
+    check_name(name, lineno)?;
+    let rest = &line[name_end..];
+    let (labels, value_str) = if let Some(body) = rest.strip_prefix('{') {
+        let close =
+            body.find('}').ok_or_else(|| format!("line {lineno}: unterminated label block"))?;
+        (parse_labels(&body[..close], lineno)?, body[close + 1..].trim())
+    } else {
+        (Vec::new(), rest.trim())
+    };
+    let value = parse_value(value_str)
+        .ok_or_else(|| format!("line {lineno}: `{value_str}` is not a valid sample value"))?;
+
+    // The sample must belong to a declared family. Histogram series expand
+    // into `_bucket`/`_sum`/`_count`; counters and gauges use the bare name.
+    let owner = families.iter().find(|f| match f.kind {
+        MetricKind::Histogram => {
+            name == format!("{}_bucket", f.name)
+                || name == format!("{}_sum", f.name)
+                || name == format!("{}_count", f.name)
+        }
+        MetricKind::Counter | MetricKind::Gauge => name == f.name,
+    });
+    let owner =
+        owner.ok_or_else(|| format!("line {lineno}: sample `{name}` has no # TYPE family"))?;
+    if owner.kind == MetricKind::Histogram
+        && name == format!("{}_bucket", owner.name)
+        && !labels.iter().any(|(k, _)| k == "le")
+    {
+        return Err(format!("line {lineno}: histogram bucket `{name}` is missing its le label"));
+    }
+    Ok(ParsedSample { name: name.to_owned(), labels, value })
+}
+
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("line {lineno}: malformed label pair after `{key}`"));
+        }
+        check_name(key.trim(), lineno)?;
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err(format!("line {lineno}: bad escape in label value")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("line {lineno}: unterminated label value"));
+        }
+        labels.push((key.trim().to_owned(), value));
+        match chars.next() {
+            Some(',') => {}
+            None => break,
+            Some(c) => return Err(format!("line {lineno}: unexpected `{c}` between labels")),
+        }
+    }
+    Ok(labels)
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+fn check_name(name: &str, lineno: usize) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok = match chars.next() {
+        Some(c) => {
+            (c.is_ascii_alphabetic() || c == '_' || c == ':')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        None => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: `{name}` is not a valid metric/label name"))
+    }
+}
+
+/// One histogram series while validating: the non-`le` label set and its
+/// `(le, cumulative count)` buckets in input order.
+type BucketSeries = (Vec<(String, String)>, Vec<(f64, f64)>);
+
+fn validate_family(fam: &ParsedFamily, samples: &[ParsedSample]) -> Result<(), String> {
+    if fam.kind != MetricKind::Histogram {
+        return Ok(());
+    }
+    let bucket = format!("{}_bucket", fam.name);
+    let count_name = format!("{}_count", fam.name);
+    // Group buckets by their non-le labels: one series per label set.
+    let mut series: Vec<BucketSeries> = Vec::new();
+    for s in samples.iter().filter(|s| s.name == bucket) {
+        let key: Vec<(String, String)> =
+            s.labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+        let le = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .and_then(|(_, v)| parse_value(v))
+            .ok_or_else(|| format!("histogram {}: bucket with unparsable le", fam.name))?;
+        match series.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push((le, s.value)),
+            None => series.push((key, vec![(le, s.value)])),
+        }
+    }
+    if series.is_empty() {
+        return Err(format!("histogram {} declared but has no _bucket samples", fam.name));
+    }
+    for (key, buckets) in &series {
+        let mut prev = 0.0f64;
+        for &(_, cum) in buckets {
+            if cum < prev {
+                return Err(format!("histogram {}: bucket counts not cumulative", fam.name));
+            }
+            prev = cum;
+        }
+        let (last_le, last_cum) = *buckets.last().unwrap_or(&(0.0, 0.0));
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {}: final bucket must be le=\"+Inf\"", fam.name));
+        }
+        let labels: Vec<(&str, &str)> = key.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == count_name
+                    && labels
+                        .iter()
+                        .all(|&(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+                    && s.labels.len() == labels.len()
+            })
+            .map(|s| s.value)
+            .ok_or_else(|| format!("histogram {}: missing _count sample", fam.name))?;
+        if count != last_cum {
+            return Err(format!("histogram {}: +Inf bucket != _count", fam.name));
+        }
+        if !samples.iter().any(|s| {
+            s.name == format!("{}_sum", fam.name)
+                && s.labels.len() == labels.len()
+                && labels.iter().all(|&(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        }) {
+            return Err(format!("histogram {}: missing _sum sample", fam.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Family, Histogram, Registry};
+    use std::time::Duration;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("dc_hits_total", "Total hits.").add(42);
+        r.gauge_with("dc_depth", "Queue depth.", &[("queue", "main")]).set(3);
+        let h: Histogram = r.histogram_with("dc_lat_seconds", "Latency.", &[("path", "seq")]);
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_millis(2));
+        r
+    }
+
+    #[test]
+    fn render_then_parse_roundtrips() {
+        let text = render_text(&sample_registry().snapshot());
+        let parsed = parse_text(&text).expect("valid exposition");
+        assert_eq!(parsed.get("dc_hits_total", &[]), Some(42.0));
+        assert_eq!(parsed.get("dc_depth", &[("queue", "main")]), Some(3.0));
+        assert_eq!(parsed.get("dc_lat_seconds_count", &[("path", "seq")]), Some(2.0));
+        assert_eq!(parsed.families.len(), 3);
+        assert!(parsed.families_without_help().is_empty());
+        // Bucket lines carry le labels and end at +Inf.
+        assert!(text.contains("dc_lat_seconds_bucket{path=\"seq\",le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn parser_rejects_undeclared_samples() {
+        let err = parse_text("stray_total 1\n").expect_err("no TYPE");
+        assert!(err.contains("no # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_type_without_help() {
+        let err = parse_text("# TYPE x counter\nx 1\n").expect_err("no HELP");
+        assert!(err.contains("no preceding # HELP"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_bad_values_and_names() {
+        let text = "# HELP x X.\n# TYPE x counter\nx notanumber\n";
+        assert!(parse_text(text).is_err());
+        let text = "# HELP 9bad X.\n# TYPE 9bad counter\n";
+        assert!(parse_text(text).is_err());
+    }
+
+    #[test]
+    fn parser_flags_empty_help() {
+        let text = "# HELP x \n# TYPE x counter\nx 1\n";
+        let parsed = parse_text(text).expect("syntactically fine");
+        assert_eq!(parsed.families_without_help(), vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn parser_validates_histogram_structure() {
+        // Missing +Inf bucket.
+        let text = "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        let err = parse_text(text).expect_err("no +Inf");
+        assert!(err.contains("+Inf"), "{err}");
+        // Non-cumulative buckets.
+        let text = "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\n\
+                    h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse_text(text).is_err());
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let mut fam = Family::new("dc_esc", "Escapes.", crate::MetricKind::Gauge);
+        fam.push_value(&[("k", "a\"b\\c")], 1.0);
+        let mut snap = crate::Snapshot::default();
+        snap.push(fam);
+        let text = render_text(&snap);
+        let parsed = parse_text(&text).expect("valid");
+        assert_eq!(parsed.get("dc_esc", &[("k", "a\"b\\c")]), Some(1.0));
+    }
+}

@@ -16,7 +16,10 @@
 //!   factories, the Petri-net scheduler and the `DataCell` engine itself;
 //! * [`sql`] — a SQL subset front-end with continuous-query window clauses;
 //! * [`sysx`] — a simulated specialized tuple-at-a-time stream engine, the
-//!   paper's commercial "SystemX" baseline.
+//!   paper's commercial "SystemX" baseline;
+//! * [`telemetry`] — runtime observability: counters, gauges, latency
+//!   histograms and a Prometheus-text exposition surface (see
+//!   `Engine::telemetry_snapshot`).
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@ pub use datacell_core as core;
 pub use datacell_kernel as kernel;
 pub use datacell_plan as plan;
 pub use datacell_sql as sql;
+pub use datacell_telemetry as telemetry;
 pub use sysx;
 
 /// Most commonly used items across the stack.

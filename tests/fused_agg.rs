@@ -157,20 +157,20 @@ fn sql_aggregation_reaches_parallel_grouped_agg_kernel() {
     let ks: Vec<i64> = (0..512).map(|i| i % 16).collect();
     let vs: Vec<i64> = (0..512).collect();
 
-    let calls_before = par::stats::grouped_agg_calls();
-    let par_before = par::stats::grouped_agg_par_calls();
+    let before = par::stats::snapshot();
     e.append("s", &[Column::Int(ks), Column::Int(vs)]).unwrap();
     e.run_until_idle().unwrap();
     let out = e.drain_results(q).unwrap();
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].len(), 16);
 
+    let delta = par::stats::snapshot().delta(&before);
     assert!(
-        par::stats::grouped_agg_calls() > calls_before,
+        delta.grouped_agg_calls > 0,
         "aggregation query never reached the fused grouped-agg kernel"
     );
     assert!(
-        par::stats::grouped_agg_par_calls() > par_before,
+        delta.grouped_agg_par_calls > 0,
         "partitions=4 aggregation never fanned out over parallel morsels"
     );
 }
