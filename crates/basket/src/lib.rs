@@ -30,7 +30,7 @@ pub mod window;
 
 pub use basket::{Basket, BasketError, SharedBasket, Timestamp};
 pub use emitter::{CollectEmitter, Emitter, Row};
-pub use receptor::{CsvError, CsvReceptor, GeneratorReceptor, MalformedPolicy};
+pub use receptor::{CsvError, CsvReceptor, GeneratorReceptor, MalformedPolicy, ParseOutcome};
 pub use sharded::{parse_shards, shards_from_env, Ingest, ShardStats, ShardedBasket};
 pub use threaded::ReceptorHandle;
 pub use window::BasicWindow;

@@ -16,7 +16,23 @@
 use crate::basket::Timestamp;
 use crate::sharded::Ingest;
 use datacell_kernel::{Column, DataType, Oid};
+use datacell_telemetry::Counter;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Process-wide count of rows rejected by CSV receptors (malformed or
+/// schema-mismatched), on the global telemetry registry. Wire-fed ingest
+/// surfaces data loss here even when the caller ignores the per-call
+/// [`ParseOutcome`].
+fn rejected_counter() -> &'static Counter {
+    static REJECTED: OnceLock<Counter> = OnceLock::new();
+    REJECTED.get_or_init(|| {
+        datacell_telemetry::global().counter(
+            "datacell_receptor_rows_rejected_total",
+            "Rows rejected by CSV receptors: malformed fields, wrong arity, or schema-mismatched values.",
+        )
+    })
+}
 
 /// How a CSV receptor treats rows that fail to parse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +59,18 @@ impl fmt::Display for CsvError {
 }
 
 impl std::error::Error for CsvError {}
+
+/// What one [`CsvReceptor::parse`] call did: rows that made it into the
+/// pending batch and rows that were rejected (malformed, wrong arity, or
+/// schema-mismatched). Under [`MalformedPolicy::Fail`] a rejection raises
+/// [`CsvError`] instead, so `rejected` is only ever nonzero when skipping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseOutcome {
+    /// Rows parsed into the pending batch by this call.
+    pub rows: usize,
+    /// Rows rejected by this call.
+    pub rejected: usize,
+}
 
 /// Parses delimiter-separated rows into typed columns according to a schema.
 ///
@@ -105,8 +133,14 @@ impl CsvReceptor {
 
     /// Parse a chunk of CSV text (possibly many lines; blank lines are
     /// ignored) into the pending batch.
-    pub fn parse(&mut self, text: &str) -> Result<usize, CsvError> {
-        let mut parsed = 0;
+    ///
+    /// Returns how many rows parsed **and** how many were rejected — under
+    /// [`MalformedPolicy::Skip`] bad rows used to vanish silently unless
+    /// the caller polled [`CsvReceptor::rows_skipped`]; wire-fed ingest
+    /// must see the loss on every call. Each rejection also bumps the
+    /// process-wide `datacell_receptor_rows_rejected_total` counter.
+    pub fn parse(&mut self, text: &str) -> Result<ParseOutcome, CsvError> {
+        let mut out = ParseOutcome::default();
         for line in text.lines() {
             self.lines_seen += 1;
             let line = line.trim();
@@ -116,17 +150,19 @@ impl CsvReceptor {
             match self.parse_line(line) {
                 Ok(()) => {
                     self.rows_ok += 1;
-                    parsed += 1;
+                    out.rows += 1;
                 }
-                Err(msg) => match self.policy {
-                    MalformedPolicy::Skip => self.rows_skipped += 1,
-                    MalformedPolicy::Fail => {
-                        return Err(CsvError { line: self.lines_seen, message: msg })
+                Err(msg) => {
+                    self.rows_skipped += 1;
+                    out.rejected += 1;
+                    rejected_counter().inc();
+                    if self.policy == MalformedPolicy::Fail {
+                        return Err(CsvError { line: self.lines_seen, message: msg });
                     }
-                },
+                }
             }
         }
-        Ok(parsed)
+        Ok(out)
     }
 
     fn parse_line(&mut self, line: &str) -> Result<(), String> {
@@ -157,6 +193,7 @@ impl CsvReceptor {
                 DataType::Str => {}
             }
         }
+        let row_base = self.pending.first().map_or(0, Column::len);
         let (mut ii, mut fi, mut bi) = (0, 0, 0);
         for ((f, t), col) in fields.iter().zip(&self.schema).zip(&mut self.pending) {
             let v = match t {
@@ -178,7 +215,18 @@ impl CsvReceptor {
                 }
                 DataType::Str => datacell_kernel::Value::Str(f.trim().to_owned()),
             };
-            col.push(v).expect("schema-aligned push");
+            if let Err(e) = col.push(v) {
+                // A value/column type mismatch (schema drifted under us, or
+                // a receptor was built with a schema its columns disagree
+                // with). Off a socket this must reject the *row*, never
+                // abort the engine: roll back the columns already pushed so
+                // no partial row survives, and report it like any other
+                // malformed line.
+                for c in &mut self.pending {
+                    c.truncate(row_base);
+                }
+                return Err(format!("schema mismatch: {e}"));
+            }
         }
         Ok(())
     }
@@ -252,7 +300,7 @@ mod tests {
     fn csv_parses_well_formed_rows() {
         let mut r = CsvReceptor::new(&[DataType::Int, DataType::Float]);
         let n = r.parse("1,0.5\n2,1.5\n").unwrap();
-        assert_eq!(n, 2);
+        assert_eq!(n, ParseOutcome { rows: 2, rejected: 0 });
         assert_eq!(r.pending_rows(), 2);
         let b = shared();
         r.flush_into(&b, 3).unwrap();
@@ -268,9 +316,14 @@ mod tests {
     #[test]
     fn csv_skips_malformed_by_default() {
         let mut r = CsvReceptor::new(&[DataType::Int, DataType::Float]);
-        r.parse("1,0.5\nbogus,row,extra\nnotanint,1.0\n3,3.0").unwrap();
+        let before = crate::receptor::rejected_counter().get();
+        let out = r.parse("1,0.5\nbogus,row,extra\nnotanint,1.0\n3,3.0").unwrap();
+        assert_eq!(out, ParseOutcome { rows: 2, rejected: 2 });
         assert_eq!(r.rows_ok(), 2);
         assert_eq!(r.rows_skipped(), 2);
+        // Every rejection is also visible process-wide for wire-fed ingest
+        // (>=: sibling tests share the global counter under parallel runs).
+        assert!(crate::receptor::rejected_counter().get() >= before + 2);
     }
 
     #[test]
@@ -288,6 +341,19 @@ mod tests {
         // First field parses, second does not: nothing may be appended.
         r.parse("5,oops").unwrap();
         assert_eq!(r.pending_rows(), 0);
+    }
+
+    #[test]
+    fn schema_mismatched_push_rejects_the_row_without_panicking() {
+        // Build a receptor whose pending columns disagree with its schema —
+        // the situation that used to hit `expect("schema-aligned push")`.
+        let mut r = CsvReceptor::new(&[DataType::Int, DataType::Int]);
+        r.pending[1] = Column::empty(DataType::Float);
+        let out = r.parse("1,2\n3,4\n").unwrap();
+        assert_eq!(out, ParseOutcome { rows: 0, rejected: 2 });
+        // The rollback left no partial rows behind.
+        assert_eq!(r.pending_rows(), 0);
+        assert!(r.pending.iter().all(Column::is_empty));
     }
 
     #[test]

@@ -161,7 +161,8 @@ fn lint_corpus(findings: &mut Vec<Finding>) -> usize {
 /// Library crates held to the no-unwrap rule. `bench` is exempt: its
 /// binaries are workload harnesses where aborting on malformed setup is the
 /// right behavior.
-const LIBRARY_CRATES: &[&str] = &["telemetry", "kernel", "basket", "plan", "core", "sql", "sysx"];
+const LIBRARY_CRATES: &[&str] =
+    &["telemetry", "kernel", "basket", "plan", "core", "sql", "net", "sysx"];
 
 fn lint_unwraps(findings: &mut Vec<Finding>) -> usize {
     let root = repo_root();

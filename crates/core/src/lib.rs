@@ -41,7 +41,8 @@ pub use factory::{Factory, FireOutcome, StreamInput};
 pub use metrics::{summarize, MetricsSummary, SlideMetrics};
 pub use rewrite::{rewrite, verify_incremental, Cluster, IncrementalPlan, Stage, VarKind};
 pub use scheduler::{
-    parse_workers, workers_from_env, Emission, FactoryId, ParallelScheduler, Scheduler, WorkerStats,
+    parse_workers, workers_from_env, ConsumerId, Emission, FactoryId, ParallelScheduler, Scheduler,
+    WorkerStats,
 };
 
 // Re-export the window spec and result type from the plan layer so users

@@ -19,7 +19,7 @@
 
 pub mod parallel;
 
-pub use parallel::{parse_workers, workers_from_env, ParallelScheduler, WorkerStats};
+pub use parallel::{parse_workers, workers_from_env, ConsumerId, ParallelScheduler, WorkerStats};
 
 use crate::error::DataCellError;
 use crate::factory::{Factory, FireOutcome};

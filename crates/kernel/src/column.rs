@@ -111,6 +111,19 @@ impl Column {
         Ok(())
     }
 
+    /// Shorten the column to at most `len` values (no-op when already
+    /// shorter). Row-oriented writers use it to roll back a partially
+    /// appended row when a later column of the same row rejects its value.
+    pub fn truncate(&mut self, len: usize) {
+        match self {
+            Column::Int(v) => v.truncate(len),
+            Column::Float(v) => v.truncate(len),
+            Column::Str(v) => v.truncate(len),
+            Column::Bool(v) => v.truncate(len),
+            Column::Oid(v) => v.truncate(len),
+        }
+    }
+
     /// Append all values of `other` (same type) onto `self`.
     pub fn append(&mut self, other: &Column) -> Result<()> {
         match (self, other) {

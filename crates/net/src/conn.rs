@@ -1,0 +1,197 @@
+//! Per-connection state: nonblocking buffered I/O plus the role state
+//! machine (handshake → ingest / subscribe / drain-and-close).
+
+use datacell_basket::{CsvReceptor, ShardedBasket};
+use datacell_core::{ConsumerId, QueryId};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// What a connection turned out to be, decided by its first line.
+pub(crate) enum Role {
+    /// First line not yet seen.
+    Handshake,
+    /// `INGEST <stream>`: CSV rows into one basket, batched per tick.
+    Ingest {
+        /// The target stream's name (for backlog accounting and logs).
+        stream: String,
+        /// The stream's ingest edge, shared with the engine.
+        basket: ShardedBasket,
+        /// Per-connection parser; `pending_rows` is the unflushed batch.
+        receptor: CsvReceptor,
+    },
+    /// `SUBSCRIBE <label>`: result rows out of one query.
+    Subscribe {
+        /// The query's label (resolves the output stream).
+        label: String,
+        /// The query itself (kept for diagnostics; fan-out drains by label).
+        #[allow(dead_code)]
+        query: QueryId,
+        /// GC stake on the output basket. `None` until the output stream
+        /// exists (first result); registered at the basket *base* for
+        /// subscribers that attached before the stream was created and at
+        /// the basket *end* for late joiners.
+        consumer: Option<ConsumerId>,
+    },
+    /// Reply queued (metrics response or `ERR`); flush and close.
+    Drain,
+}
+
+/// One client connection in the poll loop.
+pub(crate) struct Conn {
+    pub sock: TcpStream,
+    pub peer: String,
+    pub role: Role,
+    /// Bytes read but not yet consumed as complete lines.
+    pub inbuf: Vec<u8>,
+    /// Bytes queued for the socket (partial writes leave a suffix here).
+    pub outbuf: Vec<u8>,
+    /// Close once `outbuf` drains.
+    pub close_after_flush: bool,
+    /// Peer closed its write side; no more input will arrive.
+    pub eof: bool,
+    /// Marked for removal by the reap pass.
+    pub dead: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(sock: TcpStream, peer: String) -> Conn {
+        Conn {
+            sock,
+            peer,
+            role: Role::Handshake,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            close_after_flush: false,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Is this an ingest connection (subject to backpressure pausing)?
+    pub(crate) fn is_ingest(&self) -> bool {
+        matches!(self.role, Role::Ingest { .. })
+    }
+
+    /// Drain everything currently readable into `inbuf` without blocking.
+    /// Returns bytes read this pass; flags `eof` / `dead` as appropriate.
+    pub(crate) fn read_available(&mut self) -> usize {
+        let mut total = 0;
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.sock.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// Write as much of `outbuf` as the socket accepts without blocking.
+    /// Returns bytes written; flags `dead` on hard errors or when a
+    /// close-after-flush connection finishes draining.
+    pub(crate) fn write_available(&mut self) -> usize {
+        let mut written = 0;
+        while written < self.outbuf.len() {
+            match self.sock.write(&self.outbuf[written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        self.outbuf.drain(..written);
+        if self.close_after_flush && self.outbuf.is_empty() {
+            self.dead = true;
+        }
+        written
+    }
+
+    /// Queue a reply.
+    pub(crate) fn push_out(&mut self, bytes: &[u8]) {
+        self.outbuf.extend_from_slice(bytes);
+    }
+
+    /// Queue an `ERR` line and close once it flushes.
+    pub(crate) fn fail(&mut self, msg: &str) {
+        self.push_out(format!("ERR {msg}\n").as_bytes());
+        self.role = Role::Drain;
+        self.close_after_flush = true;
+    }
+}
+
+/// Pop every complete line (`…\n`) off the front of `buf`, leaving the
+/// unterminated tail in place. When `take_tail` is set (peer sent EOF) the
+/// tail is returned as a final line too — a closing client's last row
+/// counts even without a trailing newline. Lines are lossy-decoded; a
+/// stray `\r` (telnet-style `\r\n`) is trimmed.
+pub(crate) fn split_lines(buf: &mut Vec<u8>, take_tail: bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = buf[start..].iter().position(|&b| b == b'\n') {
+        let line = &buf[start..start + pos];
+        lines.push(decode(line));
+        start += pos + 1;
+    }
+    buf.drain(..start);
+    if take_tail && !buf.is_empty() {
+        let tail = std::mem::take(buf);
+        lines.push(decode(&tail));
+    }
+    lines
+}
+
+fn decode(raw: &[u8]) -> String {
+    let s = String::from_utf8_lossy(raw);
+    s.strip_suffix('\r').unwrap_or(&s).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_lines_keeps_partial_tail() {
+        let mut buf = b"a,1\nb,2\nc,".to_vec();
+        let lines = split_lines(&mut buf, false);
+        assert_eq!(lines, vec!["a,1".to_owned(), "b,2".to_owned()]);
+        assert_eq!(buf, b"c,");
+        // More bytes arrive, completing the line.
+        buf.extend_from_slice(b"3\n");
+        assert_eq!(split_lines(&mut buf, false), vec!["c,3".to_owned()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn split_lines_takes_tail_on_eof() {
+        let mut buf = b"x,9".to_vec();
+        assert_eq!(split_lines(&mut buf, false), Vec::<String>::new());
+        assert_eq!(split_lines(&mut buf, true), vec!["x,9".to_owned()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn split_lines_trims_carriage_returns() {
+        let mut buf = b"GET /metrics HTTP/1.1\r\nHost: x\r\n".to_vec();
+        let lines = split_lines(&mut buf, false);
+        assert_eq!(lines, vec!["GET /metrics HTTP/1.1".to_owned(), "Host: x".to_owned()]);
+    }
+}

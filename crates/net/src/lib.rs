@@ -1,0 +1,106 @@
+//! # datacell-net
+//!
+//! The network edge of DataCell: the receptor/emitter processes of the
+//! paper's Fig. 1 made wire-facing. "It contains receptors and emitters,
+//! i.e., a set of separate processes per stream and per client,
+//! respectively, to listen for new data and to deliver results" (paper §2)
+//! — here one nonblocking TCP event loop multiplexing many client
+//! connections onto the engine's sharded ingest edge and draining query
+//! results back out to subscribers.
+//!
+//! The crate is deliberately **std-only**: a poll loop over nonblocking
+//! `std::net` sockets, no async runtime, no vendored reactor. One thread
+//! owns the [`datacell_core::Engine`] outright (no mutex around the engine)
+//! and interleaves socket work with scheduler work, which keeps per-query
+//! result order byte-identical to an in-process run.
+//!
+//! ## Protocol
+//!
+//! Line-framed text; the first line of a connection selects its role:
+//!
+//! * `INGEST <stream>` — every following line is one CSV row for
+//!   `<stream>`, parsed with the same [`datacell_basket::CsvReceptor`] as
+//!   the in-process loading path (malformed rows are counted and skipped,
+//!   never fatal). Rows are batched per connection and flushed into the
+//!   stream's [`datacell_basket::ShardedBasket`] once per poll tick or
+//!   every [`NetConfig::batch_rows`] rows, whichever comes first. The
+//!   server accepts **silently** (an ingest connection is write-only — a
+//!   reply would arm TCP's reset-on-close-with-unread-data against writers
+//!   that never read) and answers only errors: `ERR unknown stream <s>`.
+//! * `SUBSCRIBE <label>` — attach to the continuous query with that label
+//!   (`q0`, `q1`, … — see `Engine::queries`). The server replies
+//!   `OK subscribe <label>` and then streams every result row the query
+//!   emits from this point on, one CSV line per row.
+//! * `GET /metrics` — one-shot HTTP: the engine's full telemetry snapshot
+//!   plus this server's `datacell_net_*` families in Prometheus text
+//!   format, then the connection closes.
+//!
+//! ## Backpressure and slow consumers
+//!
+//! Two explicit safety valves, both observable in `/metrics`:
+//!
+//! * **Ingest backpressure** — when the total unconsumed backlog across all
+//!   actively-ingesting streams (sealed rows retained in baskets plus rows
+//!   staged in shards) exceeds [`NetConfig::staging_budget`], the loop
+//!   stops *reading* ingest sockets. Kernel TCP buffers fill and the
+//!   senders block: flow control reaches the producer without any
+//!   unbounded queue inside the engine.
+//! * **Subscriber overflow** — each subscriber has a bounded outbound
+//!   byte queue ([`NetConfig::subscriber_queue`]). A subscriber that stops
+//!   reading is disconnected (and logged) the moment a delivery would
+//!   overflow its queue, and its GC stake on the output basket is evicted —
+//!   a stalled client can never pin `min_consumed` and freeze basket
+//!   expiry for everyone else.
+//!
+//! Results of a query with **no** live subscribers are drained and
+//! discarded (and its output basket, if any, is expired in full), so an
+//! unwatched server stays bounded no matter how many queries it runs.
+//!
+//! Output baskets are engine streams named `<label>.out`; the suffix is
+//! reserved — do not create input streams ending in `.out`.
+
+mod conn;
+mod server;
+mod stats;
+
+pub use server::{out_stream_name, NetServer};
+pub use stats::NetStats;
+
+use std::time::Duration;
+
+/// Tuning knobs for [`NetServer::spawn`]. `Default` is sized for tests and
+/// small deployments; the `serve_scale` bench sweeps the interesting axes.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Flush a connection's parsed-but-unflushed CSV rows into its basket
+    /// once this many are pending, even mid-tick. Batching amortizes the
+    /// shard lock; every tick ends with a flush regardless, so this bounds
+    /// per-connection memory, not latency.
+    pub batch_rows: usize,
+    /// Total unconsumed rows (basket + staged) across actively-ingesting
+    /// streams above which the loop stops reading ingest sockets until the
+    /// scheduler catches up.
+    pub staging_budget: usize,
+    /// Maximum buffered outbound bytes per subscriber. A delivery that
+    /// would exceed it disconnects the subscriber instead of queueing.
+    pub subscriber_queue: usize,
+    /// Longest line a client may send before the connection is dropped as
+    /// malformed (guards the input buffer against a client that never
+    /// sends a newline).
+    pub max_line: usize,
+    /// Sleep between poll iterations when no socket or scheduler progress
+    /// was made.
+    pub tick: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            batch_rows: 256,
+            staging_budget: 1 << 16,
+            subscriber_queue: 1 << 20,
+            max_line: 1 << 16,
+            tick: Duration::from_millis(1),
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The poll loop: one thread, one [`Engine`], many sockets.
+//!
+//! The loop interleaves five passes per tick — accept, read/parse, flush
+//! ingest batches, run the scheduler, fan results out — then writes
+//! whatever the sockets will take without blocking. Owning the engine on
+//! the loop thread (instead of sharing it behind a mutex) keeps per-query
+//! result order identical to an in-process run: the scheduler only ever
+//! runs between socket passes, exactly like a driver program alternating
+//! `append` and `run_until_idle`.
+
+use crate::conn::{split_lines, Conn, Role};
+use crate::{NetConfig, NetStats};
+use datacell_basket::{BasicWindow, CsvReceptor};
+use datacell_core::Engine;
+use datacell_kernel::{Column, DataType};
+use datacell_telemetry::render_text;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Name of the engine stream buffering results of the query `label` for
+/// network subscribers (`q0` → `q0.out`). The suffix is reserved: input
+/// streams must not end in `.out`.
+#[must_use]
+pub fn out_stream_name(label: &str) -> String {
+    format!("{label}.out")
+}
+
+/// Handle to a running network edge. Spawned with an [`Engine`] it owns
+/// until [`NetServer::shutdown`] hands it back; dropping the handle stops
+/// the server and discards the engine.
+pub struct NetServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: NetStats,
+    thread: Option<JoinHandle<Engine>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving the engine on a dedicated loop thread. Bind errors surface
+    /// here, synchronously.
+    pub fn spawn(engine: Engine, addr: &str, cfg: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = NetStats::new();
+        let ev = EventLoop {
+            engine,
+            cfg,
+            stats: stats.clone(),
+            listener,
+            stop: Arc::clone(&stop),
+            conns: Vec::new(),
+            outs: HashMap::new(),
+        };
+        let thread = thread::Builder::new().name("datacell-net".into()).spawn(move || ev.run())?;
+        Ok(NetServer { local, stop, stats, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Live server counters (clonable atomic handles).
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Stop the loop, flush what can be flushed, and hand the engine back
+    /// for inspection.
+    pub fn shutdown(mut self) -> Engine {
+        self.stop.store(true, Ordering::Release);
+        match self.thread.take() {
+            Some(t) => match t.join() {
+                Ok(engine) => engine,
+                Err(panic) => std::panic::resume_unwind(panic),
+            },
+            // `thread` is only vacated by this method or by `Drop`, both of
+            // which consume the handle; keep the signature total anyway.
+            None => Engine::new(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            drop(t.join());
+        }
+    }
+}
+
+struct EventLoop {
+    engine: Engine,
+    cfg: NetConfig,
+    stats: NetStats,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Conn>,
+    /// Output streams created so far: query label → stream name.
+    outs: HashMap<String, String>,
+}
+
+impl EventLoop {
+    fn run(mut self) -> Engine {
+        while !self.stop.load(Ordering::Acquire) {
+            let mut busy = self.accept_new();
+            busy |= self.pump();
+            busy |= self.flush_ingest();
+            self.run_engine();
+            busy |= self.fan_out();
+            busy |= self.write_all();
+            self.reap();
+            if !busy {
+                thread::sleep(self.cfg.tick);
+            }
+        }
+        self.finish()
+    }
+
+    /// Accept every connection waiting on the listener.
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((sock, peer)) => {
+                    if sock.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    drop(sock.set_nodelay(true)); // best effort
+                    self.conns.push(Conn::new(sock, peer.to_string()));
+                    self.stats.connection_opened();
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// Unconsumed backlog across the distinct streams being ingested:
+    /// sealed rows still retained in the basket plus rows staged in shards.
+    fn ingest_backlog(&self) -> usize {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for conn in &self.conns {
+            if conn.dead {
+                continue;
+            }
+            if let Role::Ingest { stream, basket, .. } = &conn.role {
+                seen.entry(stream.as_str()).or_insert_with(|| basket.len() + basket.staged_len());
+            }
+        }
+        seen.values().sum()
+    }
+
+    /// Read every socket (ingest sockets only while under the staging
+    /// budget) and process complete lines.
+    fn pump(&mut self) -> bool {
+        let paused = self.ingest_backlog() > self.cfg.staging_budget;
+        if paused {
+            self.stats.backpressure_ticks.inc();
+        }
+        let mut busy = false;
+        let engine = &mut self.engine;
+        let stats = &self.stats;
+        let cfg = &self.cfg;
+        for conn in &mut self.conns {
+            if conn.dead || (paused && conn.is_ingest()) {
+                continue;
+            }
+            let n = conn.read_available();
+            if n > 0 {
+                stats.rx_bytes.add(n as u64);
+                busy = true;
+            }
+            if conn.inbuf.len() > cfg.max_line && !conn.inbuf.contains(&b'\n') {
+                stats.errors.inc();
+                conn.fail("line too long");
+                continue;
+            }
+            for line in split_lines(&mut conn.inbuf, conn.eof) {
+                busy = true;
+                handle_line(engine, stats, cfg, conn, &line);
+            }
+            if conn.eof && conn.inbuf.is_empty() {
+                match conn.role {
+                    // Ingest connections die in `flush_ingest`, after
+                    // their final batch lands.
+                    Role::Ingest { .. } => {}
+                    Role::Drain => {
+                        if conn.outbuf.is_empty() {
+                            conn.dead = true;
+                        }
+                    }
+                    Role::Handshake | Role::Subscribe { .. } => conn.dead = true,
+                }
+            }
+        }
+        busy
+    }
+
+    /// Flush every connection's pending CSV batch into its basket; one
+    /// clock tick per round that delivered rows.
+    fn flush_ingest(&mut self) -> bool {
+        let clock = self.engine.clock();
+        let stats = &self.stats;
+        let mut flushed = 0;
+        for conn in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            if let Role::Ingest { stream, basket, receptor } = &mut conn.role {
+                let pending = receptor.pending_rows();
+                if pending > 0 {
+                    match receptor.flush_into(basket, clock) {
+                        Ok(_) => flushed += pending,
+                        Err(e) => {
+                            stats.errors.inc();
+                            eprintln!("datacell-net: flush into `{stream}` failed: {e}");
+                            conn.dead = true;
+                            continue;
+                        }
+                    }
+                }
+                if conn.eof && conn.inbuf.is_empty() {
+                    conn.dead = true;
+                }
+            }
+        }
+        if flushed > 0 {
+            self.engine.advance_clock(clock + 1);
+        }
+        flushed > 0
+    }
+
+    fn run_engine(&mut self) {
+        if let Err(e) = self.engine.run_until_idle() {
+            self.stats.errors.inc();
+            eprintln!("datacell-net: scheduler error: {e}");
+        }
+    }
+
+    /// Drain every query's results; buffer subscribed queries' rows in
+    /// their output basket and deliver to each subscriber from its own
+    /// cursor. Unwatched results are discarded and unwatched output
+    /// baskets expired, so the server stays bounded without subscribers.
+    fn fan_out(&mut self) -> bool {
+        let mut interest: HashMap<String, usize> = HashMap::new();
+        for conn in &self.conns {
+            if conn.dead {
+                continue;
+            }
+            if let Role::Subscribe { label, .. } = &conn.role {
+                *interest.entry(label.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut busy = false;
+        for (qid, label) in self.engine.queries() {
+            let Ok(results) = self.engine.drain_results(qid) else { continue };
+            if results.is_empty() {
+                continue;
+            }
+            busy = true;
+            if !interest.contains_key(&label) {
+                continue; // no live subscriber: results dropped on the floor
+            }
+            let out = out_stream_name(&label);
+            if self.engine.basket(&out).is_err() {
+                let first = &results[0];
+                let schema: Vec<(&str, DataType)> = first
+                    .names()
+                    .iter()
+                    .map(String::as_str)
+                    .zip(first.columns().iter().map(Column::data_type))
+                    .collect();
+                if let Err(e) = self.engine.create_stream(&out, &schema) {
+                    self.stats.errors.inc();
+                    eprintln!("datacell-net: creating output stream `{out}`: {e}");
+                    continue;
+                }
+                self.outs.insert(label.clone(), out.clone());
+            }
+            for rs in &results {
+                if rs.is_empty() {
+                    continue;
+                }
+                if let Err(e) = self.engine.append(&out, rs.columns()) {
+                    self.stats.errors.inc();
+                    eprintln!("datacell-net: buffering results for `{label}`: {e}");
+                }
+            }
+        }
+        busy |= self.deliver();
+        for (label, out) in &self.outs {
+            if interest.contains_key(label) {
+                continue;
+            }
+            if let Ok(b) = self.engine.basket(out) {
+                b.with(|bk| {
+                    let end = bk.end_oid();
+                    bk.expire_upto(end);
+                });
+            }
+        }
+        busy
+    }
+
+    /// Move new output-basket rows into each subscriber's outbound queue,
+    /// advancing its GC stake — or disconnect it when the delivery would
+    /// overflow the bounded queue.
+    fn deliver(&mut self) -> bool {
+        let mut busy = false;
+        let engine = &mut self.engine;
+        let stats = &self.stats;
+        let cfg = &self.cfg;
+        for conn in &mut self.conns {
+            if conn.dead {
+                continue;
+            }
+            let (label, consumer) = match &conn.role {
+                Role::Subscribe { label, consumer, .. } => (label.clone(), *consumer),
+                _ => continue,
+            };
+            let out = out_stream_name(&label);
+            let Ok(basket) = engine.basket(&out) else { continue }; // no results yet
+            let id = match consumer {
+                Some(id) => id,
+                // The output stream appeared after this subscriber
+                // attached: everything in it was emitted on their watch,
+                // so stake from the basket base. (Late joiners staked at
+                // the basket end during their handshake instead.)
+                None => match engine.register_consumer(&out) {
+                    Ok(id) => {
+                        if let Role::Subscribe { consumer, .. } = &mut conn.role {
+                            *consumer = Some(id);
+                        }
+                        id
+                    }
+                    Err(e) => {
+                        stats.errors.inc();
+                        eprintln!("datacell-net: staking `{out}` for {}: {e}", conn.peer);
+                        conn.dead = true;
+                        continue;
+                    }
+                },
+            };
+            let Some(cursor) = engine.consumer_cursor(id) else { continue };
+            let end = basket.end_oid();
+            if end <= cursor {
+                continue;
+            }
+            let win = match basket.with(|b| b.read_range(cursor, (end - cursor) as usize)) {
+                Ok(w) => w,
+                Err(e) => {
+                    stats.errors.inc();
+                    eprintln!("datacell-net: reading `{out}` at {cursor}: {e}");
+                    continue;
+                }
+            };
+            let bytes = render_csv(&win);
+            if conn.outbuf.len() + bytes.len() > cfg.subscriber_queue {
+                stats.subscriber_overflows.inc();
+                eprintln!(
+                    "datacell-net: subscriber {} on `{label}` overflowed its {}-byte queue; disconnecting",
+                    conn.peer, cfg.subscriber_queue
+                );
+                conn.dead = true; // reap evicts the consumer, freeing GC
+                continue;
+            }
+            conn.push_out(&bytes);
+            stats.fanout_rows.add(win.len() as u64);
+            if let Err(e) = engine.advance_consumer(id, end) {
+                stats.errors.inc();
+                eprintln!("datacell-net: advancing {id}: {e}");
+            }
+            busy = true;
+        }
+        busy
+    }
+
+    /// Write whatever each socket will take without blocking.
+    fn write_all(&mut self) -> bool {
+        let stats = &self.stats;
+        let mut busy = false;
+        for conn in &mut self.conns {
+            if conn.dead || conn.outbuf.is_empty() {
+                continue;
+            }
+            let n = conn.write_available();
+            if n > 0 {
+                stats.tx_bytes.add(n as u64);
+                busy = true;
+            }
+        }
+        busy
+    }
+
+    /// Remove dead connections, releasing any GC stake they held.
+    fn reap(&mut self) {
+        let engine = &mut self.engine;
+        let stats = &self.stats;
+        self.conns.retain_mut(|conn| {
+            if !conn.dead {
+                return true;
+            }
+            if let Role::Subscribe { consumer: Some(id), label, .. } = &conn.role {
+                if let Err(e) = engine.evict_consumer(*id) {
+                    eprintln!("datacell-net: evicting {id} from `{label}`: {e}");
+                }
+            }
+            stats.connection_closed();
+            false
+        });
+    }
+
+    /// Shutdown path: land pending batches, run the scheduler once more,
+    /// fan out, and give sockets a short grace period to drain.
+    fn finish(mut self) -> Engine {
+        self.flush_ingest();
+        self.run_engine();
+        self.fan_out();
+        for _ in 0..64 {
+            self.write_all();
+            if self.conns.iter().all(|c| c.dead || c.outbuf.is_empty()) {
+                break;
+            }
+            thread::sleep(self.cfg.tick);
+        }
+        self.engine
+    }
+}
+
+/// Dispatch one complete line according to the connection's role.
+fn handle_line(
+    engine: &mut Engine,
+    stats: &NetStats,
+    cfg: &NetConfig,
+    conn: &mut Conn,
+    line: &str,
+) {
+    match conn.role {
+        Role::Handshake => handshake(engine, stats, conn, line),
+        Role::Ingest { .. } => ingest_line(engine, stats, cfg, conn, line),
+        Role::Subscribe { .. } => {
+            stats.errors.inc();
+            conn.fail("unexpected input on a subscriber connection");
+        }
+        // Trailing HTTP headers and the like: ignored.
+        Role::Drain => {}
+    }
+}
+
+/// First line of a connection: `INGEST` / `SUBSCRIBE` / `GET /metrics`.
+fn handshake(engine: &mut Engine, stats: &NetStats, conn: &mut Conn, line: &str) {
+    let mut it = line.split_whitespace();
+    match it.next().unwrap_or("") {
+        "INGEST" => {
+            let Some(stream) = it.next() else {
+                stats.errors.inc();
+                conn.fail("usage: INGEST <stream>");
+                return;
+            };
+            match engine.basket(stream) {
+                // Accepted silently: an ingest connection is write-only, so
+                // a writer may close without ever reading. Replying here
+                // would arm TCP's reset-on-close-with-unread-data and
+                // discard the writer's final rows in flight.
+                Ok(basket) => {
+                    let types: Vec<DataType> =
+                        basket.with(|b| b.schema().iter().map(|&(_, t)| t).collect());
+                    conn.role = Role::Ingest {
+                        stream: stream.to_owned(),
+                        basket,
+                        receptor: CsvReceptor::new(&types),
+                    };
+                }
+                Err(_) => {
+                    stats.errors.inc();
+                    conn.fail(&format!("unknown stream {stream}"));
+                }
+            }
+        }
+        "SUBSCRIBE" => {
+            let Some(label) = it.next() else {
+                stats.errors.inc();
+                conn.fail("usage: SUBSCRIBE <query-label>");
+                return;
+            };
+            match engine.queries().into_iter().find(|(_, l)| l == label) {
+                Some((qid, _)) => {
+                    // A late joiner (the output stream already exists)
+                    // stakes at the stream end: it sees results from now
+                    // on, not history another subscriber already consumed.
+                    let consumer = engine.register_consumer_at_end(&out_stream_name(label)).ok();
+                    conn.push_out(format!("OK subscribe {label}\n").as_bytes());
+                    conn.role = Role::Subscribe { label: label.to_owned(), query: qid, consumer };
+                }
+                None => {
+                    stats.errors.inc();
+                    conn.fail(&format!("unknown query {label}"));
+                }
+            }
+        }
+        "GET" => {
+            if it.next() == Some("/metrics") {
+                stats.metrics_requests.inc();
+                http_response(conn, "200 OK", &metrics_body(engine, stats));
+            } else {
+                stats.errors.inc();
+                http_response(conn, "404 Not Found", "only /metrics is served\n");
+            }
+            conn.role = Role::Drain;
+            conn.close_after_flush = true;
+        }
+        _ => {
+            stats.errors.inc();
+            conn.fail("unknown command (INGEST <stream> | SUBSCRIBE <label> | GET /metrics)");
+        }
+    }
+}
+
+/// A data line on an ingest connection: parse, and flush early if the
+/// pending batch hit the configured size.
+fn ingest_line(engine: &Engine, stats: &NetStats, cfg: &NetConfig, conn: &mut Conn, line: &str) {
+    let outcome = match &mut conn.role {
+        Role::Ingest { receptor, .. } => receptor.parse(line),
+        _ => return,
+    };
+    match outcome {
+        Ok(o) => stats.ingest_rows.add(o.rows as u64),
+        // Only reachable under `MalformedPolicy::Fail`; server receptors
+        // use the default skip-and-count policy, so rejects are counters,
+        // not connection errors.
+        Err(e) => {
+            stats.errors.inc();
+            conn.fail(&format!("csv: {e}"));
+            return;
+        }
+    }
+    let clock = engine.clock();
+    if let Role::Ingest { stream, basket, receptor } = &mut conn.role {
+        if receptor.pending_rows() >= cfg.batch_rows {
+            if let Err(e) = receptor.flush_into(basket, clock) {
+                stats.errors.inc();
+                eprintln!("datacell-net: flush into `{stream}` failed: {e}");
+                conn.dead = true;
+            }
+        }
+    }
+}
+
+/// Engine snapshot plus this server's families, in Prometheus text format.
+fn metrics_body(engine: &Engine, stats: &NetStats) -> String {
+    let mut snap = engine.telemetry_snapshot();
+    stats.extend_snapshot(&mut snap);
+    render_text(&snap)
+}
+
+/// Minimal one-shot HTTP response (the connection closes after flushing).
+fn http_response(conn: &mut Conn, status: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.push_out(head.as_bytes());
+    conn.push_out(body.as_bytes());
+}
+
+/// Render a window of output-basket rows as CSV lines, one row per line,
+/// values in [`datacell_kernel::Value`] display form.
+fn render_csv(win: &BasicWindow) -> Vec<u8> {
+    let mut s = String::new();
+    let ncols = win.names().len();
+    for i in 0..win.len() {
+        for j in 0..ncols {
+            if j > 0 {
+                s.push(',');
+            }
+            if let Ok(col) = win.col(j) {
+                if let Some(v) = col.get(i) {
+                    let _ = write!(s, "{v}");
+                }
+            }
+        }
+        s.push('\n');
+    }
+    s.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datacell_telemetry::parse_text;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn engine_with_stream() -> Engine {
+        let mut e = Engine::new();
+        e.create_stream("s", &[("x", DataType::Int), ("y", DataType::Float)]).unwrap();
+        e
+    }
+
+    fn connect(server: &NetServer) -> TcpStream {
+        let sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock
+    }
+
+    #[test]
+    fn ingest_lands_rows_in_the_basket() {
+        let server =
+            NetServer::spawn(engine_with_stream(), "127.0.0.1:0", NetConfig::default()).unwrap();
+        let mut sock = connect(&server);
+        // No ack on success: a writer may fire-and-forget and close.
+        sock.write_all(b"INGEST s\n1,0.5\n2,1.5\n3,2.5\n").unwrap();
+        drop(sock); // EOF: the server flushes the final batch
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().ingest_rows.get() < 3 {
+            assert!(std::time::Instant::now() < deadline, "rows never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let engine = server.shutdown();
+        assert_eq!(engine.basket_len("s").unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_stream_and_command_get_err_lines() {
+        let server =
+            NetServer::spawn(engine_with_stream(), "127.0.0.1:0", NetConfig::default()).unwrap();
+        for (req, want) in
+            [("INGEST nope\n", "ERR unknown stream nope\n"), ("FROB x\n", "ERR unknown command")]
+        {
+            let mut sock = connect(&server);
+            sock.write_all(req.as_bytes()).unwrap();
+            let mut line = String::new();
+            BufReader::new(&sock).read_line(&mut line).unwrap();
+            assert!(line.starts_with(want.trim_end_matches('\n')), "got {line:?} for {req:?}");
+        }
+        assert!(server.stats().errors.get() >= 2);
+        drop(server);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_strictly_parseable_text() {
+        let server =
+            NetServer::spawn(engine_with_stream(), "127.0.0.1:0", NetConfig::default()).unwrap();
+        let mut sock = connect(&server);
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        use std::io::Read;
+        sock.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "bad status: {response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = parse_text(body).unwrap();
+        assert!(parsed.get("datacell_net_connections_total", &[]).unwrap() >= 1.0);
+        assert!(parsed.families_without_help().is_empty());
+        drop(server);
+    }
+
+    #[test]
+    fn unwatched_queries_do_not_accumulate_results() {
+        // No subscriber: the server drains every query each tick and
+        // discards the results, so outputs stay bounded.
+        let mut engine = engine_with_stream();
+        let q = engine
+            .register_sql("SELECT count(x) FROM s WINDOW SIZE 2 SLIDE 2")
+            .expect("count query");
+        let server = NetServer::spawn(engine, "127.0.0.1:0", NetConfig::default()).unwrap();
+        let mut sock = connect(&server);
+        sock.write_all(b"INGEST s\n1,0.5\n2,1.5\n3,2.5\n4,3.5\n").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().ingest_rows.get() < 4 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(20)); // a few ticks to drain
+        let mut engine = server.shutdown();
+        // The two emitted windows were discarded, not queued.
+        assert_eq!(engine.drain_results(q).unwrap().len(), 0);
+    }
+}

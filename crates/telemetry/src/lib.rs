@@ -153,6 +153,13 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if it is currently lower (atomic max) —
+    /// high-water marks such as peak open connections. Racing raisers
+    /// converge on the true maximum without a read-modify-write loop.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
@@ -579,6 +586,16 @@ pub fn global() -> &'static Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(5);
+        g.set_max(3); // lower: no effect
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
 
     #[test]
     fn parse_enabled_cases() {

@@ -15,6 +15,9 @@
 //! * [`core`] — the paper's contribution: the incremental plan rewriter,
 //!   factories, the Petri-net scheduler and the `DataCell` engine itself;
 //! * [`sql`] — a SQL subset front-end with continuous-query window clauses;
+//! * [`net`] — the network edge: a std-only nonblocking TCP server
+//!   multiplexing many ingest connections onto the sharded basket edge,
+//!   fanning query results out to subscribers, and serving `/metrics`;
 //! * [`sysx`] — a simulated specialized tuple-at-a-time stream engine, the
 //!   paper's commercial "SystemX" baseline;
 //! * [`telemetry`] — runtime observability: counters, gauges, latency
@@ -51,6 +54,7 @@
 pub use datacell_basket as basket;
 pub use datacell_core as core;
 pub use datacell_kernel as kernel;
+pub use datacell_net as net;
 pub use datacell_plan as plan;
 pub use datacell_sql as sql;
 pub use datacell_telemetry as telemetry;

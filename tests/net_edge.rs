@@ -1,0 +1,259 @@
+//! End-to-end exercise of the network edge: real localhost TCP sockets,
+//! concurrent writers and subscribers, against `datacell_net::NetServer`.
+//!
+//! The headline invariant mirrors the parallelism arc: results delivered
+//! over the wire are **byte-for-byte** what an in-process run of the same
+//! engine configuration produces — the network edge adds transport, not
+//! semantics.
+
+use datacell::core::Engine;
+use datacell::kernel::{Column, DataType};
+use datacell::net::{NetConfig, NetServer};
+use datacell::plan::ResultSet;
+use datacell::telemetry::parse_text;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const STREAMS: usize = 3;
+const ROWS_PER_STREAM: usize = 40;
+
+/// One engine shape, used for both the in-process reference and the
+/// served instance: `STREAMS` input streams, one continuous query each.
+fn build_engine() -> Engine {
+    let mut e = Engine::new();
+    for i in 0..STREAMS {
+        e.create_stream(&format!("s{i}"), &[("x", DataType::Int), ("y", DataType::Float)])
+            .expect("stream");
+    }
+    for i in 0..STREAMS {
+        let sql = if i % 2 == 0 {
+            format!("SELECT sum(y) FROM s{i} WHERE x > 1 WINDOW SIZE 8 SLIDE 4")
+        } else {
+            format!("SELECT count(x) FROM s{i} WINDOW SIZE 8 SLIDE 4")
+        };
+        e.register_sql(&sql).expect("query");
+    }
+    e
+}
+
+/// Deterministic per-stream data; writer `i` owns stream `s{i}` outright,
+/// so per-stream arrival order (hence per-query results) is independent of
+/// how the OS interleaves the connections.
+fn rows_for(stream: usize) -> (Vec<i64>, Vec<f64>) {
+    let xs = (0..ROWS_PER_STREAM).map(|j| ((j + stream) % 7) as i64).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let ys = (0..ROWS_PER_STREAM).map(|j| j as f64 * 0.5 + stream as f64).collect();
+    (xs, ys)
+}
+
+/// Render results exactly like the server's fan-out does: one CSV line per
+/// row, `Value` display form, comma-separated.
+fn csv_lines(results: &[ResultSet]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for rs in results {
+        for row in rs.rows() {
+            let mut s = String::new();
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            lines.push(s);
+        }
+    }
+    lines
+}
+
+/// The in-process reference: same engine, same rows, no sockets.
+fn reference_lines() -> Vec<Vec<String>> {
+    let mut e = build_engine();
+    for i in 0..STREAMS {
+        let (xs, ys) = rows_for(i);
+        e.append(&format!("s{i}"), &[Column::Int(xs), Column::Float(ys)]).expect("append");
+    }
+    e.run_until_idle().expect("run");
+    let queries = e.queries();
+    queries.iter().map(|&(q, _)| csv_lines(&e.drain_results(q).expect("drain"))).collect()
+}
+
+fn connect(server: &NetServer) -> TcpStream {
+    let sock = TcpStream::connect(server.local_addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    sock
+}
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line.trim_end_matches('\n').to_owned()
+}
+
+#[test]
+fn socket_results_match_in_process_byte_for_byte() {
+    let expected = reference_lines();
+    let server = NetServer::spawn(build_engine(), "127.0.0.1:0", NetConfig::default())
+        .expect("spawn server");
+
+    // M = 2 subscribers per query, attached before any data flows so all
+    // of them see every result from the first window on.
+    let mut subscribers = Vec::new();
+    for qi in 0..STREAMS {
+        for _ in 0..2 {
+            let sock = connect(&server);
+            let mut reader = BufReader::new(sock);
+            reader.get_mut().write_all(format!("SUBSCRIBE q{qi}\n").as_bytes()).expect("send");
+            assert_eq!(read_line(&mut reader), format!("OK subscribe q{qi}"));
+            subscribers.push((qi, reader));
+        }
+    }
+
+    // N concurrent writers, one per stream, over their own connections.
+    let writers: Vec<_> = (0..STREAMS)
+        .map(|i| {
+            let addr = server.local_addr();
+            std::thread::spawn(move || {
+                let mut sock = TcpStream::connect(addr).expect("writer connect");
+                sock.write_all(format!("INGEST s{i}\n").as_bytes()).expect("hello");
+                let (xs, ys) = rows_for(i);
+                // Dribble rows in small chunks to force many poll ticks.
+                let mut payload = String::new();
+                for (j, (x, y)) in xs.iter().zip(&ys).enumerate() {
+                    let _ = writeln!(payload, "{x},{y}");
+                    if j % 7 == 6 {
+                        sock.write_all(payload.as_bytes()).expect("rows");
+                        payload.clear();
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                sock.write_all(payload.as_bytes()).expect("tail rows");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+
+    // Every subscriber of query i receives exactly the reference lines,
+    // in order, bytes for bytes.
+    for (qi, reader) in &mut subscribers {
+        let want = &expected[*qi];
+        assert!(!want.is_empty(), "reference produced no lines for q{qi}");
+        for (n, want_line) in want.iter().enumerate() {
+            let got = read_line(reader);
+            assert_eq!(&got, want_line, "q{qi} line {n} diverged over the wire");
+        }
+    }
+
+    // The same listener answers /metrics with a strictly parseable
+    // exposition reflecting the traffic above.
+    let mut sock = connect(&server);
+    sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut response = String::new();
+    sock.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    let parsed = parse_text(body).expect("strict parse");
+    assert!(parsed.families_without_help().is_empty(), "family without help text");
+    let total_rows = (STREAMS * ROWS_PER_STREAM) as f64;
+    assert_eq!(parsed.get("datacell_net_ingest_rows_total", &[]), Some(total_rows));
+    assert!(parsed.get("datacell_net_fanout_rows_total", &[]).expect("fanout family") > 0.0);
+    assert!(parsed.get("datacell_net_connections_total", &[]).expect("conn family") >= 10.0);
+
+    let engine = server.shutdown();
+    // Everything arrived: every stream saw all its rows.
+    for i in 0..STREAMS {
+        let b = engine.basket(&format!("s{i}")).expect("basket");
+        assert_eq!(b.end_oid(), ROWS_PER_STREAM as u64, "s{i} lost rows");
+    }
+}
+
+#[test]
+fn stalled_subscriber_is_evicted_and_cannot_pin_gc() {
+    let mut engine = Engine::new();
+    engine.create_stream("t", &[("x", DataType::Int), ("tag", DataType::Str)]).expect("stream");
+    // Every row is its own window: result volume ≈ ingest volume, so a
+    // non-reading subscriber's queue must fill quickly.
+    engine.register_sql("SELECT x, count(tag) FROM t GROUP BY x WINDOW SIZE 1 SLIDE 1").expect("q");
+    let cfg = NetConfig { subscriber_queue: 4096, ..NetConfig::default() };
+    let server = NetServer::spawn(engine, "127.0.0.1:0", cfg).expect("spawn");
+
+    // A subscriber that handshakes and then never reads again.
+    let stalled = connect(&server);
+    let mut reader = BufReader::new(stalled);
+    reader.get_mut().write_all(b"SUBSCRIBE q0\n").expect("send");
+    assert_eq!(read_line(&mut reader), "OK subscribe q0");
+
+    // Pump enough wide rows through that the results overrun both kernel
+    // socket buffers and the 4 KiB server-side queue.
+    let total: usize = 4000;
+    let mut sock = TcpStream::connect(server.local_addr()).expect("writer");
+    sock.write_all(b"INGEST t\n").expect("hello");
+    let tag = "z".repeat(120);
+    for j in 0..total {
+        sock.write_all(format!("{j},{tag}\n").as_bytes()).expect("row");
+    }
+    sock.flush().expect("flush");
+
+    // The server must disconnect the stalled subscriber instead of letting
+    // its unconsumed cursor freeze basket expiry.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().subscriber_overflows.get() == 0 {
+        assert!(Instant::now() < deadline, "stalled subscriber was never evicted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Ingest keeps flowing after the eviction.
+    drop(sock);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().ingest_rows.get() < total as u64 {
+        assert!(Instant::now() < deadline, "ingest stalled after eviction");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(20)); // a few ticks of GC
+
+    let engine = server.shutdown();
+    // With the subscriber gone, the output basket was expired in full —
+    // bounded growth, not a permanent pin at the dead consumer's cursor.
+    assert_eq!(engine.basket_len("q0.out").expect("out basket"), 0);
+    // And the input basket's prefix was consumed and expired as usual.
+    let retained = engine.basket_len("t").expect("input basket");
+    assert!(retained < total / 2, "input basket retained {retained} of {total} rows");
+    drop(reader);
+}
+
+#[test]
+fn backpressure_pauses_ingest_reads_when_nothing_consumes() {
+    let mut engine = Engine::new();
+    // No query reads `u`: nothing ever consumes, so the backlog can only
+    // grow and must trip the staging budget.
+    engine.create_stream("u", &[("x", DataType::Int)]).expect("stream");
+    let cfg = NetConfig { staging_budget: 64, ..NetConfig::default() };
+    let server = NetServer::spawn(engine, "127.0.0.1:0", cfg).expect("spawn");
+
+    let mut sock = connect(&server);
+    sock.write_all(b"INGEST u\n").expect("hello");
+    for j in 0..2000 {
+        sock.write_all(format!("{j}\n").as_bytes()).expect("row");
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().backpressure_ticks.get() == 0 {
+        assert!(Instant::now() < deadline, "staging budget never engaged");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The valve pauses *reads*; the already-accepted backlog stays put and
+    // the server stays responsive (metrics still answers on the listener).
+    let mut m = connect(&server);
+    m.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+    let mut response = String::new();
+    m.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+
+    let engine = server.shutdown();
+    let landed = engine.basket_len("u").expect("basket");
+    assert!(landed >= 64, "budget tripped before any rows landed ({landed})");
+    drop(sock);
+}
