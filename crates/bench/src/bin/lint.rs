@@ -220,6 +220,8 @@ const AUDITED: &[(&str, bool)] = &[
     ("crates/kernel/src/par/select.rs", true),
     ("crates/kernel/src/par/join.rs", true),
     ("crates/kernel/src/par/aggregate.rs", true),
+    ("crates/kernel/src/par/fetch.rs", true),
+    ("crates/kernel/src/par/sort.rs", true),
 ];
 
 fn lint_locks(findings: &mut Vec<Finding>) -> usize {

@@ -53,6 +53,8 @@ fn main() {
         e.register_sql("SELECT k, sum(v), avg(v) FROM s GROUP BY k WINDOW SIZE 1024 SLIDE 512")
             .unwrap(),
         e.register_sql("SELECT sum(v) FROM s WHERE k > 3 WINDOW SIZE 512 SLIDE 256").unwrap(),
+        e.register_sql("SELECT k, v FROM s ORDER BY v DESC LIMIT 10 WINDOW SIZE 512 SLIDE 256")
+            .unwrap(),
     ];
 
     // N rounds of "one batch per staging shard, then drain" — the
@@ -123,6 +125,24 @@ fn main() {
     println!("# kernel merges: concat fast path {concat}, re-group fallback {regroup}");
     if partitions > 1 {
         assert!(concat + regroup > 0.0, "partitioned run never merged aggregation partials");
+    }
+
+    // The ORDER BY query exercises SortPerm + Fetch every slide, so the
+    // morsel fetch/sort families must carry a signal (and the parallel
+    // legs must fire whenever the axis asks for more than one partition).
+    let fetches = parsed.total("datacell_kernel_fetch_calls_total");
+    let sorts = parsed.total("datacell_kernel_sort_calls_total");
+    let par_fetches = parsed.total("datacell_kernel_fetch_par_calls_total");
+    let par_sorts = parsed.total("datacell_kernel_sort_par_calls_total");
+    let elided = parsed.total("datacell_kernel_scatter_elided_total");
+    println!(
+        "# kernel fetch/sort: {fetches} fetches ({par_fetches} parallel), \
+         {sorts} sorts ({par_sorts} parallel), {elided} scatters elided"
+    );
+    assert!(fetches > 0.0, "ORDER BY workload recorded no fetch calls");
+    assert!(sorts > 0.0, "ORDER BY workload recorded no sort calls");
+    if partitions > 1 {
+        assert!(par_sorts > 0.0, "partitioned run never took the parallel sort path");
     }
     println!("# metrics_dump: exposition parsed clean ({} families)", parsed.families.len());
 }

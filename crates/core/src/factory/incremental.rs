@@ -110,6 +110,13 @@ pub struct IncrementalFactory {
     preface_time: Duration,
     /// Intra-operator partition fan-out handed to every plan execution.
     par: ParConfig,
+    /// True when some cluster is `placement_aligned`: the per-bw segment
+    /// consumes rows a keyed receptor scatter-ordered by the canonical
+    /// key-hash, so per-bw executions may vouch for their input's scatter
+    /// order and let aligned kernels elide the re-scatter. Matrix and
+    /// merge segments never get the mark — their rows follow join-pair or
+    /// concat order, not the grouping key's placement.
+    aligned_clusters: bool,
     metrics: Vec<SlideMetrics>,
 }
 
@@ -194,6 +201,7 @@ impl IncrementalFactory {
             .flat_map(|c| std::iter::once(c.keys_var).chain(c.agg_vars.iter().map(|(v, _)| *v)))
             .collect();
         let n = window.basic_windows();
+        let aligned_clusters = plan.clusters.iter().any(|c| c.placement_aligned);
         Ok(IncrementalFactory {
             label: label.into(),
             plan,
@@ -215,6 +223,7 @@ impl IncrementalFactory {
             chunks_done: 0,
             preface_time: Duration::ZERO,
             par: ParConfig::sequential(),
+            aligned_clusters,
             metrics: Vec::new(),
         })
     }
@@ -265,7 +274,10 @@ impl IncrementalFactory {
         w: &BasicWindow,
     ) -> Result<HashMap<VarId, MalValue>, DataCellError> {
         let plan = &self.plan;
-        let ctx = OneStreamCtx { name: &plan.mal.streams[k], window: w, par: self.par };
+        // The aligned-input vouch is applied per call, never stored in
+        // `self.par`, so `set_partitions`' config rebuild cannot lose it.
+        let par = self.par.with_aligned_input(self.aligned_clusters);
+        let ctx = OneStreamCtx { name: &plan.mal.streams[k], window: w, par };
         let mut env: Vec<Option<MalValue>> = vec![None; plan.mal.nvars];
         for &i in &plan.perbw_instrs[k] {
             let ins = &plan.mal.instrs[i];

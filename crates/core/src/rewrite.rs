@@ -91,9 +91,15 @@ pub struct Cluster {
     /// rows per basic window, so under `PlacementMode::Aligned` the rows
     /// a keyed receptor routed to shard *i* carry the same canonical
     /// key-hash the kernel uses to carve morsel *i* — partials own
-    /// disjoint keys end to end. `false` for matrix (post-join) clusters,
-    /// whose input rows follow the join pair order, not the grouping
-    /// key's placement; the kernel then re-scatters internally.
+    /// disjoint keys end to end. The incremental factory cashes this mark
+    /// in at execution time: per-bw segments of a plan with an aligned
+    /// cluster run with `ParConfig::with_aligned_input(true)`, letting the
+    /// aligned aggregate and join kernels elide their internal re-scatter
+    /// in favor of run-compressed partition copies (the kernel still
+    /// hashes every key, so the mark can never corrupt results). `false`
+    /// for matrix (post-join) clusters, whose input rows follow the join
+    /// pair order, not the grouping key's placement; the kernel then
+    /// re-scatters internally.
     pub placement_aligned: bool,
 }
 

@@ -6,7 +6,7 @@
 //! the qualifying tuples — *late* tuple reconstruction (paper §2).
 
 use crate::column::Column;
-use crate::{Bat, Result};
+use crate::{Bat, Oid, Result};
 
 /// Fetch `values[oid]` for every oid in the candidate list `cands`.
 ///
@@ -15,6 +15,15 @@ use crate::{Bat, Result};
 /// outside `values`.
 pub fn fetch(cands: &Bat, values: &Bat) -> Result<Bat> {
     let oids = cands.tail.as_oid()?;
+    Ok(Bat::transient(fetch_oids(oids, values)?))
+}
+
+/// Gather `values[oid]` for every oid in `oids`, as a bare column.
+///
+/// This is the per-morsel body of [`fetch`]: `par::fetch` splits the
+/// candidate list into chunks and runs this on each, so the sequential
+/// operator and every parallel morsel share one gather loop.
+pub fn fetch_oids(oids: &[Oid], values: &Bat) -> Result<Column> {
     let out = match &values.tail {
         Column::Int(v) => {
             let mut out = Vec::with_capacity(oids.len());
@@ -52,7 +61,7 @@ pub fn fetch(cands: &Bat, values: &Bat) -> Result<Bat> {
             Column::Oid(out)
         }
     };
-    Ok(Bat::transient(out))
+    Ok(out)
 }
 
 #[cfg(test)]

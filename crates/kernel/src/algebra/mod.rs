@@ -23,7 +23,7 @@ mod sort;
 pub use aggregate::{avg, count, max, min, sum, AggKind};
 pub use aggregate::{count_grouped, max_grouped, min_grouped, sum_grouped};
 pub use concat::{concat, concat_columns};
-pub use fetch::fetch;
+pub use fetch::{fetch, fetch_oids};
 pub use group::{group, group_derive, Groups};
 pub use join::hashjoin;
 pub use map::{div_values, map_arith, map_arith_scalar, ArithOp};

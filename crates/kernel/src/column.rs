@@ -182,6 +182,32 @@ impl Column {
         }
     }
 
+    /// Materialize the values covered by `(start, len)` runs (in order)
+    /// into a new column — the bulk-copy counterpart of [`Column::gather`]
+    /// for run-length-compressed position lists
+    /// ([`crate::hash::Placement::scatter_runs`]): each run is one
+    /// `extend_from_slice` instead of `len` per-element copies.
+    ///
+    /// Panics if any run is out of bounds (an internal invariant
+    /// violation — callers produce runs from the column itself).
+    pub fn gather_ranges(&self, runs: &[(u32, u32)]) -> Column {
+        let total: usize = runs.iter().map(|&(_, n)| n as usize).sum();
+        fn fill<T: Clone>(v: &[T], runs: &[(u32, u32)], total: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(total);
+            for &(start, n) in runs {
+                out.extend_from_slice(&v[start as usize..(start + n) as usize]);
+            }
+            out
+        }
+        match self {
+            Column::Int(v) => Column::Int(fill(v, runs, total)),
+            Column::Float(v) => Column::Float(fill(v, runs, total)),
+            Column::Str(v) => Column::Str(fill(v, runs, total)),
+            Column::Bool(v) => Column::Bool(fill(v, runs, total)),
+            Column::Oid(v) => Column::Oid(fill(v, runs, total)),
+        }
+    }
+
     /// Borrow the whole column as a slice view.
     pub fn as_slice(&self) -> ColumnSlice<'_> {
         self.slice(0, self.len())
@@ -390,6 +416,21 @@ impl From<Vec<Oid>> for Column {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gather_ranges_matches_expanded_gather() {
+        let cols = [
+            Column::Int((0..20).collect()),
+            Column::Str((0..20).map(|i| format!("s{i}")).collect()),
+            Column::Float((0..20).map(f64::from).collect()),
+        ];
+        let runs: &[(u32, u32)] = &[(3, 4), (0, 1), (15, 5), (7, 1)];
+        let expanded: Vec<u32> = runs.iter().flat_map(|&(s, n)| s..s + n).collect();
+        for c in &cols {
+            assert_eq!(c.gather_ranges(runs), c.gather(&expanded));
+        }
+        assert_eq!(cols[0].gather_ranges(&[]), Column::Int(vec![]));
+    }
 
     #[test]
     fn empty_and_capacity() {

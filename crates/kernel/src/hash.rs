@@ -167,6 +167,61 @@ impl Placement {
         }
         parts
     }
+
+    /// Run-length-compressed scatter: per partition, maximal runs of
+    /// consecutive positions `(start, len)` instead of one entry per row.
+    ///
+    /// Same single hash pass and same partition-of-each-position answer as
+    /// [`Placement::scatter`] (the hash *is* the correctness check — the
+    /// caller's alignment claim is never trusted), but on input that keyed
+    /// ingest already scatter-ordered, each partition collapses to a
+    /// handful of runs and downstream copies become bulk
+    /// `extend_from_slice`s ([`crate::Column::gather_ranges`]) rather than
+    /// per-element gathers. Unclustered input degrades gracefully to
+    /// per-row runs — slower, never wrong.
+    pub fn scatter_runs(&self, keys: &ColumnSlice<'_>) -> Vec<Vec<(u32, u32)>> {
+        let mut parts: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.parts];
+        let len = keys.len() as u32;
+        if self.parts == 1 {
+            if len > 0 {
+                parts[0].push((0, len));
+            }
+            return parts;
+        }
+        let push =
+            |parts: &mut Vec<Vec<(u32, u32)>>, part: usize, i: u32| match parts[part].last_mut() {
+                Some((start, n)) if *start + *n == i => *n += 1,
+                _ => parts[part].push((i, 1)),
+            };
+        match keys {
+            ColumnSlice::Int(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    push(&mut parts, self.of_key(k), i as u32);
+                }
+            }
+            ColumnSlice::Oid(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    push(&mut parts, self.of_key(k), i as u32);
+                }
+            }
+            ColumnSlice::Bool(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    push(&mut parts, self.of_key(k), i as u32);
+                }
+            }
+            ColumnSlice::Str(v) => {
+                for (i, k) in v.iter().enumerate() {
+                    push(&mut parts, self.of_key(k.as_str()), i as u32);
+                }
+            }
+            ColumnSlice::Float(v) => {
+                for (i, &k) in v.iter().enumerate() {
+                    push(&mut parts, self.of_key(k.to_bits()), i as u32);
+                }
+            }
+        }
+        parts
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +334,59 @@ mod tests {
                 assert_eq!(seen, (0..100u32).collect::<Vec<_>>());
             }
         }
+    }
+
+    #[test]
+    fn scatter_runs_agree_with_scatter_everywhere() {
+        use crate::column::Column;
+        let cols = [
+            // Unclustered keys (worst case: mostly length-1 runs).
+            Column::Int((0..60).map(|i| i % 7).collect()),
+            // Scatter-ordered input: positions grouped by partition, the
+            // case ingest alignment produces — runs collapse.
+            {
+                let pl = Placement::new(4);
+                let mut by_part: Vec<Vec<i64>> = vec![Vec::new(); 4];
+                for k in 0..60i64 {
+                    by_part[pl.of_key(k)].push(k);
+                }
+                Column::Int(by_part.concat())
+            },
+            Column::Str((0..60).map(|i| format!("k{}", i % 9)).collect()),
+            Column::Float((0..60).map(|i| f64::from(i) * 0.25).collect()),
+        ];
+        for col in &cols {
+            for p in [1usize, 4, 8] {
+                let pl = Placement::new(p);
+                let runs = pl.scatter_runs(&col.as_slice());
+                let expanded: Vec<Vec<u32>> = runs
+                    .iter()
+                    .map(|rs| rs.iter().flat_map(|&(s, n)| s..s + n).collect())
+                    .collect();
+                assert_eq!(expanded, pl.scatter(&col.as_slice()), "p={p}");
+                // Runs must be maximal: no two adjacent runs touch.
+                for rs in &runs {
+                    assert!(rs.windows(2).all(|w| w[0].0 + w[0].1 < w[1].0), "non-maximal run");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_runs_collapse_on_aligned_input() {
+        // Input laid out partition-by-partition must produce exactly one
+        // run per non-empty partition.
+        let pl = Placement::new(4);
+        let mut by_part: Vec<Vec<i64>> = vec![Vec::new(); 4];
+        for k in 0..40i64 {
+            by_part[pl.of_key(k)].push(k);
+        }
+        let col = crate::column::Column::Int(by_part.concat());
+        let runs = pl.scatter_runs(&col.as_slice());
+        for (part, rs) in runs.iter().enumerate() {
+            assert!(rs.len() <= 1, "partition {part} fragmented: {rs:?}");
+        }
+        assert!(pl.scatter_runs(&crate::column::Column::Int(vec![]).as_slice())[0].is_empty());
     }
 
     #[test]

@@ -174,36 +174,89 @@ pub fn merge_partials(
 /// and per-key folds run over the same rows in the same order as the
 /// sequential pass, so the output is byte-identical at every `P` — float
 /// sums included (the round-robin carve-out does not apply).
+/// When the caller vouched for the input's scatter order
+/// ([`ParConfig::input_is_aligned`]), the scatter phase is *elided*: the
+/// same single hash pass runs (the hash is the correctness check — the
+/// claim is never trusted), but per-row position lists collapse to
+/// run-length-compressed ranges ([`Placement::scatter_runs`]) and the
+/// per-partition gathers become bulk [`Column::gather_ranges`] copies.
+/// Both paths visit identical rows per partition in identical order, so
+/// the output is the same bytes either way; mismarked input merely
+/// degrades to per-row runs.
 fn grouped_agg_aligned(
     keys: &Bat,
     specs: &[AggSpec],
     kinds: &[AggKind],
-    p: usize,
+    cfg: &ParConfig,
 ) -> Result<(Column, Vec<Column>)> {
-    let parts = Placement::new(p).scatter(&keys.tail.as_slice());
-
-    let partials: Vec<Result<(GroupAggPartial, Vec<u32>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .iter()
-            .map(|pos| {
-                s.spawn(move || {
-                    let kb = Bat::transient(keys.tail.gather(pos));
-                    let vbats: Vec<Option<Bat>> = specs
-                        .iter()
-                        .map(|(_, vals)| vals.map(|v| Bat::transient(v.tail.gather(pos))))
-                        .collect();
-                    let part_specs: Vec<AggSpec> =
-                        kinds.iter().zip(&vbats).map(|(&k, v)| (k, v.as_ref())).collect();
-                    let (groups, partial) = partial_with_groups(&kb, &part_specs)?;
-                    // Global input position where each group first occurs.
-                    let first_pos: Vec<u32> =
-                        groups.extents.iter().map(|&e| pos[e as usize]).collect();
-                    Ok((partial, first_pos))
+    let p = cfg.partitions();
+    let partials: Vec<Result<(GroupAggPartial, Vec<u32>)>> = if cfg.input_is_aligned() {
+        stats::record_scatter_elided();
+        let runs = Placement::new(p).scatter_runs(&keys.tail.as_slice());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = runs
+                .iter()
+                .map(|part_runs| {
+                    s.spawn(move || {
+                        let kb = Bat::transient(keys.tail.gather_ranges(part_runs));
+                        let vbats: Vec<Option<Bat>> = specs
+                            .iter()
+                            .map(|(_, vals)| {
+                                vals.map(|v| Bat::transient(v.tail.gather_ranges(part_runs)))
+                            })
+                            .collect();
+                        let part_specs: Vec<AggSpec> =
+                            kinds.iter().zip(&vbats).map(|(&k, v)| (k, v.as_ref())).collect();
+                        let (groups, partial) = partial_with_groups(&kb, &part_specs)?;
+                        // Prefix sums over run lengths map a group's local
+                        // extent back to its global first-occurrence
+                        // position: local offsets [cum[r], cum[r]+len_r)
+                        // came from global run r.
+                        let mut cum = Vec::with_capacity(part_runs.len());
+                        let mut acc = 0u32;
+                        for &(_, n) in part_runs {
+                            cum.push(acc);
+                            acc += n;
+                        }
+                        let first_pos: Vec<u32> = groups
+                            .extents
+                            .iter()
+                            .map(|&e| {
+                                let r = cum.partition_point(|&c| c <= e) - 1;
+                                part_runs[r].0 + (e - cum[r])
+                            })
+                            .collect();
+                        Ok((partial, first_pos))
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("aligned morsel panicked")).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("aligned morsel panicked")).collect()
+        })
+    } else {
+        let parts = Placement::new(p).scatter(&keys.tail.as_slice());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|pos| {
+                    s.spawn(move || {
+                        let kb = Bat::transient(keys.tail.gather(pos));
+                        let vbats: Vec<Option<Bat>> = specs
+                            .iter()
+                            .map(|(_, vals)| vals.map(|v| Bat::transient(v.tail.gather(pos))))
+                            .collect();
+                        let part_specs: Vec<AggSpec> =
+                            kinds.iter().zip(&vbats).map(|(&k, v)| (k, v.as_ref())).collect();
+                        let (groups, partial) = partial_with_groups(&kb, &part_specs)?;
+                        // Global input position where each group first occurs.
+                        let first_pos: Vec<u32> =
+                            groups.extents.iter().map(|&e| pos[e as usize]).collect();
+                        Ok((partial, first_pos))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("aligned morsel panicked")).collect()
+        })
+    };
     let partials: Vec<(GroupAggPartial, Vec<u32>)> = partials.into_iter().collect::<Result<_>>()?;
 
     // Concat-merge: order all groups by global first occurrence. The
@@ -318,7 +371,7 @@ fn grouped_agg_multi_inner(
     }
 
     if cfg.is_aligned() {
-        return grouped_agg_aligned(keys, specs, &kinds, p);
+        return grouped_agg_aligned(keys, specs, &kinds, cfg);
     }
 
     // Per-morsel partials on scoped threads. Morsel views are zero-copy;
@@ -534,6 +587,46 @@ mod tests {
         for p in [2, 4, 8] {
             assert_eq!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &aligned(p)).unwrap(), expect);
         }
+    }
+
+    #[test]
+    fn elision_matches_sequential_even_on_mismarked_input() {
+        // keys_vals is NOT scatter-ordered, so marking it aligned-input
+        // exercises the degraded (per-row-runs) elision path: the hash
+        // pass is the correctness check and the answer must not move.
+        let (keys, vals) = keys_vals(97);
+        let e0 = stats::scatter_elided();
+        for kind in [AggKind::Sum, AggKind::Avg, AggKind::Count] {
+            let vals_arg = (kind != AggKind::Count).then_some(&vals);
+            let expect = seq(&keys, vals_arg, kind);
+            for p in [2, 4, 8] {
+                let cfg = aligned(p).with_aligned_input(true);
+                assert_eq!(grouped_agg(&keys, vals_arg, kind, &cfg).unwrap(), expect, "P={p}");
+            }
+        }
+        assert!(stats::scatter_elided() >= e0 + 9, "every elided call must be counted");
+    }
+
+    #[test]
+    fn elision_on_genuinely_aligned_input_matches_roundrobin_and_sequential() {
+        // Lay rows out partition-by-partition (what keyed ingest produces
+        // when shards == partitions): the elision fast path sees one run
+        // per partition and must still agree with every other mode.
+        let pl = Placement::new(4);
+        let mut by_part: Vec<Vec<(i64, i64)>> = vec![Vec::new(); 4];
+        for i in 0..80i64 {
+            let k = i % 9;
+            by_part[pl.of_key(k)].push((k, i));
+        }
+        let rows: Vec<(i64, i64)> = by_part.concat();
+        let keys = Bat::transient(Column::Int(rows.iter().map(|&(k, _)| k).collect()));
+        let vals = Bat::transient(Column::Float(rows.iter().map(|&(_, v)| v as f64).collect()));
+        let expect = seq(&keys, Some(&vals), AggKind::Sum);
+        let elided = aligned(4).with_aligned_input(true);
+        assert_eq!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &elided).unwrap(), expect);
+        assert_eq!(grouped_agg(&keys, Some(&vals), AggKind::Sum, &aligned(4)).unwrap(), expect);
+        let rr = grouped_agg(&keys, Some(&vals), AggKind::Sum, &ParConfig::new(4)).unwrap();
+        assert_eq!(rr.0, expect.0, "round-robin agrees on keys");
     }
 
     #[test]

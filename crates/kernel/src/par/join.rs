@@ -15,7 +15,7 @@
 //! partition. At `P = 1` the call dispatches to the sequential
 //! `algebra::hashjoin` code path and is byte-identical to it.
 
-use super::ParConfig;
+use super::{stats, ParConfig};
 use crate::column::Column;
 use crate::error::KernelError;
 use crate::hash::{fast_map_with_capacity, FastBuild, FastMap, Placement};
@@ -44,7 +44,9 @@ pub fn hashjoin(l: &Bat, r: &Bat, cfg: &ParConfig) -> Result<(Bat, Bat)> {
         });
     }
     // Swap so the build side is the smaller one, then restore order.
-    let (mut lo, mut ro) = if l.len() <= r.len() { dispatch(l, r, p)? } else { dispatch(r, l, p)? };
+    let elide = cfg.input_is_aligned();
+    let (mut lo, mut ro) =
+        if l.len() <= r.len() { dispatch(l, r, p, elide)? } else { dispatch(r, l, p, elide)? };
     if l.len() > r.len() {
         std::mem::swap(&mut lo, &mut ro);
     }
@@ -52,15 +54,14 @@ pub fn hashjoin(l: &Bat, r: &Bat, cfg: &ParConfig) -> Result<(Bat, Bat)> {
 }
 
 /// Type dispatch: one monomorphic radix join per hashable column pair.
-fn dispatch(build: &Bat, probe: &Bat, p: usize) -> Result<(Vec<Oid>, Vec<Oid>)> {
+fn dispatch(build: &Bat, probe: &Bat, p: usize, elide: bool) -> Result<(Vec<Oid>, Vec<Oid>)> {
+    let (bh, ph) = (build.hseq, probe.hseq);
     match (&build.tail, &probe.tail) {
-        (Column::Int(b), Column::Int(q)) => Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k)),
-        (Column::Oid(b), Column::Oid(q)) => Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k)),
-        (Column::Bool(b), Column::Bool(q)) => {
-            Ok(radix_join(b, q, build.hseq, probe.hseq, p, |&k| k))
-        }
+        (Column::Int(b), Column::Int(q)) => Ok(radix_join(b, q, bh, ph, p, elide, |&k| k)),
+        (Column::Oid(b), Column::Oid(q)) => Ok(radix_join(b, q, bh, ph, p, elide, |&k| k)),
+        (Column::Bool(b), Column::Bool(q)) => Ok(radix_join(b, q, bh, ph, p, elide, |&k| k)),
         (Column::Str(b), Column::Str(q)) => {
-            Ok(radix_join(b, q, build.hseq, probe.hseq, p, |k: &String| k.as_str()))
+            Ok(radix_join(b, q, bh, ph, p, elide, |k: &String| k.as_str()))
         }
         (Column::Float(_), _) => {
             Err(KernelError::Unsupported("par::hashjoin on float keys".into()))
@@ -101,22 +102,64 @@ where
     parts
 }
 
+/// Run-compressed variant of [`partition_positions`] for inputs the
+/// caller vouched were scatter-ordered by keyed ingest: one pass that
+/// detects maximal same-partition runs and appends each as a bulk range
+/// extend, skipping the two-pass `part_of`/`counts` materialization. The
+/// per-position partition answer comes from the same hash, so the output
+/// is identical to [`partition_positions`] on *any* input — a mismarked
+/// (unclustered) input just degrades to per-row runs.
+fn partition_positions_elided<'a, T, K>(
+    vals: &'a [T],
+    p: usize,
+    key_of: impl Fn(&'a T) -> K,
+) -> Vec<Vec<u32>>
+where
+    K: Hash,
+{
+    let placement = Placement::new(p);
+    let hasher = FastBuild::default();
+    let mut parts: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut run_start = 0u32;
+    let mut run_part = 0usize;
+    for (i, v) in vals.iter().enumerate() {
+        let part = placement.of_hash(hasher.hash_one(key_of(v)));
+        if i == 0 {
+            run_part = part;
+        } else if part != run_part {
+            parts[run_part].extend(run_start..i as u32);
+            run_start = i as u32;
+            run_part = part;
+        }
+    }
+    if !vals.is_empty() {
+        parts[run_part].extend(run_start..vals.len() as u32);
+    }
+    parts
+}
+
 /// Radix-partition both sides, join partition pairs on scoped threads,
 /// concatenate in partition order. Returns `(build_oids, probe_oids)`.
+#[allow(clippy::too_many_arguments)]
 fn radix_join<'a, T, K>(
     build: &'a [T],
     probe: &'a [T],
     build_hseq: Oid,
     probe_hseq: Oid,
     p: usize,
+    elide: bool,
     key_of: impl Fn(&'a T) -> K + Copy + Send + Sync,
 ) -> (Vec<Oid>, Vec<Oid>)
 where
     T: Sync,
     K: Hash + Eq,
 {
-    let build_parts = partition_positions(build, p, key_of);
-    let probe_parts = partition_positions(probe, p, key_of);
+    let (build_parts, probe_parts) = if elide {
+        stats::record_scatter_elided();
+        (partition_positions_elided(build, p, key_of), partition_positions_elided(probe, p, key_of))
+    } else {
+        (partition_positions(build, p, key_of), partition_positions(probe, p, key_of))
+    };
 
     let partials: Vec<(Vec<Oid>, Vec<Oid>)> = std::thread::scope(|s| {
         let handles: Vec<_> = build_parts
@@ -275,6 +318,52 @@ mod tests {
         assert_eq!(
             partition_positions(&strs, 8, |k: &String| k.as_str()),
             Placement::new(8).scatter(&Column::Str(strs.clone()).as_slice())
+        );
+    }
+
+    #[test]
+    fn elided_partitioning_is_identical_on_any_input() {
+        // The run-compressed scatter must agree with the two-pass scatter
+        // position-for-position, clustered or not.
+        let unclustered: Vec<i64> = (0..64).map(|i| (i * 13) % 10).collect();
+        assert_eq!(
+            partition_positions_elided(&unclustered, 4, |&k| k),
+            partition_positions(&unclustered, 4, |&k| k)
+        );
+        let pl = Placement::new(4);
+        let mut by_part: Vec<Vec<i64>> = vec![Vec::new(); 4];
+        for k in 0..64i64 {
+            by_part[pl.of_key(k)].push(k);
+        }
+        let clustered: Vec<i64> = by_part.concat();
+        assert_eq!(
+            partition_positions_elided(&clustered, 4, |&k| k),
+            partition_positions(&clustered, 4, |&k| k)
+        );
+        let empty: Vec<i64> = Vec::new();
+        assert_eq!(partition_positions_elided(&empty, 4, |&k| k), vec![Vec::new(); 4]);
+    }
+
+    #[test]
+    fn elided_join_byte_identical_to_aligned_join_and_counted() {
+        use super::super::PlacementMode;
+        let l = Bat::new(0, Column::Int((0..64).map(|i| i % 7).collect()));
+        let r = Bat::new(1000, Column::Int((0..80).map(|i| i % 9).collect()));
+        let aligned = ParConfig::new(4).with_placement(PlacementMode::Aligned);
+        let elided = aligned.with_aligned_input(true);
+        let e0 = stats::scatter_elided();
+        assert_eq!(hashjoin(&l, &r, &elided).unwrap(), hashjoin(&l, &r, &aligned).unwrap());
+        assert_eq!(
+            hashjoin(&l, &r, &elided).unwrap(),
+            hashjoin(&l, &r, &ParConfig::new(4)).unwrap()
+        );
+        assert!(stats::scatter_elided() > e0, "elided joins must be counted");
+        // The mark without aligned placement must not change results
+        // either (it is ignored: round-robin placement never elides).
+        let marked_rr = ParConfig::new(4).with_aligned_input(true);
+        assert_eq!(
+            hashjoin(&l, &r, &marked_rr).unwrap(),
+            hashjoin(&l, &r, &ParConfig::new(4)).unwrap()
         );
     }
 

@@ -9,7 +9,9 @@
 //!
 //! * inputs are carved into disjoint pieces — hash **partitions** for the
 //!   radix join ([`hashjoin`]), contiguous **morsels** ([`crate::Bat::chunks`])
-//!   for [`select`] and [`grouped_agg`];
+//!   for [`select`], [`fetch`] and [`grouped_agg`], contiguous position
+//!   **runs** for [`sort`]/[`sort_perm`] (sorted in parallel, then k-way
+//!   merged);
 //! * pieces are processed on scoped worker threads (one per partition; no
 //!   pool, no unsafe, no external deps — partition count should track
 //!   physical cores);
@@ -22,26 +24,36 @@
 //! code path* (byte-identical results, mirroring the scheduler's "1 worker
 //! ≡ sequential" rule); `P > 1` orders join pairs by (partition, probe
 //! position) — the same pair *set* as the sequential join in a documented
-//! canonical order — while `select` and `grouped_agg` outputs are
-//! byte-identical to sequential at every `P` (morsels are ascending, and
-//! re-grouping preserves first-occurrence key order), with one carve-out:
+//! canonical order — while `select`, `fetch`, `sort`/`sort_perm` and
+//! `grouped_agg` outputs are byte-identical to sequential at every `P`
+//! (morsels are ascending, the sort merge breaks ties toward the
+//! lowest-position run, and re-grouping preserves first-occurrence key
+//! order), with one carve-out:
 //! under round-robin placement, float `sum` partials reassociate
 //! non-associative additions, so they are deterministic per `P` but not
 //! `P`-invariant (see [`mod@aggregate`]'s module docs). Under
 //! [`PlacementMode::Aligned`] morsels are carved by the canonical
 //! [`crate::hash::Placement`] key-hash instead: partials own disjoint
 //! keys, the merge is pure concatenation, and even float sums are
-//! byte-identical to sequential at every `P`.
+//! byte-identical to sequential at every `P`. When the executing cluster
+//! additionally vouches that keyed ingest already scatter-ordered the
+//! batch ([`ParConfig::with_aligned_input`]), the aligned aggregate and
+//! join elide per-row scatter materialization in favor of run-compressed
+//! partition copies — `stats` counts these as `scatter_elided`.
 
 mod aggregate;
+mod fetch;
 mod join;
 mod select;
+mod sort;
 
 pub use aggregate::{
     grouped_agg, grouped_agg_multi, grouped_agg_partials, merge_partials, AggSpec, GroupAggPartial,
 };
+pub use fetch::fetch;
 pub use join::hashjoin;
 pub use select::select;
+pub use sort::{reverse_bat, sort, sort_perm};
 
 /// Lightweight observability for the parallel kernel entry points:
 /// process-wide monotone counters plus call-granularity latency
@@ -66,8 +78,18 @@ pub mod stats {
         merge_regroup: Counter,
         seal_calls: Counter,
         seal_par_calls: Counter,
+        fetch_calls: Counter,
+        fetch_par_calls: Counter,
+        sort_calls: Counter,
+        sort_par_calls: Counter,
+        scatter_elided: Counter,
         agg_seconds_seq: Histogram,
         agg_seconds_par: Histogram,
+        fetch_seconds_seq: Histogram,
+        fetch_seconds_par: Histogram,
+        sort_seconds_seq: Histogram,
+        sort_seconds_par: Histogram,
+        sort_merge_seconds: Histogram,
     }
 
     fn metrics() -> &'static Metrics {
@@ -96,6 +118,27 @@ pub mod stats {
                     "datacell_kernel_seal_par_total",
                     "Basket seals that stitched segments on parallel worker threads.",
                 ),
+                fetch_calls: r.counter(
+                    "datacell_kernel_fetch_calls_total",
+                    "Fetch (tuple-reconstruction) kernel calls (any partition count).",
+                ),
+                fetch_par_calls: r.counter(
+                    "datacell_kernel_fetch_par_calls_total",
+                    "Fetch kernel calls that fanned morsels out over P > 1 threads.",
+                ),
+                sort_calls: r.counter(
+                    "datacell_kernel_sort_calls_total",
+                    "Sort/sort-perm kernel calls (any partition count).",
+                ),
+                sort_par_calls: r.counter(
+                    "datacell_kernel_sort_par_calls_total",
+                    "Sort/sort-perm kernel calls that sorted P > 1 runs on parallel threads.",
+                ),
+                scatter_elided: r.counter(
+                    "datacell_kernel_scatter_elided_total",
+                    "Aligned-input kernel calls that skipped per-row scatter in favor of \
+                     run-compressed partition copies.",
+                ),
                 agg_seconds_seq: r.histogram_with(
                     "datacell_kernel_grouped_agg_seconds",
                     "Wall time of one grouped-aggregate kernel call, morsel fan-out included.",
@@ -105,6 +148,30 @@ pub mod stats {
                     "datacell_kernel_grouped_agg_seconds",
                     "Wall time of one grouped-aggregate kernel call, morsel fan-out included.",
                     &[("path", "par")],
+                ),
+                fetch_seconds_seq: r.histogram_with(
+                    "datacell_kernel_fetch_seconds",
+                    "Wall time of one fetch kernel call, morsel fan-out included.",
+                    &[("path", "seq")],
+                ),
+                fetch_seconds_par: r.histogram_with(
+                    "datacell_kernel_fetch_seconds",
+                    "Wall time of one fetch kernel call, morsel fan-out included.",
+                    &[("path", "par")],
+                ),
+                sort_seconds_seq: r.histogram_with(
+                    "datacell_kernel_sort_seconds",
+                    "Wall time of one sort/sort-perm kernel call, run fan-out included.",
+                    &[("path", "seq")],
+                ),
+                sort_seconds_par: r.histogram_with(
+                    "datacell_kernel_sort_seconds",
+                    "Wall time of one sort/sort-perm kernel call, run fan-out included.",
+                    &[("path", "par")],
+                ),
+                sort_merge_seconds: r.histogram(
+                    "datacell_kernel_sort_merge_seconds",
+                    "Wall time of the k-way run merge inside one parallel sort call.",
                 ),
             }
         })
@@ -144,6 +211,60 @@ pub mod stats {
         } else {
             m.merge_regroup.inc();
         }
+    }
+
+    /// Record one fetch kernel call; `parallel` marks calls that fanned
+    /// candidate-list morsels out over `P > 1` scoped threads.
+    pub(crate) fn record_fetch(parallel: bool) {
+        let m = metrics();
+        m.fetch_calls.inc();
+        if parallel {
+            m.fetch_par_calls.inc();
+        }
+    }
+
+    /// Record the wall time of one fetch kernel call into the per-path
+    /// histogram (see [`record_grouped_agg_time`] for the `start` contract).
+    pub(crate) fn record_fetch_time(parallel: bool, start: Option<Instant>) {
+        let m = metrics();
+        if parallel {
+            m.fetch_seconds_par.record_since(start);
+        } else {
+            m.fetch_seconds_seq.record_since(start);
+        }
+    }
+
+    /// Record one sort/sort-perm kernel call; `parallel` marks calls that
+    /// sorted `P > 1` runs on scoped threads.
+    pub(crate) fn record_sort(parallel: bool) {
+        let m = metrics();
+        m.sort_calls.inc();
+        if parallel {
+            m.sort_par_calls.inc();
+        }
+    }
+
+    /// Record the wall time of one sort/sort-perm kernel call into the
+    /// per-path histogram.
+    pub(crate) fn record_sort_time(parallel: bool, start: Option<Instant>) {
+        let m = metrics();
+        if parallel {
+            m.sort_seconds_par.record_since(start);
+        } else {
+            m.sort_seconds_seq.record_since(start);
+        }
+    }
+
+    /// Record the wall time of the k-way run merge inside one parallel
+    /// sort call.
+    pub(crate) fn record_sort_merge_time(start: Option<Instant>) {
+        metrics().sort_merge_seconds.record_since(start);
+    }
+
+    /// Record one aligned-input kernel call that skipped its per-row
+    /// scatter phase in favor of run-compressed partition copies.
+    pub(crate) fn record_scatter_elided() {
+        metrics().scatter_elided.inc();
     }
 
     /// Record one multi-segment basket seal; `parallel` marks seals that
@@ -190,7 +311,32 @@ pub mod stats {
         metrics().seal_par_calls.get()
     }
 
-    /// All six kernel counters read at one instant. The idiom for proving
+    /// Total fetch kernel calls (any `P`).
+    pub fn fetch_calls() -> u64 {
+        metrics().fetch_calls.get()
+    }
+
+    /// Fetch kernel calls that fanned out over `P > 1` morsel threads.
+    pub fn fetch_par_calls() -> u64 {
+        metrics().fetch_par_calls.get()
+    }
+
+    /// Total sort/sort-perm kernel calls (any `P`).
+    pub fn sort_calls() -> u64 {
+        metrics().sort_calls.get()
+    }
+
+    /// Sort/sort-perm kernel calls that sorted `P > 1` parallel runs.
+    pub fn sort_par_calls() -> u64 {
+        metrics().sort_par_calls.get()
+    }
+
+    /// Aligned-input kernel calls that elided their scatter phase.
+    pub fn scatter_elided() -> u64 {
+        metrics().scatter_elided.get()
+    }
+
+    /// All eleven kernel counters read at one instant. The idiom for proving
     /// a code path was reached is `let before = stats::snapshot(); ...;
     /// let d = stats::snapshot().delta(&before);` followed by asserts on
     /// the fields of `d` — replacing hand-rolled read-before/read-after
@@ -209,6 +355,16 @@ pub mod stats {
         pub seal_calls: u64,
         /// Basket seals that stitched on parallel threads.
         pub seal_par_calls: u64,
+        /// Total fetch kernel calls.
+        pub fetch_calls: u64,
+        /// Fetch calls that fanned out over `P > 1` threads.
+        pub fetch_par_calls: u64,
+        /// Total sort/sort-perm kernel calls.
+        pub sort_calls: u64,
+        /// Sort calls that sorted `P > 1` parallel runs.
+        pub sort_par_calls: u64,
+        /// Aligned-input calls that elided their scatter phase.
+        pub scatter_elided: u64,
     }
 
     impl StatsSnapshot {
@@ -229,6 +385,11 @@ pub mod stats {
                     .saturating_sub(earlier.merge_regroup_fallback),
                 seal_calls: self.seal_calls.saturating_sub(earlier.seal_calls),
                 seal_par_calls: self.seal_par_calls.saturating_sub(earlier.seal_par_calls),
+                fetch_calls: self.fetch_calls.saturating_sub(earlier.fetch_calls),
+                fetch_par_calls: self.fetch_par_calls.saturating_sub(earlier.fetch_par_calls),
+                sort_calls: self.sort_calls.saturating_sub(earlier.sort_calls),
+                sort_par_calls: self.sort_par_calls.saturating_sub(earlier.sort_par_calls),
+                scatter_elided: self.scatter_elided.saturating_sub(earlier.scatter_elided),
             }
         }
     }
@@ -244,6 +405,11 @@ pub mod stats {
             merge_regroup_fallback: m.merge_regroup.get(),
             seal_calls: m.seal_calls.get(),
             seal_par_calls: m.seal_par_calls.get(),
+            fetch_calls: m.fetch_calls.get(),
+            fetch_par_calls: m.fetch_par_calls.get(),
+            sort_calls: m.sort_calls.get(),
+            sort_par_calls: m.sort_par_calls.get(),
+            scatter_elided: m.scatter_elided.get(),
         }
     }
 }
@@ -260,6 +426,7 @@ pub mod stats {
 pub struct ParConfig {
     partitions: usize,
     placement: PlacementMode,
+    aligned_input: bool,
 }
 
 /// How grouped-aggregation morsels are carved from the input.
@@ -285,12 +452,28 @@ impl ParConfig {
     /// A config with `partitions` fan-out (clamped to at least 1) and
     /// round-robin placement.
     pub fn new(partitions: usize) -> ParConfig {
-        ParConfig { partitions: partitions.max(1), placement: PlacementMode::RoundRobin }
+        ParConfig {
+            partitions: partitions.max(1),
+            placement: PlacementMode::RoundRobin,
+            aligned_input: false,
+        }
     }
 
     /// The same config with `placement` selected.
     pub fn with_placement(self, placement: PlacementMode) -> ParConfig {
         ParConfig { placement, ..self }
+    }
+
+    /// The same config with the aligned-input mark set: the caller vouches
+    /// that the executing cluster was marked `placement_aligned` by the
+    /// incremental rewriter, i.e. keyed ingest scatter-ordered this batch
+    /// by the canonical [`crate::hash::Placement`] before the kernel saw
+    /// it. The mark is a *hint*, never trusted for correctness: elision
+    /// paths still hash every key and only skip materializing per-row
+    /// position lists (run-compressed copies replace per-element gathers),
+    /// so a mismarked input degrades to per-row runs, not wrong answers.
+    pub fn with_aligned_input(self, aligned_input: bool) -> ParConfig {
+        ParConfig { aligned_input, ..self }
     }
 
     /// The sequential configuration (`P = 1`).
@@ -323,6 +506,19 @@ impl ParConfig {
     /// True when parallel operators should carve key-hash-aligned morsels.
     pub fn is_aligned(&self) -> bool {
         self.placement == PlacementMode::Aligned
+    }
+
+    /// True when the caller marked this batch as already scatter-ordered
+    /// by keyed ingest (see [`ParConfig::with_aligned_input`]).
+    pub fn aligned_input(&self) -> bool {
+        self.aligned_input
+    }
+
+    /// True when aligned operators may take their scatter-elision fast
+    /// path: placement is [`PlacementMode::Aligned`] *and* the executing
+    /// cluster vouched for its input's scatter order.
+    pub fn input_is_aligned(&self) -> bool {
+        self.aligned_input && self.placement == PlacementMode::Aligned
     }
 }
 
@@ -393,6 +589,18 @@ mod tests {
         let aligned = ParConfig::new(4).with_placement(PlacementMode::Aligned);
         assert!(aligned.is_aligned());
         assert_eq!(aligned.partitions(), 4);
+    }
+
+    #[test]
+    fn aligned_input_mark_requires_aligned_placement() {
+        let marked = ParConfig::new(4).with_aligned_input(true);
+        assert!(marked.aligned_input());
+        assert!(!marked.input_is_aligned(), "round-robin placement never elides");
+        assert!(marked.with_placement(PlacementMode::Aligned).input_is_aligned());
+        let unmarked = ParConfig::new(4).with_placement(PlacementMode::Aligned);
+        assert!(!unmarked.input_is_aligned(), "alignment alone is not a vouched input");
+        // The mark survives a placement change but not a from-scratch rebuild.
+        assert!(!ParConfig::new(4).input_is_aligned());
     }
 
     #[test]

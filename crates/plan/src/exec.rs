@@ -27,9 +27,11 @@ pub trait ExecCtx {
     fn stream_window(&self, stream: &str) -> Option<&BasicWindow>;
     /// A persistent table.
     fn table(&self, name: &str) -> Option<&Table>;
-    /// Intra-operator parallelism: join/select nodes switch to the
-    /// `kernel::par` entry points when this reports partitions > 1.
-    /// Sequential by default.
+    /// Intra-operator parallelism: join/select/fetch/sort and fused
+    /// grouped-aggregation nodes switch to the `kernel::par` entry points
+    /// when this reports partitions > 1; the config also carries the
+    /// placement mode and the aligned-input mark the scatter-elision fast
+    /// paths key off. Sequential by default.
     fn par_config(&self) -> ParConfig {
         ParConfig::sequential()
     }
@@ -64,6 +66,13 @@ impl<'a> WindowCtx<'a> {
     /// Enable intra-operator parallelism with this partition fan-out.
     pub fn with_partitions(mut self, partitions: usize) -> WindowCtx<'a> {
         self.par = ParConfig::new(partitions);
+        self
+    }
+
+    /// Use a full parallel-runtime config (partitions, placement mode,
+    /// aligned-input mark) instead of the bare fan-out.
+    pub fn with_par_config(mut self, par: ParConfig) -> WindowCtx<'a> {
+        self.par = par;
         self
     }
 }
@@ -103,7 +112,7 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
         MalOp::Fetch { .. } => {
             let cands = args[0].as_bat("fetch cands")?;
             let values = args[1].as_bat("fetch values")?;
-            vec![MalValue::Bat(algebra::fetch(cands, values)?)]
+            vec![MalValue::Bat(par::fetch(cands, values, &ctx.par_config())?)]
         }
         MalOp::Join { .. } => {
             let l = args[0].as_bat("join left")?;
@@ -199,15 +208,11 @@ pub fn eval_op(op: &MalOp, args: &[&MalValue], ctx: &dyn ExecCtx) -> crate::Resu
         }
         MalOp::Sort { desc, .. } => {
             let b = args[0].as_bat("sort")?;
-            let sorted = algebra::sort(b)?;
-            vec![MalValue::Bat(if *desc { reverse_bat(&sorted) } else { sorted })]
+            vec![MalValue::Bat(par::sort(b, *desc, &ctx.par_config())?)]
         }
         MalOp::SortPerm { desc, .. } => {
             let b = args[0].as_bat("sortperm")?;
-            let mut perm = algebra::sort_perm(b)?;
-            if *desc {
-                perm.reverse();
-            }
+            let perm = par::sort_perm(b, *desc, &ctx.par_config())?;
             // Emit head oids (not positions) so a later Fetch against the
             // same input resolves regardless of the input's hseq.
             let col = Column::Oid(perm.into_iter().map(|p| b.hseq + p as u64).collect());
@@ -246,15 +251,6 @@ pub fn scalar_agg(kind: AggKind, b: &Bat) -> crate::Result<MalValue> {
         AggKind::Max => algebra::max(b)?.map_or(MalValue::Absent, MalValue::Scalar),
         AggKind::Avg => algebra::avg(b)?.map_or(MalValue::Absent, MalValue::Scalar),
     })
-}
-
-fn reverse_bat(b: &Bat) -> Bat {
-    let n = b.len();
-    let mut out = Column::with_capacity(b.data_type(), n);
-    for i in (0..n).rev() {
-        out.push(b.value_at(i).expect("in range")).expect("same type");
-    }
-    Bat::transient(out)
 }
 
 /// Execute a whole MAL program against a context.
@@ -488,6 +484,25 @@ mod tests {
             .unwrap();
         let ctx = WindowCtx::new().with_stream("s1", &w1).with_stream("s2", &w2).with_partitions(4);
         assert_eq!(execute(&plan, &ctx).unwrap().rows(), seq.rows());
+    }
+
+    #[test]
+    fn sort_ops_partitioned_agree_with_sequential() {
+        // ORDER BY x1 DESC projecting x2 through SortPerm -> Fetch, plus a
+        // direct Sort of x1 — all byte-identical across partition counts.
+        let mut b = MalBuilder::new();
+        let x = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x1".into() });
+        let y = b.emit(MalOp::BindStream { stream: "s".into(), attr: "x2".into() });
+        let p = b.emit(MalOp::SortPerm { input: x, desc: true });
+        let ys = b.emit(MalOp::Fetch { cands: p, values: y });
+        let srt = b.emit(MalOp::Sort { input: x, desc: true });
+        let plan = b.finish(vec!["y".into(), "x".into()], vec![ys, srt]);
+        let w = window((0..40).map(|i| (i * 7) % 11).collect(), (0..40).collect());
+        let seq = execute(&plan, &WindowCtx::new().with_stream("s", &w)).unwrap();
+        for parts in [2, 4, 8] {
+            let ctx = WindowCtx::new().with_stream("s", &w).with_partitions(parts);
+            assert_eq!(execute(&plan, &ctx).unwrap().rows(), seq.rows(), "partitions={parts}");
+        }
     }
 
     #[test]

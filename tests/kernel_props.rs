@@ -641,6 +641,156 @@ proptest! {
     }
 
     #[test]
+    fn par_sort_perm_byte_identical_int_keys(
+        vals in prop::collection::vec(-10i64..10, 0..200),
+        desc in any::<bool>(),
+        hseq in 0u64..1000,
+    ) {
+        // Keys from a tiny domain force heavy duplicates, so any stability
+        // break in the partitioned run-sort or the k-way merge would
+        // reorder equal keys and diverge from the sequential permutation.
+        // Descending is the same reversed permutation on both paths.
+        let b = int_bat(&vals, hseq);
+        let mut seq = algebra::sort_perm(&b).unwrap();
+        if desc {
+            seq.reverse();
+        }
+        for p in [1usize, 2, 8] {
+            let perm = par::sort_perm(&b, desc, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&perm, &seq, "P={} desc={}", p, desc);
+        }
+    }
+
+    #[test]
+    fn par_sort_byte_identical_string_keys(
+        raw in prop::collection::vec(0u8..5, 0..150),
+        desc in any::<bool>(),
+    ) {
+        // Value-sort over string keys: the partitioned path must gather
+        // through the exact sequential permutation, clones and all.
+        let names = ["a", "b", "aa", "stream", "basket"];
+        let ks: Vec<String> = raw.iter().map(|&c| names[c as usize].to_string()).collect();
+        let b = Bat::transient(Column::Str(ks));
+        let seq = algebra::sort(&b).unwrap();
+        let seq = if desc { par::reverse_bat(&seq) } else { seq };
+        for p in [1usize, 2, 8] {
+            let sorted = par::sort(&b, desc, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&sorted, &seq, "P={} desc={}", p, desc);
+        }
+    }
+
+    #[test]
+    fn par_fetch_byte_identical(
+        vals in prop::collection::vec(-100i64..100, 1..200),
+        picks in prop::collection::vec(0usize..1000, 0..300),
+        hseq in 0u64..1000,
+    ) {
+        // Morsels are contiguous candidate ranges concatenated in chunk
+        // order, so the parallel gather must be byte-identical at every P
+        // — including repeated and out-of-order oids.
+        let values = int_bat(&vals, hseq);
+        let oids: Vec<u64> = picks.iter().map(|&i| hseq + (i % vals.len()) as u64).collect();
+        let cands = Bat::transient(Column::Oid(oids));
+        let seq = algebra::fetch(&cands, &values).unwrap();
+        for p in [1usize, 2, 8] {
+            let fetched = par::fetch(&cands, &values, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&fetched, &seq, "P={}", p);
+        }
+    }
+
+    #[test]
+    fn par_fetch_byte_identical_string_payload(
+        raw in prop::collection::vec(0u8..5, 1..120),
+        picks in prop::collection::vec(0usize..1000, 0..200),
+    ) {
+        let names = ["a", "b", "aa", "stream", "basket"];
+        let vals: Vec<String> = raw.iter().map(|&c| names[c as usize].to_string()).collect();
+        let values = Bat::transient(Column::Str(vals.clone()));
+        let oids: Vec<u64> = picks.iter().map(|&i| (i % vals.len()) as u64).collect();
+        let cands = Bat::transient(Column::Oid(oids));
+        let seq = algebra::fetch(&cands, &values).unwrap();
+        for p in [1usize, 2, 8] {
+            let fetched = par::fetch(&cands, &values, &ParConfig::new(p)).unwrap();
+            prop_assert_eq!(&fetched, &seq, "P={}", p);
+        }
+    }
+
+    #[test]
+    fn sort_perm_fetch_chain_matches_sequential_order_by(
+        keys in prop::collection::vec(-20i64..20, 0..150),
+        desc in any::<bool>(),
+        hseq in 0u64..1000,
+    ) {
+        // The executor's ORDER BY chain: SortPerm emits head oids, Fetch
+        // reconstructs the payload through them. The whole chain must be
+        // P-invariant, not just each operator alone.
+        let payload: Vec<i64> = keys.iter().enumerate().map(|(i, k)| k * 7 + i as i64).collect();
+        let kb = int_bat(&keys, hseq);
+        let pb = int_bat(&payload, hseq);
+        let mut chain = Vec::new();
+        for p in [1usize, 2, 8] {
+            let cfg = ParConfig::new(p);
+            let perm = par::sort_perm(&kb, desc, &cfg).unwrap();
+            let cands =
+                Bat::transient(Column::Oid(perm.iter().map(|&i| hseq + i as u64).collect()));
+            chain.push(par::fetch(&cands, &pb, &cfg).unwrap());
+        }
+        prop_assert_eq!(&chain[1], &chain[0], "P=2 desc={}", desc);
+        prop_assert_eq!(&chain[2], &chain[0], "P=8 desc={}", desc);
+    }
+
+    #[test]
+    fn aligned_input_mark_never_changes_grouped_agg(
+        keys in prop::collection::vec(-20i64..20, 0..150),
+    ) {
+        // The elision tri-equivalence: sequential ≡ round robin ≡ aligned
+        // ≡ aligned-with-vouched-input — even though the proptest input is
+        // arbitrary, i.e. the vouch is usually a *lie*. The kernel still
+        // hashes every key, so a mismarked input degrades to per-row runs
+        // but can never corrupt the aggregates.
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, k)| k * 7 + i as i64).collect();
+        let kb = int_bat(&keys, 0);
+        let vb = int_bat(&vals, 0);
+        placement_tri_equivalence(&kb, &vb)?;
+        let g = algebra::group(&kb).unwrap();
+        let seq_keys = g.keys(&kb).unwrap();
+        let seq_sums = algebra::sum_grouped(&vb, &g).unwrap();
+        let specs: Vec<par::AggSpec> = vec![(AggKind::Sum, Some(&vb))];
+        for p in [1usize, 2, 8] {
+            let cfg = ParConfig::new(p)
+                .with_placement(PlacementMode::Aligned)
+                .with_aligned_input(true);
+            let (pk, cols) = par::grouped_agg_multi(&kb, &specs, &cfg).unwrap();
+            prop_assert_eq!(&pk, &seq_keys, "elided keys P={}", p);
+            prop_assert_eq!(&cols[0], &seq_sums, "elided sums P={}", p);
+        }
+    }
+
+    #[test]
+    fn aligned_input_mark_never_changes_join(
+        l in prop::collection::vec(0i64..8, 0..50),
+        r in prop::collection::vec(0i64..8, 0..40),
+    ) {
+        // Same law for the radix join: the elided partitioning walks
+        // partition-change boundaries instead of materializing per-row
+        // position pushes, but covers the identical positions on any
+        // input — marked output is byte-identical to unmarked at every P
+        // and both match the nested-loop pair set.
+        let lb = int_bat(&l, 0);
+        let rb = int_bat(&r, 300);
+        let expect = nested_loop(&l, &r, 0, 300);
+        for p in [1usize, 2, 8] {
+            let aligned = ParConfig::new(p).with_placement(PlacementMode::Aligned);
+            let marked = aligned.with_aligned_input(true);
+            let (alo, aro) = par::hashjoin(&lb, &rb, &aligned).unwrap();
+            let (mlo, mro) = par::hashjoin(&lb, &rb, &marked).unwrap();
+            prop_assert_eq!(&mlo, &alo, "left P={}", p);
+            prop_assert_eq!(&mro, &aro, "right P={}", p);
+            prop_assert_eq!(pair_set(&mlo, &mro), expect.clone(), "P={}", p);
+        }
+    }
+
+    #[test]
     fn count_compensated_by_sum(vals in prop::collection::vec(-10i64..10, 0..100), cut in 0usize..100) {
         let cut = cut.min(vals.len());
         let whole = algebra::count(&int_bat(&vals, 0));
